@@ -1,0 +1,45 @@
+"""Ablation: TFRecord contiguous slices vs per-sample reads (claim (i), §2).
+
+Isolates the storage-format claim from the streaming claim: same live
+storage, same records — read as one mmap range per batch vs one positional
+read per record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tfrecord.reader import TFRecordReader
+from repro.tfrecord.sharder import write_shards
+
+
+@pytest.fixture(scope="module")
+def shard(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fmt")
+    rng = np.random.default_rng(0)
+    samples = [(rng.integers(0, 256, 4096, dtype=np.uint8).tobytes(), 0) for _ in range(256)]
+    ds = write_shards(samples, root, records_per_shard=256)
+    return ds
+
+
+def test_bench_contiguous_range_read(benchmark, shard):
+    ix = shard.indexes[0]
+    runs = ix.contiguous_runs(batch_size=64)
+    with TFRecordReader(shard.root / ix.path) as reader:
+
+        def read_batches():
+            out = 0
+            for start, offset, _nbytes in runs:
+                out += len(reader.read_range(offset, min(64, ix.num_records - start)))
+            return out
+
+        assert benchmark(read_batches) == 256
+
+
+def test_bench_per_sample_reads(benchmark, shard):
+    ix = shard.indexes[0]
+    with TFRecordReader(shard.root / ix.path) as reader:
+
+        def read_singly():
+            return sum(1 for e in ix.entries if reader.read_at(e.offset))
+
+        assert benchmark(read_singly) == 256

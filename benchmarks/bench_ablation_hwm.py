@@ -1,0 +1,29 @@
+"""Ablation: HWM / prefetch window at high RTT (DESIGN.md §5).
+
+EMLIO's RTT-flatness depends on enough in-flight batches to cover the
+bandwidth-delay product.  Sweep HWM at 30 ms RTT: tiny windows stall the
+pipe; the paper's default (16) sits on the flat part of the curve.
+"""
+
+from conftest import run_once, show
+
+from repro.modelsim.pipelines import WorkloadSpec, make_model
+from repro.net.emulation import NetworkProfile
+
+WAN_FAT = NetworkProfile("wan-200ms", rtt_s=0.2, bandwidth_bps=10e9 / 8)
+SMALL = WorkloadSpec("imagenet-2k", num_samples=2_000, sample_bytes=100_000, mpix_per_sample=0.15, batch_size=64)
+
+
+def test_ablation_hwm_at_wan(benchmark):
+    def sweep():
+        rows = []
+        for hwm in (1, 4, 16, 64):
+            r = make_model("emlio", SMALL, WAN_FAT, hwm=hwm, streams=1).run()
+            rows.append({"hwm": hwm, "duration_s": round(r.duration_s, 2)})
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show("Ablation: EMLIO HWM at 200 ms RTT", rows)
+    durations = {r["hwm"]: r["duration_s"] for r in rows}
+    assert durations[1] >= durations[16]  # tiny window can only hurt
+    assert durations[64] <= durations[16] * 1.05  # flat beyond the BDP

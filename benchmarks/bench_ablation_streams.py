@@ -1,0 +1,29 @@
+"""Ablation: single vs multiple TCP/MQ streams at high RTT (DESIGN.md §5).
+
+With large records and one stream, serialization and in-flight limits bind;
+extra parallel streams recover throughput.  (This is the DES counterpart of
+the live ``streams_per_endpoint`` knob in :mod:`repro.net.mq`.)
+"""
+
+from conftest import run_once, show
+
+from repro.modelsim.pipelines import WorkloadSpec, make_model
+from repro.net.emulation import NetworkProfile
+
+WAN = NetworkProfile("wan-30ms", rtt_s=0.03, bandwidth_bps=10e9 / 8)
+BIG = WorkloadSpec("synthetic-800", num_samples=800, sample_bytes=2_000_000, mpix_per_sample=2.0, batch_size=16)
+
+
+def test_ablation_streams_at_wan(benchmark):
+    def sweep():
+        rows = []
+        for streams in (1, 2, 4):
+            r = make_model("emlio", BIG, WAN, daemon_threads=1, streams=streams, hwm=4).run()
+            rows.append({"streams": streams, "duration_s": round(r.duration_s, 2)})
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show("Ablation: EMLIO parallel streams at 30 ms RTT (2 MB records)", rows)
+    durations = [r["duration_s"] for r in rows]
+    assert durations[1] <= durations[0]  # 2 streams >= 1 stream throughput
+    assert durations[2] <= durations[1] * 1.05

@@ -1,0 +1,30 @@
+"""Extension bench (paper §6 future work): co-scheduling data loading with
+DDP gradient synchronization.
+
+Sharded scenario, uncoordinated vs co-scheduled loader/sync traffic: the
+co-scheduled variant should save both time and energy, with the gap growing
+with RTT.
+"""
+
+from conftest import run_once, show
+
+from repro.modelsim.cosched import cosched_comparison
+from repro.modelsim.pipelines import WorkloadSpec
+from repro.net.emulation import LAN_10MS, WAN_30MS
+
+WORKLOAD = WorkloadSpec(
+    "imagenet-5k", num_samples=5_000, sample_bytes=100_000, mpix_per_sample=0.15, batch_size=64
+)
+
+
+def test_ext_cosched(benchmark):
+    def sweep():
+        return cosched_comparison(WORKLOAD, LAN_10MS) + cosched_comparison(WORKLOAD, WAN_30MS)
+
+    rows = run_once(benchmark, sweep)
+    show("Extension: loader/DDP-sync co-scheduling (sharded scenario)", rows)
+    for rtt in (10.0, 30.0):
+        un = next(r for r in rows if r["schedule"] == "uncoordinated" and r["rtt_ms"] == rtt)
+        co = next(r for r in rows if r["schedule"] == "cosched" and r["rtt_ms"] == rtt)
+        assert co["duration_s"] < un["duration_s"]
+        assert co["total_kj"] < un["total_kj"]

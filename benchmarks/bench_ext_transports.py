@@ -1,0 +1,23 @@
+"""Extension bench (paper §6 future work): heterogeneous transports.
+
+RDMA / NVMe-oF vs TCP under the EMLIO pipeline at 10 ms RTT — kernel-bypass
+transports should cut I/O CPU energy without hurting epoch time.
+"""
+
+from conftest import run_once, show
+
+from repro.modelsim.pipelines import WorkloadSpec
+from repro.modelsim.transports import transport_sweep
+from repro.net.emulation import LAN_10MS
+
+WORKLOAD = WorkloadSpec(
+    "imagenet-5k", num_samples=5_000, sample_bytes=100_000, mpix_per_sample=0.15, batch_size=64
+)
+
+
+def test_ext_transport_sweep(benchmark):
+    rows = run_once(benchmark, lambda: transport_sweep(WORKLOAD, LAN_10MS))
+    show("Extension: transport sweep (EMLIO, 10 ms RTT)", rows)
+    by_name = {r["transport"]: r for r in rows}
+    assert by_name["rdma"]["cpu_kj"] <= by_name["tcp"]["cpu_kj"]
+    assert by_name["rdma"]["duration_s"] <= by_name["tcp"]["duration_s"] * 1.02

@@ -1,0 +1,35 @@
+"""Figure 1: stage breakdown (R / R+P / R+P+T) across distance regimes.
+
+Paper claim: on local storage I/O is ~15 % of energy and ~20 % of time;
+at 10 ms RTT the Read(+Preprocess) stage exceeds 60 % of both, and at
+30 ms RTT it exceeds 90 %.
+"""
+
+from conftest import run_once, show
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig1_stage_breakdown(benchmark):
+    rows = run_once(benchmark, lambda: run_experiment("fig1"))
+    show("Figure 1: stage breakdown", rows)
+
+    def stage(regime, name):
+        return next(r for r in rows if r["regime"] == regime and r["stage"] == name)
+
+    for regime in ("local", "lan-0.1ms", "lan-10ms", "wan-30ms"):
+        r = stage(regime, "R")
+        rp = stage(regime, "R+P")
+        rpt = stage(regime, "R+P+T")
+        assert r["duration_s"] <= rp["duration_s"] <= rpt["duration_s"]
+
+    # Locally, read(+preprocess) is a small share of the epoch; at 30 ms it
+    # dominates.
+    local_share = stage("local", "R+P")["duration_s"] / stage("local", "R+P+T")["duration_s"]
+    wan_share = stage("wan-30ms", "R+P")["duration_s"] / stage("wan-30ms", "R+P+T")["duration_s"]
+    assert local_share < 0.6
+    assert wan_share > 0.9
+    # Energy follows the same trend.
+    wan_e = stage("wan-30ms", "R+P")
+    wan_t = stage("wan-30ms", "R+P+T")
+    assert (wan_e["cpu_kj"] + wan_e["gpu_kj"]) / (wan_t["cpu_kj"] + wan_t["gpu_kj"]) > 0.85

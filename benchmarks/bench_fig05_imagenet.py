@@ -1,0 +1,30 @@
+"""Figure 5: ImageNet 10 GB — PyTorch vs DALI vs EMLIO, four regimes.
+
+Paper claims: EMLIO epoch time varies < 5 % from local disk to 30 ms WAN;
+DALI/PyTorch run 3-27x longer and burn 4-60x more energy as RTT rises.
+"""
+
+from conftest import run_once, show
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import energy_factor, relative_spread, speedup
+
+
+def test_fig5_imagenet_sweep(benchmark):
+    rows = run_once(benchmark, lambda: run_experiment("fig5"))
+    show("Figure 5: ImageNet 10 GB", rows)
+
+    emlio = [r["duration_s"] for r in rows if r["loader"] == "emlio"]
+    assert relative_spread(emlio) < 0.05  # the RTT-flatness headline
+
+    # Baselines degrade monotonically with RTT.
+    for loader in ("pytorch", "dali"):
+        durations = [r["duration_s"] for r in rows if r["loader"] == loader]
+        assert durations == sorted(durations)
+
+    # Reported factors at 10/30 ms (paper: DALI 3.5x/10.9x, PyTorch 7.7x/27x).
+    assert speedup(rows, "dali", "emlio", rtt_ms=10.0) > 3.0
+    assert speedup(rows, "pytorch", "emlio", rtt_ms=10.0) > 6.0
+    assert speedup(rows, "dali", "emlio", rtt_ms=30.0) > 8.0
+    assert speedup(rows, "pytorch", "emlio", rtt_ms=30.0) > 15.0
+    assert energy_factor(rows, "pytorch", "emlio", rtt_ms=30.0) > 5.0

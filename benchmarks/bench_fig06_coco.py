@@ -1,0 +1,23 @@
+"""Figure 6: COCO — DALI vs EMLIO across three RTTs.
+
+Paper claim: at 30 ms RTT EMLIO is roughly 6x faster and uses ~8x less I/O
+energy than DALI; EMLIO stays flat across RTTs.
+"""
+
+from conftest import run_once, show
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import energy_factor, relative_spread, speedup
+
+
+def test_fig6_coco_sweep(benchmark):
+    rows = run_once(benchmark, lambda: run_experiment("fig6"))
+    show("Figure 6: COCO", rows)
+
+    emlio = [r["duration_s"] for r in rows if r["loader"] == "emlio"]
+    assert relative_spread(emlio) < 0.05
+
+    assert speedup(rows, "dali", "emlio", rtt_ms=30.0) > 4.0
+    assert energy_factor(rows, "dali", "emlio", rtt_ms=30.0) > 3.0
+    # Low-RTT parity: neither loader should win by more than ~10 %.
+    assert 0.9 < speedup(rows, "dali", "emlio", rtt_ms=0.1) < 1.1

@@ -1,0 +1,22 @@
+"""Figure 7: 2 MB synthetic records, daemon concurrency 1.
+
+Paper claim: with a single serialize+send worker, EMLIO's fixed
+serialization cost makes it *slower* than DALI at 0.1-1 ms RTT, while it
+still wins at 10-30 ms.
+"""
+
+from conftest import run_once, show
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import speedup
+
+
+def test_fig7_synthetic_concurrency1(benchmark):
+    rows = run_once(benchmark, lambda: run_experiment("fig7"))
+    show("Figure 7: synthetic 2 MB, concurrency 1", rows)
+
+    # The crossover: DALI wins at low RTT, EMLIO wins at high RTT.
+    assert speedup(rows, "dali", "emlio", rtt_ms=0.1) < 1.0
+    assert speedup(rows, "dali", "emlio", rtt_ms=1.0) < 1.0
+    assert speedup(rows, "dali", "emlio", rtt_ms=10.0) > 1.0
+    assert speedup(rows, "dali", "emlio", rtt_ms=30.0) > 2.0

@@ -1,0 +1,38 @@
+"""Figure 8: 2 MB synthetic records, daemon concurrency 2 (+ the T sweep).
+
+Paper claim: two parallel serialize+send threads amortize the per-batch
+setup cost and EMLIO regains a consistent lead at low RTT.
+"""
+
+from conftest import run_once, show
+
+from repro.harness.experiments import run_experiment
+from repro.harness.report import speedup
+from repro.modelsim.pipelines import SYNTHETIC_2MB, make_model
+from repro.net.emulation import LAN_1MS
+
+
+def test_fig8_synthetic_concurrency2(benchmark):
+    rows = run_once(benchmark, lambda: run_experiment("fig8"))
+    show("Figure 8: synthetic 2 MB, concurrency 2", rows)
+    for rtt in (0.1, 1.0):
+        assert speedup(rows, "dali", "emlio", rtt_ms=rtt) >= 0.97
+
+
+def test_fig8_concurrency_sweep(benchmark):
+    """The T ablation behind Figs 7-8: duration vs daemon concurrency."""
+
+    def sweep():
+        rows = []
+        for threads in (1, 2, 4, 8):
+            r = make_model(
+                "emlio", SYNTHETIC_2MB, LAN_1MS, daemon_threads=threads, streams=1
+            ).run()
+            rows.append({"daemon_threads": threads, "duration_s": round(r.duration_s, 1)})
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show("Ablation: EMLIO daemon concurrency (2 MB records, 1 ms RTT)", rows)
+    durations = [r["duration_s"] for r in rows]
+    assert durations[1] < durations[0]  # T=2 beats T=1 (the paper's point)
+    assert durations[-1] <= durations[1] * 1.05  # no regression at higher T

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the substrate components the figures rest on.
+
+These are classic pytest-benchmark timings (many rounds): serialization,
+CRC, TFRecord framing, codec, and planner throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codec.sjpg import sjpg_decode, sjpg_encode
+from repro.core.config import EMLIOConfig
+from repro.core.planner import Planner
+from repro.data.samples import smooth_image
+from repro.serialize.msgpack import packb, unpackb
+from repro.serialize.payload import BatchPayload, decode_batch, encode_batch
+from repro.tfrecord.crc32c import crc32c
+from repro.tfrecord.writer import frame_record
+
+
+@pytest.fixture(scope="module")
+def sample_image():
+    return smooth_image(np.random.default_rng(0), 64, 64)
+
+
+@pytest.fixture(scope="module")
+def encoded_image(sample_image):
+    return sjpg_encode(sample_image, quality=80)
+
+
+def test_bench_msgpack_pack(benchmark):
+    obj = {"samples": [b"x" * 1024] * 32, "labels": list(range(32)), "epoch": 1}
+    out = benchmark(packb, obj)
+    assert unpackb(out) == obj
+
+
+def test_bench_msgpack_unpack(benchmark):
+    data = packb({"samples": [b"x" * 1024] * 32, "labels": list(range(32))})
+    obj = benchmark(unpackb, data)
+    assert len(obj["samples"]) == 32
+
+
+def test_bench_batch_payload_roundtrip(benchmark):
+    payload = BatchPayload(
+        epoch=0, batch_index=1, shard="shard_00000",
+        samples=[b"z" * 4096] * 16, labels=list(range(16)),
+    )
+
+    def roundtrip():
+        return decode_batch(encode_batch(payload))
+
+    assert benchmark(roundtrip) == payload
+
+
+def test_bench_crc32c_64k(benchmark):
+    data = bytes(range(256)) * 256  # 64 KiB
+    crc = benchmark(crc32c, data)
+    assert crc == crc32c(data)  # deterministic
+
+
+def test_bench_tfrecord_framing(benchmark):
+    record = b"r" * 8192
+    framed = benchmark(frame_record, record)
+    assert len(framed) == 8192 + 16
+
+
+def test_bench_sjpg_encode(benchmark, sample_image):
+    out = benchmark(sjpg_encode, sample_image, 80)
+    assert out[:4] == b"SJPG"
+
+
+def test_bench_sjpg_decode(benchmark, encoded_image, sample_image):
+    img = benchmark(sjpg_decode, encoded_image)
+    assert img.shape == sample_image.shape
+
+
+def test_bench_planner(benchmark, small_imagenet_ds):
+    cfg = EMLIOConfig(batch_size=8, epochs=2)
+
+    def plan():
+        return Planner(small_imagenet_ds, num_nodes=2, config=cfg).plan()
+
+    plan_result = benchmark(plan)
+    assert len(plan_result.assignments) > 0

@@ -1,0 +1,33 @@
+"""Table 1: testbed node specifications + power-model calibration check."""
+
+from conftest import run_once, show
+
+from repro.energy.power_models import CpuRaplModel, GpuNvmlModel, UtilizationGauges
+from repro.harness.experiments import run_experiment
+from repro.modelsim.clusters import UC_COMPUTE
+
+
+def test_table1_node_specs(benchmark):
+    rows = run_once(benchmark, lambda: run_experiment("table1"))
+    show("Table 1: node specifications", rows)
+    assert len(rows) == 4
+    uc = next(r for r in rows if "rtx_6000" in r["node"])
+    assert uc["sockets"] == 2 and uc["tdp_w"] == 125.0
+    assert uc["dram_gib"] == 192 and uc["nic_gbps"] == 10.0
+
+
+def test_table1_power_model_calibration(benchmark):
+    """Measured averages must land in the paper's observed power bands:
+    CPU 50-80 W during I/O-bound phases, GPU ~165 W sustained training."""
+
+    def calibrate():
+        gauges = UtilizationGauges()
+        rapl = CpuRaplModel(UC_COMPUTE.cpu, gauges)
+        nvml = GpuNvmlModel(UC_COMPUTE.gpu, gauges)
+        gauges.set_util("cpu", 0.1)
+        gauges.set_util("gpu", 0.6)
+        return rapl.package_power_w(), nvml.total_power_w()
+
+    cpu_w, gpu_w = run_once(benchmark, calibrate)
+    assert 50.0 <= cpu_w <= 80.0
+    assert 150.0 <= gpu_w <= 185.0

@@ -1,0 +1,33 @@
+"""Shared benchmark helpers.
+
+Every figure bench runs its full sweep once (``rounds=1``) — the sweep *is*
+the experiment; timing repeatability of a deterministic DES run is not the
+interesting quantity — prints the paper-figure table, and asserts the
+paper's qualitative shape so a regression in any model breaks the bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import render_table
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def show(title: str, rows: list[dict]) -> None:
+    print(f"\n== {title}")
+    print(render_table(rows))
+
+
+@pytest.fixture
+def small_imagenet_ds(tmp_path):
+    """A small on-disk dataset for live (non-DES) benches."""
+    from repro.data.datasets import build_dataset
+
+    return build_dataset(
+        "imagenet", 96, tmp_path / "ds", seed=1, records_per_shard=16, image_hw=(32, 32)
+    )

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables from the DES testbed.
+
+Thin CLI over :mod:`repro.harness` — equivalent to
+``python -m repro.harness fig6 fig7 ...`` but with speedup summaries.
+
+Run: ``python examples/paper_figures.py [fig6 fig7 fig8 fig9 fig10]``
+(defaults to the fast figures; add fig1/fig5 for the full-scale PyTorch
+sweeps, ~2 minutes each).
+"""
+
+import sys
+
+from repro.harness import EXPERIMENTS, render_table, run_experiment, speedup
+
+FAST = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1"]
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or FAST
+    for exp_id in targets:
+        exp = EXPERIMENTS[exp_id]
+        print(f"== {exp.id}: {exp.title}")
+        print(f"   paper: {exp.paper_claim}")
+        rows = run_experiment(exp_id)
+        print(render_table(rows))
+        if exp_id in ("fig5", "fig6", "fig9", "fig10"):
+            baseline = "pytorch" if exp_id == "fig5" else "dali"
+            rtts = sorted({r["rtt_ms"] for r in rows})
+            factors = ", ".join(
+                f"{rtt:g}ms: {speedup(rows, baseline, 'emlio', rtt_ms=rtt):.1f}x" for rtt in rtts
+            )
+            print(f"   EMLIO speedup vs {baseline}: {factors}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: build a dataset, serve it with EMLIO, consume batches.
+
+Covers the full public API surface in ~40 lines:
+
+1. generate a synthetic ImageNet-like dataset and shard it into TFRecords;
+2. start an EMLIO deployment (planner + storage daemon + receiver) over
+   loopback TCP;
+3. iterate one epoch of GPU-preprocessed training batches.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import tempfile
+import time
+
+from repro.core import EMLIOConfig, EMLIOService
+from repro.data import build_dataset
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        print("Generating a 64-sample synthetic ImageNet-like dataset ...")
+        dataset = build_dataset(
+            "imagenet", n=64, root=root, seed=0, records_per_shard=16, image_hw=(32, 32)
+        )
+        print(
+            f"  {dataset.num_samples} samples in {dataset.num_shards} TFRecord shards "
+            f"({dataset.nbytes / 1e6:.1f} MB)"
+        )
+
+        config = EMLIOConfig(batch_size=8, epochs=1, hwm=16, prefetch=2, output_hw=(32, 32))
+        print("Starting EMLIO (daemon + receiver over loopback TCP) ...")
+        with EMLIOService(config, dataset) as service:
+            t0 = time.monotonic()
+            n_batches = n_samples = 0
+            for tensors, labels in service.epoch(0):
+                n_batches += 1
+                n_samples += len(labels)
+                if n_batches == 1:
+                    print(f"  first batch: tensors {tensors.shape} {tensors.dtype}, labels {labels[:4]}...")
+            elapsed = time.monotonic() - t0
+            stats = service.stats()
+
+        print(f"Epoch complete: {n_batches} batches / {n_samples} samples in {elapsed:.2f}s")
+        print(f"  daemon sent {stats['daemons'][0]['bytes_sent'] / 1e6:.1f} MB")
+        print(f"  GPU ran {stats['gpu']['kernels_run']:.0f} preprocessing kernels")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — reproduction of EMLIO (Jamil, Nine, Kosar; SC 2025).
+
+EMLIO is a service-based I/O framework that jointly minimizes data-loading
+latency and I/O energy for large-scale AI training.  This package contains:
+
+* the EMLIO system itself (:mod:`repro.core`): planner, storage-side daemon,
+  compute-side receiver, and service orchestration;
+* every substrate it depends on, built from scratch: TFRecord storage
+  (:mod:`repro.tfrecord`), MessagePack serialization (:mod:`repro.serialize`),
+  a ZeroMQ-like message transport with HWM backpressure (:mod:`repro.net`),
+  an NFS-like remote filesystem (:mod:`repro.storage`), a DALI-like GPU
+  preprocessing pipeline (:mod:`repro.gpu`), the distributed EnergyMonitor
+  of paper §3 (:mod:`repro.energy`), and a training substrate
+  (:mod:`repro.train`);
+* the baseline loaders the paper compares against (:mod:`repro.loaders`);
+* a discrete-event simulation testbed (:mod:`repro.sim`,
+  :mod:`repro.modelsim`) that regenerates every figure at paper scale; and
+* the experiment harness (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro.data import build_dataset
+    from repro.core import EMLIOService, EMLIOConfig
+
+    ds = build_dataset("imagenet", n=256, root="/tmp/ds")
+    svc = EMLIOService(EMLIOConfig(batch_size=32), ds)
+    for batch in svc.epoch():
+        ...  # decoded numpy images + labels
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Beton: an FFCV-style memory-mapped dataset format (paper §2 related work).
+
+FFCV accelerates *local* training I/O with a custom ``.beton`` file layout —
+fixed-size sample slots addressable by index through one mmap, removing
+per-sample open/seek/frame overhead — plus JIT-compiled preprocessing.
+This package reproduces that design:
+
+* :mod:`~repro.beton.format` — the slotted file format: header, fixed-size
+  slot table, page-aligned payload region, single-mmap random access.
+* :mod:`~repro.beton.loader` — the FFCV-style loader: index-shuffled
+  epochs, mmap slot reads (no syscalls per sample), and a vectorized
+  ("JIT-compiled" in FFCV; numpy-vectorized here) preprocessing stage.
+
+The point the paper makes — and the bench reproduces — is that this wins
+on local disks but has no remote story: the format *requires* a local (or
+page-cache-backed) mmap, so over networked storage it degrades into
+whole-file transfer.
+"""
+
+from repro.beton.format import BetonReader, BetonWriter, write_beton
+from repro.beton.loader import FFCVStyleLoader
+
+__all__ = ["BetonReader", "BetonWriter", "write_beton", "FFCVStyleLoader"]

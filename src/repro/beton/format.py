@@ -1,0 +1,151 @@
+"""The beton file format: header + slot table + payload region.
+
+Layout (little-endian)::
+
+    offset 0   magic   b"BETON1\\0\\0"            (8 bytes)
+    offset 8   u64     num_samples
+    offset 16  u64     slot_size                  (bytes per payload slot)
+    offset 24  u64     payload_offset             (start of slot region)
+    offset 32  slot table: num_samples x (u64 length, i64 label)
+    payload_offset + i*slot_size: sample i's bytes (first `length` valid)
+
+Fixed-size slots trade space for O(1) index→address arithmetic: sample ``i``
+lives at one computable offset, so a shuffled epoch is pure mmap pointer
+chasing — FFCV's core trick.  ``slot_size`` is the maximum encoded sample
+size rounded up to 64-byte alignment.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from pathlib import Path
+from types import TracebackType
+from typing import Iterable
+
+import numpy as np
+
+_MAGIC = b"BETON1\x00\x00"
+_HEADER = struct.Struct("<8sQQQ")
+_SLOT_ENTRY = struct.Struct("<Qq")
+_ALIGN = 64
+
+
+class BetonWriter:
+    """Two-pass writer: buffer samples, then emit the slotted file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._samples: list[tuple[bytes, int]] = []
+        self._closed = False
+
+    def append(self, sample: bytes, label: int) -> None:
+        if self._closed:
+            raise RuntimeError("append() after close()")
+        if not sample:
+            raise ValueError("beton slots cannot hold empty samples")
+        self._samples.append((sample, int(label)))
+
+    def close(self) -> dict[str, int]:
+        """Write the file; returns layout stats."""
+        if self._closed:
+            raise RuntimeError("double close()")
+        self._closed = True
+        if not self._samples:
+            raise ValueError("cannot write an empty beton file")
+        max_len = max(len(s) for s, _l in self._samples)
+        slot_size = -(-max_len // _ALIGN) * _ALIGN
+        n = len(self._samples)
+        payload_offset = _HEADER.size + n * _SLOT_ENTRY.size
+        payload_offset = -(-payload_offset // _ALIGN) * _ALIGN
+        with open(self.path, "wb") as fh:
+            fh.write(_HEADER.pack(_MAGIC, n, slot_size, payload_offset))
+            for sample, label in self._samples:
+                fh.write(_SLOT_ENTRY.pack(len(sample), label))
+            fh.write(b"\x00" * (payload_offset - _HEADER.size - n * _SLOT_ENTRY.size))
+            for sample, _label in self._samples:
+                fh.write(sample)
+                fh.write(b"\x00" * (slot_size - len(sample)))
+        return {
+            "num_samples": n,
+            "slot_size": slot_size,
+            "file_bytes": payload_offset + n * slot_size,
+            "payload_bytes": sum(len(s) for s, _l in self._samples),
+        }
+
+    def __enter__(self) -> "BetonWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc_type is None:
+            self.close()
+
+
+def write_beton(samples: Iterable[tuple[bytes, int]], path: str | Path) -> dict[str, int]:
+    """Convert a sample stream to one beton file; returns layout stats."""
+    writer = BetonWriter(path)
+    for sample, label in samples:
+        writer.append(sample, label)
+    return writer.close()
+
+
+class BetonReader:
+    """Single-mmap random access: ``reader[i]`` -> ``(bytes, label)``."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._view = memoryview(self._mm)
+        magic, n, slot_size, payload_offset = _HEADER.unpack_from(self._view, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"bad beton magic: {magic!r}")
+        self.num_samples = n
+        self.slot_size = slot_size
+        self.payload_offset = payload_offset
+        table = np.frombuffer(
+            self._view[_HEADER.size : _HEADER.size + n * _SLOT_ENTRY.size],
+            dtype=np.dtype([("length", "<u8"), ("label", "<i8")]),
+        )
+        self.lengths = table["length"].copy()
+        self.labels = table["label"].copy()
+        expected = payload_offset + n * slot_size
+        if len(self._view) < expected:
+            raise ValueError(
+                f"beton file truncated: {len(self._view)} bytes, layout needs {expected}"
+            )
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def sample_view(self, i: int) -> memoryview:
+        """Zero-copy view of sample ``i``'s bytes."""
+        if not 0 <= i < self.num_samples:
+            raise IndexError(f"sample {i} out of range [0, {self.num_samples})")
+        start = self.payload_offset + i * self.slot_size
+        return self._view[start : start + int(self.lengths[i])]
+
+    def __getitem__(self, i: int) -> tuple[bytes, int]:
+        return bytes(self.sample_view(i)), int(self.labels[i])
+
+    def close(self) -> None:
+        """Release resources."""
+        self._view.release()
+        self._mm.close()
+        self._fh.close()
+
+    def __enter__(self) -> "BetonReader":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

@@ -1,0 +1,23 @@
+"""Image codecs.
+
+Training samples must be *decoded* — in the paper this is JPEG decode
+offloaded to the GPU by DALI.  Stubbing decode with a sleep would make every
+energy number fictional, so :mod:`repro.codec.sjpg` implements a real block-
+DCT image codec (8×8 DCT, quality-scaled quantization, zigzag, run-length +
+varint entropy coding).  Decode cost is genuinely proportional to pixel
+count, which is what makes "preprocess energy" in the experiments earned.
+
+:mod:`repro.codec.raw` is a passthrough codec with an exact-size header,
+used for the paper's 2 MB synthetic records where the payload is opaque.
+"""
+
+from repro.codec.raw import raw_decode, raw_encode
+from repro.codec.sjpg import sjpg_decode, sjpg_decode_shape, sjpg_encode
+
+__all__ = [
+    "raw_decode",
+    "raw_encode",
+    "sjpg_decode",
+    "sjpg_decode_shape",
+    "sjpg_encode",
+]

@@ -1,0 +1,254 @@
+"""SJPG: a simple JPEG-like block-DCT image codec.
+
+Pipeline (encode): uint8 HxWxC image → level shift → 8×8 block 2-D DCT
+(scipy, orthonormal) → quality-scaled quantization → zigzag scan → run-length
+encoding of zero runs → varint packing.  Decode reverses each stage; the
+inverse DCT dominates, so decode cost scales with pixel count exactly like
+real JPEG decode does.
+
+Wire format::
+
+    magic   b"SJPG"
+    u8      version (=1)
+    u8      quality (1..100)
+    u16     height, width  (big-endian)
+    u8      channels
+    u32     number of RLE tokens
+    bytes   varint-packed RLE token stream
+
+The codec is lossy; tests bound reconstruction PSNR instead of asserting
+bit-exactness.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+_MAGIC = b"SJPG"
+_VERSION = 1
+_HDR = struct.Struct(">4sBBHHBI")
+
+# Base luminance quantization table (ITU-T T.81 Annex K), used for every
+# channel — chroma subsampling is out of scope for a cost-faithful codec.
+_QBASE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _quant_table(quality: int) -> np.ndarray:
+    """JPEG quality scaling of the base table (libjpeg convention)."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    scale = 5000 / quality if quality < 50 else 200 - 2 * quality
+    q = np.floor((_QBASE * scale + 50) / 100)
+    return np.clip(q, 1, 255)
+
+
+def _zigzag_order() -> np.ndarray:
+    idx = []
+    for s in range(15):
+        diag = [(i, s - i) for i in range(8) if 0 <= s - i < 8]
+        if s % 2 == 0:
+            diag.reverse()
+        idx.extend(diag)
+    order = np.array([i * 8 + j for i, j in idx], dtype=np.int64)
+    return order
+
+
+_ZIGZAG = _zigzag_order()
+_UNZIGZAG = np.argsort(_ZIGZAG)
+
+
+def _to_blocks(channel: np.ndarray) -> tuple[np.ndarray, int, int]:
+    """Pad to multiples of 8 and reshape to (nby, nbx, 8, 8)."""
+    h, w = channel.shape
+    ph = (-h) % 8
+    pw = (-w) % 8
+    if ph or pw:
+        channel = np.pad(channel, ((0, ph), (0, pw)), mode="edge")
+    hh, ww = channel.shape
+    blocks = channel.reshape(hh // 8, 8, ww // 8, 8).transpose(0, 2, 1, 3)
+    return np.ascontiguousarray(blocks), hh // 8, ww // 8
+
+
+def _from_blocks(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+    nby, nbx = blocks.shape[:2]
+    full = blocks.transpose(0, 2, 1, 3).reshape(nby * 8, nbx * 8)
+    return full[:h, :w]
+
+
+# -- RLE + varint entropy stage ----------------------------------------------
+
+
+def _zigzag_int(v: int) -> int:
+    """Map signed to unsigned for varints (protobuf-style zigzag)."""
+    return (v << 1) ^ (v >> 63)
+
+
+def _rle_encode(flat: np.ndarray) -> np.ndarray:
+    """Run-length encode: stream of (zero_run_length, nonzero_value) pairs.
+
+    A trailing run of zeros is encoded as a single (run, 0) terminator pair.
+    Returns an int64 array of interleaved (run, value) tokens.
+    """
+    nz = np.flatnonzero(flat)
+    runs = np.diff(np.concatenate(([-1], nz))) - 1
+    values = flat[nz].astype(np.int64)
+    tokens = np.empty(2 * len(nz) + 2, dtype=np.int64)
+    tokens[0 : 2 * len(nz) : 2] = runs
+    tokens[1 : 2 * len(nz) : 2] = values
+    trailing = len(flat) - (int(nz[-1]) + 1 if len(nz) else 0)
+    tokens[-2] = trailing
+    tokens[-1] = 0  # terminator value
+    return tokens
+
+
+def _rle_decode(tokens: np.ndarray, n: int) -> np.ndarray:
+    flat = np.zeros(n, dtype=np.int64)
+    pos = 0
+    runs = tokens[0::2]
+    values = tokens[1::2]
+    for run, value in zip(runs.tolist(), values.tolist()):
+        pos += run
+        if value == 0:  # terminator
+            break
+        if pos >= n:
+            raise ValueError("RLE stream overruns coefficient array")
+        flat[pos] = value
+        pos += 1
+    return flat
+
+
+def _varint_pack(tokens: np.ndarray) -> bytes:
+    """Pack int64 tokens as LEB128 varints of their zigzag mapping."""
+    out = bytearray()
+    for t in tokens.tolist():
+        u = (t << 1) ^ (t >> 63)
+        while True:
+            byte = u & 0x7F
+            u >>= 7
+            if u:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def _varint_unpack(data: bytes, count: int) -> np.ndarray:
+    tokens = np.empty(count, dtype=np.int64)
+    pos = 0
+    for i in range(count):
+        shift = 0
+        u = 0
+        while True:
+            if pos >= len(data):
+                raise ValueError("truncated varint stream")
+            byte = data[pos]
+            pos += 1
+            u |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        tokens[i] = (u >> 1) ^ -(u & 1)
+    if pos != len(data):
+        raise ValueError(f"{len(data) - pos} trailing bytes in varint stream")
+    return tokens
+
+
+# -- public API ----------------------------------------------------------------
+
+
+def sjpg_encode(image: np.ndarray, quality: int = 75) -> bytes:
+    """Encode an HxW or HxWxC uint8 image to SJPG bytes."""
+    if image.dtype != np.uint8:
+        raise TypeError(f"image must be uint8, got {image.dtype}")
+    if image.ndim == 2:
+        image = image[:, :, None]
+    if image.ndim != 3:
+        raise ValueError(f"image must be HxW or HxWxC, got shape {image.shape}")
+    h, w, channels = image.shape
+    if h == 0 or w == 0:
+        raise ValueError(f"image must be non-empty, got shape {image.shape}")
+    q = _quant_table(quality)
+
+    all_tokens: list[np.ndarray] = []
+    for ch in range(channels):
+        blocks, _nby, _nbx = _to_blocks(image[:, :, ch].astype(np.float64) - 128.0)
+        coeffs = dctn(blocks, axes=(-2, -1), norm="ortho")
+        quantized = np.round(coeffs / q).astype(np.int64)
+        flat = quantized.reshape(-1, 64)[:, _ZIGZAG].ravel()
+        all_tokens.append(_rle_encode(flat))
+    tokens = np.concatenate(all_tokens)
+    body = _varint_pack(tokens)
+    header = _HDR.pack(_MAGIC, _VERSION, quality, h, w, channels, len(tokens))
+    return header + body
+
+
+def _parse_header(data: bytes) -> tuple[int, int, int, int, int]:
+    if len(data) < _HDR.size:
+        raise ValueError("SJPG data too short for header")
+    magic, version, quality, h, w, channels, ntok = _HDR.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError(f"bad SJPG magic: {magic!r}")
+    if version != _VERSION:
+        raise ValueError(f"unsupported SJPG version {version}")
+    return quality, h, w, channels, ntok
+
+
+def sjpg_decode_shape(data: bytes) -> tuple[int, int, int]:
+    """Peek (height, width, channels) without decoding the body."""
+    _quality, h, w, channels, _ntok = _parse_header(data)
+    return h, w, channels
+
+
+def sjpg_decode(data: bytes) -> np.ndarray:
+    """Decode SJPG bytes back to an HxWxC uint8 image."""
+    quality, h, w, channels, ntok = _parse_header(data)
+    q = _quant_table(quality)
+    tokens = _varint_unpack(data[_HDR.size :], ntok)
+
+    nby = (h + 7) // 8
+    nbx = (w + 7) // 8
+    per_channel = nby * nbx * 64
+
+    out = np.empty((h, w, channels), dtype=np.uint8)
+    # Split the token stream back per channel at terminator boundaries.
+    terminators = np.flatnonzero(tokens[1::2] == 0)
+    if len(terminators) < channels:
+        raise ValueError("token stream is missing channel terminators")
+    start = 0
+    for ch in range(channels):
+        end = 2 * (int(terminators[np.searchsorted(terminators, start // 2)]) + 1)
+        chunk = tokens[start:end]
+        start = end
+        flat = _rle_decode(chunk, per_channel)
+        quantized = flat.reshape(-1, 64)[:, _UNZIGZAG].reshape(nby, nbx, 8, 8)
+        coeffs = quantized.astype(np.float64) * q
+        blocks = idctn(coeffs, axes=(-2, -1), norm="ortho")
+        channel = _from_blocks(blocks, h, w) + 128.0
+        out[:, :, ch] = np.clip(np.round(channel), 0, 255).astype(np.uint8)
+    return out
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two uint8 images, in dB."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    mse = np.mean((a.astype(np.float64) - b.astype(np.float64)) ** 2)
+    if mse == 0:
+        return float("inf")
+    return float(10.0 * np.log10(255.0**2 / mse))

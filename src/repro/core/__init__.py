@@ -1,0 +1,33 @@
+"""EMLIO core: the paper's primary contribution.
+
+* :class:`~repro.core.planner.Planner` — Algorithm 2's batch-aligned
+  data-parallel planning: maps contiguous TFRecord shard ranges to per-node,
+  per-epoch batches from index metadata alone.
+* :class:`~repro.core.daemon.EMLIODaemon` — the storage-side service:
+  mmap → slice B records → msgpack-serialize → PUSH over parallel streams
+  with HWM backpressure, ``T`` worker threads per target node.
+* :class:`~repro.core.receiver.EMLIOReceiver` — Algorithm 3: PULL socket →
+  deserialize thread → shared queue → :class:`BatchProvider`
+  (``external_source``) → DALI-like pipeline with prefetch ``Q``.
+* :class:`~repro.core.service.EMLIOService` — single-call orchestration of
+  daemon(s) + receiver over (emulated) TCP for examples and tests.
+"""
+
+from repro.core.config import EMLIOConfig
+from repro.core.daemon import DaemonStats, EMLIODaemon
+from repro.core.planner import BatchAssignment, BatchPlan, Planner
+from repro.core.provider import BatchProvider
+from repro.core.receiver import EMLIOReceiver
+from repro.core.service import EMLIOService
+
+__all__ = [
+    "EMLIOConfig",
+    "DaemonStats",
+    "EMLIODaemon",
+    "BatchAssignment",
+    "BatchPlan",
+    "Planner",
+    "BatchProvider",
+    "EMLIOReceiver",
+    "EMLIOService",
+]

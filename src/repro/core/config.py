@@ -1,0 +1,63 @@
+"""EMLIO configuration knobs (paper §4, §5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EMLIOConfig:
+    """All tunables of the EMLIO pipeline.
+
+    Attributes
+    ----------
+    batch_size:
+        B — records per pre-batched payload (Algorithm 2).
+    epochs:
+        E — epochs planned ahead of time.
+    hwm:
+        ZMQ-style high-water mark per PUSH stream (paper §4.5 uses 16).
+    daemon_threads:
+        T — parallel serialize+send workers per (daemon, target node).
+        Figure 7 uses 1; Figure 8 shows concurrency 2 winning for 2 MB
+        records.
+    streams_per_node:
+        Parallel TCP/MQ streams per (daemon, node) pair.
+    prefetch:
+        Q — receiver-side DALI prefetch queue depth (Algorithm 3).
+    output_hw:
+        Spatial size of preprocessed tensors.
+    coverage:
+        ``"partition"`` — each epoch's shards are split round-robin across
+        compute nodes (DDP data-parallel semantics).
+        ``"replicate"`` — every node receives every batch (Algorithm 2's
+        literal "each node receives E x ceil(|D|/B) batches").
+    seed:
+        Shuffling seed (per-epoch shuffles derive from it).
+    """
+
+    batch_size: int = 32
+    epochs: int = 1
+    hwm: int = 16
+    daemon_threads: int = 1
+    streams_per_node: int = 2
+    prefetch: int = 2
+    output_hw: tuple[int, int] = (64, 64)
+    coverage: str = "partition"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.hwm < 1:
+            raise ValueError(f"hwm must be >= 1, got {self.hwm}")
+        if self.daemon_threads < 1:
+            raise ValueError(f"daemon_threads must be >= 1, got {self.daemon_threads}")
+        if self.streams_per_node < 1:
+            raise ValueError(f"streams_per_node must be >= 1, got {self.streams_per_node}")
+        if self.prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1, got {self.prefetch}")
+        if self.coverage not in ("partition", "replicate"):
+            raise ValueError(f"coverage must be 'partition' or 'replicate', got {self.coverage!r}")

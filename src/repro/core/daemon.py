@@ -1,0 +1,235 @@
+"""EMLIO Daemon — the storage-side service (Algorithm 2 lines 6–8 + SendWorker).
+
+One daemon runs next to each storage node's shards.  Per epoch and target
+compute node it launches ``T`` SendWorker threads; each worker walks its
+split of the batch plan, and for every assignment:
+
+1. ``mmap``-slices the ``count`` consecutive records at ``offset``
+   (:meth:`~repro.tfrecord.reader.TFRecordReader.read_range` — one
+   contiguous traversal, no per-record syscalls);
+2. unpacks the examples and msgpack-serializes the whole batch into one
+   :class:`~repro.serialize.payload.BatchPayload`;
+3. PUSHes it — the socket's HWM provides the back-off (paper §4.5).
+
+Reading/serializing of batch *k+1* proceeds while batch *k* sits in the
+send pipeline: the network-pipeline concurrency of design principle (1).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import EMLIOConfig
+from repro.core.planner import BatchAssignment, BatchPlan
+from repro.energy.power_models import BusyWindowTracker
+from repro.net.emulation import NetworkProfile
+from repro.net.mq import PushSocket
+from repro.serialize.payload import BatchPayload, encode_batch
+from repro.tfrecord.reader import TFRecordReader
+from repro.tfrecord.sharder import unpack_example
+from repro.util.clock import MonotonicClock
+from repro.util.logging import TimestampLogger
+
+
+@dataclass
+class DaemonStats:
+    """Per-daemon I/O accounting."""
+
+    batches_sent: int = 0
+    samples_sent: int = 0
+    bytes_read: int = 0
+    bytes_sent: int = 0
+    read_s: float = 0.0
+    serialize_s: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, samples: int, bytes_read: int, bytes_sent: int, read_s: float, ser_s: float) -> None:
+        with self._lock:
+            self.batches_sent += 1
+            self.samples_sent += samples
+            self.bytes_read += bytes_read
+            self.bytes_sent += bytes_sent
+            self.read_s += read_s
+            self.serialize_s += ser_s
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time copy of the counters."""
+        with self._lock:
+            return {
+                "batches_sent": self.batches_sent,
+                "samples_sent": self.samples_sent,
+                "bytes_read": self.bytes_read,
+                "bytes_sent": self.bytes_sent,
+                "read_s": self.read_s,
+                "serialize_s": self.serialize_s,
+            }
+
+
+class EMLIODaemon:
+    """Serves one storage node's share of the batch plan to compute nodes.
+
+    Parameters
+    ----------
+    dataset_root:
+        Directory containing this node's TFRecord shards.
+    plan:
+        The global batch plan (this daemon sends only assignments whose
+        shard lives under ``dataset_root`` — checked lazily at send time).
+    node_endpoints:
+        ``node_id -> (host, port)`` of each compute node's PULL socket.
+    config:
+        HWM, threads T, streams per node.
+    profile:
+        Egress shaping (storage → compute direction).
+    cpu_tracker:
+        Optional busy tracker feeding the storage node's power model.
+    """
+
+    def __init__(
+        self,
+        dataset_root: str | Path,
+        plan: BatchPlan,
+        node_endpoints: dict[int, tuple[str, int]],
+        config: EMLIOConfig,
+        profile: NetworkProfile | None = None,
+        cpu_tracker: BusyWindowTracker | None = None,
+        logger: TimestampLogger | None = None,
+        shard_filter: set[str] | None = None,
+    ) -> None:
+        self.dataset_root = Path(dataset_root)
+        self.plan = plan
+        self.node_endpoints = dict(node_endpoints)
+        self.config = config
+        self.profile = profile
+        self.cpu_tracker = cpu_tracker
+        self.logger = logger or TimestampLogger(name="daemon")
+        self.shard_filter = shard_filter
+        self.stats = DaemonStats()
+        self._clock = MonotonicClock()
+        self._readers: dict[str, TFRecordReader] = {}
+        self._readers_lock = threading.Lock()
+        for node_id in {a.node_id for a in plan.assignments}:
+            if node_id not in self.node_endpoints:
+                raise ValueError(f"plan targets node {node_id} with no endpoint")
+
+    def _reader(self, shard_path: str) -> TFRecordReader:
+        """One shared mmap reader per shard file."""
+        with self._readers_lock:
+            reader = self._readers.get(shard_path)
+            if reader is None:
+                reader = TFRecordReader(self.dataset_root / shard_path)
+                self._readers[shard_path] = reader
+            return reader
+
+    def _my_assignments(self, epoch: int, node_id: int) -> list[BatchAssignment]:
+        batches = self.plan.for_epoch_node(epoch, node_id)
+        if self.shard_filter is not None:
+            batches = [a for a in batches if a.shard in self.shard_filter]
+        return batches
+
+    def _send_worker(self, assignments: list[BatchAssignment], push: PushSocket) -> None:
+        """The paper's SendWorker: mmap-slice, serialize, PUSH."""
+        for a in assignments:
+            t0 = self._clock.now()
+            reader = self._reader(a.shard_path)
+            records = reader.read_range(a.offset, a.count)
+            t1 = self._clock.now()
+            samples = []
+            labels = []
+            for record in records:
+                sample, label = unpack_example(record)
+                samples.append(sample)
+                labels.append(label)
+            if tuple(labels) != a.labels:
+                raise RuntimeError(
+                    f"shard {a.shard} labels diverge from plan at batch "
+                    f"(epoch={a.epoch}, node={a.node_id}, index={a.batch_index})"
+                )
+            payload = encode_batch(
+                BatchPayload(
+                    epoch=a.epoch,
+                    batch_index=a.batch_index,
+                    shard=a.shard,
+                    samples=samples,
+                    labels=labels,
+                    node_id=a.node_id,
+                )
+            )
+            t2 = self._clock.now()
+            push.send(payload)  # HWM backpressure applies here
+            if self.cpu_tracker is not None:
+                self.cpu_tracker.add_busy(t2 - t0)
+            self.stats.record(
+                samples=len(samples),
+                bytes_read=a.nbytes,
+                bytes_sent=len(payload),
+                read_s=t1 - t0,
+                ser_s=t2 - t1,
+            )
+            self.logger.log(
+                "batch_send", epoch=a.epoch, node=a.node_id, index=a.batch_index,
+                nbytes=len(payload),
+            )
+
+    def serve_epoch(self, epoch: int) -> None:
+        """Send every assigned batch of one epoch to all compute nodes.
+
+        Blocks until the epoch is fully pushed (and flushed).  Algorithm 2
+        lines 6–8: per node, split into T thread work lists and run them on
+        a thread pool.
+        """
+        cfg = self.config
+        self.logger.log("epoch_start", epoch=epoch)
+        pushes: list[PushSocket] = []
+        threads: list[threading.Thread] = []
+        errors: list[BaseException] = []
+        err_lock = threading.Lock()
+        try:
+            for node_id, (host, port) in self.node_endpoints.items():
+                assignments = self._my_assignments(epoch, node_id)
+                if not assignments:
+                    continue
+                push = PushSocket(
+                    [(host, port)],
+                    hwm=cfg.hwm,
+                    profile=self.profile,
+                    streams_per_endpoint=cfg.streams_per_node,
+                )
+                pushes.append(push)
+                splits = [assignments[t :: cfg.daemon_threads] for t in range(cfg.daemon_threads)]
+
+                def run(split=None, sock=push):
+                    try:
+                        self._send_worker(split, sock)
+                    except BaseException as err:  # noqa: BLE001 - propagate to caller
+                        with err_lock:
+                            errors.append(err)
+
+                for split in splits:
+                    if not split:
+                        continue
+                    t = threading.Thread(target=run, kwargs={"split": split}, daemon=True)
+                    t.start()
+                    threads.append(t)
+            for t in threads:
+                t.join()
+        finally:
+            for push in pushes:
+                push.close()
+        if errors:
+            raise errors[0]
+        self.logger.log("epoch_end", epoch=epoch)
+
+    def serve(self) -> None:
+        """Serve every epoch in the plan, in order."""
+        for epoch in range(self.plan.epochs):
+            self.serve_epoch(epoch)
+
+    def close(self) -> None:
+        """Release resources."""
+        with self._readers_lock:
+            for reader in self._readers.values():
+                reader.close()
+            self._readers.clear()

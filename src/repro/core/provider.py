@@ -1,0 +1,73 @@
+"""BatchProvider — the glue between the receiver queue and the pipeline.
+
+Exposes decoded :class:`~repro.serialize.payload.BatchPayload` objects as a
+DALI ``external_source`` callable (paper §4.1: "A BatchProvider deserializes
+each payload and exposes the samples as DALI's external_source").  Delivery
+is whatever order payloads arrived in (out-of-order prefetching); the
+provider tracks which (epoch, batch_index) pairs it has seen so epoch
+completeness can be asserted.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.gpu.pipeline import EndOfData
+from repro.serialize.payload import BatchPayload
+
+
+class BatchProvider:
+    """Pulls payloads from the receiver's shared queue for one epoch.
+
+    Parameters
+    ----------
+    source_queue:
+        Shared queue the receiver thread fills with :class:`BatchPayload`.
+    expected_batches:
+        Number of batches this node expects for the epoch (from the plan);
+        after that many, the provider raises :class:`EndOfData`.
+    timeout:
+        Safety net: seconds to wait for the next payload before declaring
+        the stream stalled.
+    """
+
+    def __init__(
+        self,
+        source_queue: "queue.Queue[BatchPayload]",
+        expected_batches: int,
+        timeout: float = 60.0,
+    ) -> None:
+        if expected_batches < 0:
+            raise ValueError(f"expected_batches must be >= 0, got {expected_batches}")
+        self.source_queue = source_queue
+        self.expected_batches = expected_batches
+        self.timeout = timeout
+        self.delivered = 0
+        self.seen: set[tuple[int, int]] = set()
+        self._lock = threading.Lock()
+
+    def __call__(self) -> tuple[list[bytes], list[int]]:
+        """The external_source callback: next (samples, labels)."""
+        with self._lock:
+            if self.delivered >= self.expected_batches:
+                raise EndOfData
+            try:
+                payload = self.source_queue.get(timeout=self.timeout)
+            except queue.Empty:
+                raise RuntimeError(
+                    f"batch stream stalled: {self.delivered}/{self.expected_batches} "
+                    f"batches after {self.timeout}s wait"
+                ) from None
+            key = (payload.epoch, payload.batch_index)
+            if key in self.seen:
+                raise RuntimeError(f"duplicate batch delivery: epoch/index {key}")
+            self.seen.add(key)
+            self.delivered += 1
+        return payload.samples, payload.labels
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expected batch was delivered."""
+        with self._lock:
+            return self.delivered >= self.expected_batches

@@ -1,0 +1,128 @@
+"""EMLIO Receiver — Algorithm 3.
+
+Per compute node:
+
+1. bind a PULL socket on ``(ip, port)`` (line 1);
+2. a ``zmq_receiver`` thread unpacks msgpack payloads into a shared queue
+   (line 2);
+3. a DALI-like pipeline with ``BatchProvider(queue)`` as external source and
+   prefetch depth ``Q`` (line 3), warmed up with ``Q`` iterations (line 4);
+4. :meth:`epoch` iterates ``pipe.run()`` until the planned batch count is
+   consumed (lines 5–9).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.config import EMLIOConfig
+from repro.core.planner import BatchPlan
+from repro.core.provider import BatchProvider
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.pipeline import EndOfData, Pipeline
+from repro.net.emulation import NetworkProfile
+from repro.net.mq import PullSocket
+from repro.serialize.payload import decode_batch
+from repro.util.logging import TimestampLogger
+
+
+class EMLIOReceiver:
+    """One compute node's receive side."""
+
+    def __init__(
+        self,
+        node_id: int,
+        plan: BatchPlan,
+        config: EMLIOConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        profile: NetworkProfile | None = None,
+        gpu: SimulatedGPU | None = None,
+        logger: TimestampLogger | None = None,
+        stall_timeout: float = 60.0,
+    ) -> None:
+        self.node_id = node_id
+        self.plan = plan
+        self.config = config
+        self.gpu = gpu or SimulatedGPU()
+        self.logger = logger or TimestampLogger(name=f"receiver{node_id}")
+        self.stall_timeout = stall_timeout
+        # Line 1: bind the PULL socket.
+        self.pull = PullSocket(host=host, port=port, hwm=config.hwm, profile=profile)
+        self._payload_q: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        # Line 2: the zmq_receiver thread (deserializer).
+        self._receiver_thread = threading.Thread(
+            target=self._zmq_receiver, daemon=True, name=f"zmq-receiver{node_id}"
+        )
+        self._receiver_thread.start()
+        self.batches_received = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` address."""
+        return self.pull.address
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port."""
+        return self.pull.port
+
+    def _zmq_receiver(self) -> None:
+        while not self._stop.is_set():
+            try:
+                raw = self.pull.recv(timeout=0.2)
+            except queue.Empty:
+                continue
+            payload = decode_batch(raw)
+            if payload.node_id != self.node_id:
+                raise RuntimeError(
+                    f"node {self.node_id} received a batch planned for node {payload.node_id}"
+                )
+            self.batches_received += 1
+            self.logger.log(
+                "batch_recv",
+                epoch=payload.epoch,
+                index=payload.batch_index,
+                nbytes=payload.nbytes,
+            )
+            self._payload_q.put(payload)
+
+    def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield preprocessed (tensors, labels) batches for one epoch."""
+        expected = self.plan.batches_per_node(self.node_id, epoch=epoch_index)
+        provider = BatchProvider(self._payload_q, expected, timeout=self.stall_timeout)
+        # Line 3: build the pipeline over the provider.
+        pipe = Pipeline(
+            external_source=provider,
+            gpu=self.gpu,
+            output_hw=self.config.output_hw,
+            prefetch=self.config.prefetch,
+            seed=self.config.seed + epoch_index,
+        )
+        pipe.warmup()  # line 4
+        self.logger.log("epoch_start", epoch=epoch_index)
+        try:
+            while True:  # lines 6-9
+                try:
+                    tensors, labels = pipe.run()
+                except EndOfData:
+                    break
+                yield tensors, labels
+        finally:
+            pipe.teardown()
+            self.logger.log("epoch_end", epoch=epoch_index)
+        if not provider.complete:
+            raise RuntimeError(
+                f"epoch {epoch_index} ended early: {provider.delivered}/{expected} batches"
+            )
+
+    def close(self) -> None:
+        """Line 11: teardown sockets and threads."""
+        self._stop.set()
+        self._receiver_thread.join(timeout=10.0)
+        self.pull.close()

@@ -1,0 +1,158 @@
+"""EMLIOService — one-call orchestration of planner + daemon(s) + receiver.
+
+For examples, tests, and the live benchmarks: wires a single compute node
+(receiver) to one or more storage daemons over loopback TCP with optional
+latency emulation, serving the configured number of epochs.
+
+For multi-node experiments construct :class:`~repro.core.daemon.EMLIODaemon`
+and :class:`~repro.core.receiver.EMLIOReceiver` directly — the service is a
+convenience, not the only entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.config import EMLIOConfig
+from repro.core.daemon import EMLIODaemon
+from repro.core.planner import BatchPlan, Planner
+from repro.core.receiver import EMLIOReceiver
+from repro.energy.power_models import BusyWindowTracker
+from repro.gpu.device import SimulatedGPU
+from repro.net.emulation import NetworkProfile
+from repro.tfrecord.sharder import ShardedDataset
+from repro.util.logging import TimestampLogger
+
+
+class EMLIOService:
+    """Single-node EMLIO deployment over (optionally shaped) loopback TCP.
+
+    Parameters
+    ----------
+    config:
+        Pipeline tunables.
+    dataset:
+        A sharded TFRecord dataset.  With ``storage_roots`` unset, one
+        daemon serves all shards from ``dataset.root``.
+    profile:
+        Link emulation between daemon(s) and the receiver.
+    storage_shards:
+        Optional mapping ``root_dir -> set of shard names`` to run several
+        daemons, each owning a disjoint subset of shards (the paper's
+        fully-sharded Scenario 2).
+    """
+
+    def __init__(
+        self,
+        config: EMLIOConfig,
+        dataset: ShardedDataset,
+        profile: NetworkProfile | None = None,
+        gpu: SimulatedGPU | None = None,
+        storage_shards: dict[str, set[str]] | None = None,
+        cpu_tracker: BusyWindowTracker | None = None,
+        stall_timeout: float = 60.0,
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.profile = profile
+        self.logger = TimestampLogger(name="emlio-service")
+        self.plan: BatchPlan = Planner(dataset, num_nodes=1, config=config).plan()
+        self.receiver = EMLIOReceiver(
+            node_id=0,
+            plan=self.plan,
+            config=config,
+            profile=profile,
+            gpu=gpu,
+            stall_timeout=stall_timeout,
+        )
+        endpoints = {0: ("127.0.0.1", self.receiver.port)}
+        self.daemons: list[EMLIODaemon] = []
+        if storage_shards is None:
+            self.daemons.append(
+                EMLIODaemon(
+                    dataset_root=dataset.root,
+                    plan=self.plan,
+                    node_endpoints=endpoints,
+                    config=config,
+                    profile=profile,
+                    cpu_tracker=cpu_tracker,
+                )
+            )
+        else:
+            claimed: set[str] = set()
+            for root, shards in storage_shards.items():
+                overlap = claimed & shards
+                if overlap:
+                    raise ValueError(f"shards owned by two daemons: {sorted(overlap)[:3]}")
+                claimed |= shards
+                self.daemons.append(
+                    EMLIODaemon(
+                        dataset_root=Path(root),
+                        plan=self.plan,
+                        node_endpoints=endpoints,
+                        config=config,
+                        profile=profile,
+                        cpu_tracker=cpu_tracker,
+                        shard_filter=set(shards),
+                    )
+                )
+            all_shards = {ix.shard for ix in dataset.indexes}
+            if claimed != all_shards:
+                raise ValueError(f"unserved shards: {sorted(all_shards - claimed)[:3]}")
+        self._daemon_threads: list[threading.Thread] = []
+        self._daemon_errors: list[BaseException] = []
+
+    def _run_daemon(self, daemon: EMLIODaemon, epoch: int) -> None:
+        try:
+            daemon.serve_epoch(epoch)
+        except BaseException as err:  # noqa: BLE001 - surfaced in epoch()
+            self._daemon_errors.append(err)
+
+    def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Serve and consume one epoch end-to-end."""
+        self.logger.log("epoch_start", epoch=epoch_index)
+        threads = [
+            threading.Thread(
+                target=self._run_daemon, args=(d, epoch_index), daemon=True, name="emlio-daemon"
+            )
+            for d in self.daemons
+        ]
+        for t in threads:
+            t.start()
+        try:
+            yield from self.receiver.epoch(epoch_index)
+        finally:
+            for t in threads:
+                t.join(timeout=30.0)
+        if self._daemon_errors:
+            raise self._daemon_errors[0]
+        self.logger.log("epoch_end", epoch=epoch_index)
+
+    def epochs(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Iterate every planned epoch: yields (epoch, tensors, labels)."""
+        for e in range(self.config.epochs):
+            for tensors, labels in self.epoch(e):
+                yield e, tensors, labels
+
+    def stats(self) -> dict[str, dict]:
+        return {
+            "daemons": [d.stats.snapshot() for d in self.daemons],
+            "gpu": self.receiver.gpu.snapshot(),
+            "batches_received": self.receiver.batches_received,
+        }
+
+    def close(self) -> None:
+        """Release resources."""
+        self.receiver.close()
+        for d in self.daemons:
+            d.close()
+
+    def __enter__(self) -> "EMLIOService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,44 @@
+"""EnergyMonitor: the paper's distributed energy-measurement framework (§3).
+
+Faithful implementation of Algorithm 1:
+
+* per-node CPU/DRAM and GPU **samplers** aligned on a threading barrier so
+  every component is read at the same timestamp ``t_k``
+  (:mod:`~repro.energy.sampler`);
+* an **accumulator** merging per-component queues by ``t_k`` and linearly
+  interpolating missed samples (:mod:`~repro.energy.accumulator`);
+* a **batch writer** tagging tuples with the node id and writing them in
+  batches to a time-series database (:mod:`~repro.energy.tsdb`, the
+  InfluxDB substitute);
+* the :class:`~repro.energy.monitor.EnergyMonitor` facade wiring it all up.
+
+The lowest layer — reading actual power registers — is the one thing this
+environment cannot do (no RAPL/NVML), so :mod:`~repro.energy.power_models`
+provides RAPL-like and NVML-like sources driven by live utilization gauges
+and calibrated to the paper's Table 1 hardware.
+"""
+
+from repro.energy.accumulator import Accumulator, EnergySample
+from repro.energy.monitor import EnergyMonitor, EnergyReport
+from repro.energy.power_models import (
+    CpuRaplModel,
+    CpuSpec,
+    GpuNvmlModel,
+    GpuSpec,
+    UtilizationGauges,
+)
+from repro.energy.tsdb import Point, TimeSeriesDB
+
+__all__ = [
+    "Accumulator",
+    "EnergySample",
+    "EnergyMonitor",
+    "EnergyReport",
+    "CpuRaplModel",
+    "CpuSpec",
+    "GpuNvmlModel",
+    "GpuSpec",
+    "UtilizationGauges",
+    "Point",
+    "TimeSeriesDB",
+]

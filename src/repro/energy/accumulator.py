@@ -1,0 +1,119 @@
+"""Accumulator: merge per-component sample queues and interpolate holes
+(Algorithm 1, line 14).
+
+Samplers are barrier-aligned, so in the common case each tick yields one
+CPU/DRAM tuple and one GPU tuple with (nearly) identical timestamps.  The
+accumulator joins them on tick order, and when a sampler missed a tick it
+linearly interpolates that component's fields between its neighbours so the
+output time series is gapless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One merged, gapless tuple: timestamp + all component fields."""
+
+    t: float
+    fields: dict[str, float] = field(default_factory=dict)
+    interpolated: frozenset[str] = frozenset()
+
+
+def _interpolate_series(
+    ticks: list[float],
+    samples: dict[int, dict[str, float]],
+    field_names: list[str],
+) -> tuple[list[dict[str, float]], list[set[str]]]:
+    """Fill missing ticks per field by linear interpolation (edges: hold)."""
+    n = len(ticks)
+    out: list[dict[str, float]] = [dict() for _ in range(n)]
+    flags: list[set[str]] = [set() for _ in range(n)]
+    present = sorted(samples)
+    if not present:
+        return out, flags
+    for name in field_names:
+        known = [(i, samples[i][name]) for i in present if name in samples[i]]
+        if not known:
+            continue
+        ki = 0
+        for i in range(n):
+            if ki < len(known) and known[ki][0] == i:
+                out[i][name] = known[ki][1]
+                ki += 1
+                continue
+            # Missing at tick i: interpolate between the neighbours.
+            prev = known[ki - 1] if ki > 0 else None
+            nxt = known[ki] if ki < len(known) else None
+            if prev is None and nxt is None:
+                continue
+            if prev is None:
+                value = nxt[1]
+            elif nxt is None:
+                value = prev[1]
+            else:
+                span = nxt[0] - prev[0]
+                frac = (i - prev[0]) / span
+                value = prev[1] + (nxt[1] - prev[1]) * frac
+            out[i][name] = value
+            flags[i].add(name)
+    return out, flags
+
+
+class Accumulator:
+    """Joins component sample streams on tick index and fills holes.
+
+    Usage: feed per-component lists of ``(t_k, fields)`` tuples (in tick
+    order, possibly with missing ticks identified by timestamp), then call
+    :meth:`merge` to get gapless :class:`EnergySample` tuples.
+    """
+
+    def __init__(self, tick_interval: float, tolerance: float = 0.5) -> None:
+        if tick_interval <= 0:
+            raise ValueError(f"tick_interval must be > 0, got {tick_interval}")
+        self.tick_interval = tick_interval
+        self.tolerance = tolerance  # fraction of interval for tick matching
+
+    def _assign_ticks(
+        self, streams: list[list[tuple[float, dict[str, float]]]]
+    ) -> tuple[list[float], list[dict[int, dict[str, float]]]]:
+        """Quantize timestamps to a common tick grid anchored at the earliest
+        sample."""
+        all_times = [t for stream in streams for t, _f in stream]
+        if not all_times:
+            return [], [dict() for _ in streams]
+        t0 = min(all_times)
+        max_tick = max(round((t - t0) / self.tick_interval) for t in all_times)
+        ticks = [t0 + k * self.tick_interval for k in range(int(max_tick) + 1)]
+        assigned: list[dict[int, dict[str, float]]] = []
+        for stream in streams:
+            by_tick: dict[int, dict[str, float]] = {}
+            for t, fields in stream:
+                k = round((t - t0) / self.tick_interval)
+                # Last-writer-wins if two samples quantize to one tick.
+                by_tick[int(k)] = fields
+            assigned.append(by_tick)
+        return ticks, assigned
+
+    def merge(
+        self, streams: list[list[tuple[float, dict[str, float]]]]
+    ) -> list[EnergySample]:
+        """Merge component streams into one gapless, time-sorted series."""
+        ticks, assigned = self._assign_ticks(streams)
+        if not ticks:
+            return []
+        merged_fields: list[dict[str, float]] = [dict() for _ in ticks]
+        merged_flags: list[set[str]] = [set() for _ in ticks]
+        for by_tick in assigned:
+            names = sorted({n for f in by_tick.values() for n in f})
+            filled, flags = _interpolate_series(ticks, by_tick, names)
+            for i in range(len(ticks)):
+                merged_fields[i].update(filled[i])
+                merged_flags[i] |= flags[i]
+        return [
+            EnergySample(t=ticks[i], fields=merged_fields[i], interpolated=frozenset(merged_flags[i]))
+            for i in range(len(ticks))
+            if merged_fields[i]
+        ]

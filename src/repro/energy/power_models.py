@@ -1,0 +1,171 @@
+"""RAPL-like and NVML-like power sources driven by utilization gauges.
+
+The paper reads CPU package / DRAM energy via ``perf stat`` (Intel RAPL)
+and GPU power via NVML.  Here those registers are modeled: components of
+the live pipeline report their activity to :class:`UtilizationGauges`, and
+the models convert utilization into watts with the standard affine model
+
+    P(u) = P_idle + (P_max - P_idle) * u
+
+which is a good first-order fit for both Xeon package power and GPU board
+power.  Constants default to the paper's Table 1 hardware (dual Xeon Gold
+6126, Quadro RTX 6000) so absolute joules land in the right regime.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """CPU package + DRAM power parameters for one node."""
+
+    name: str = "xeon-gold-6126"
+    sockets: int = 2
+    tdp_w: float = 125.0  # per socket
+    idle_frac: float = 0.30  # idle power as fraction of TDP
+    dram_gib: int = 192
+    dram_idle_w: float = 6.0  # whole-node DRAM background
+    dram_active_w: float = 18.0  # additional at full memory pressure
+
+    @property
+    def idle_w(self) -> float:
+        """Idle package power in watts."""
+        return self.sockets * self.tdp_w * self.idle_frac
+
+    @property
+    def max_w(self) -> float:
+        """Maximum package power in watts."""
+        return self.sockets * self.tdp_w
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU board power parameters."""
+
+    name: str = "quadro-rtx-6000"
+    count: int = 1
+    idle_w: float = 25.0  # per board
+    max_w: float = 260.0  # per board
+
+
+class UtilizationGauges:
+    """Thread-safe utilization gauges in [0, 1] per component.
+
+    The live pipeline sets these (``set_util``) or integrates busy time
+    (``add_busy`` against a wall-clock window).  Samplers only read.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._util: dict[str, float] = {"cpu": 0.0, "mem": 0.0, "gpu": 0.0}
+
+    def set_util(self, component: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"utilization must be in [0,1], got {value}")
+        with self._lock:
+            self._util[component] = value
+
+    def get_util(self, component: str) -> float:
+        with self._lock:
+            return self._util.get(component, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time copy of the counters."""
+        with self._lock:
+            return dict(self._util)
+
+
+class CpuRaplModel:
+    """RAPL substitute: returns package and DRAM energy over an interval.
+
+    Mirrors ``perf stat -e power/energy-pkg/,power/energy-ram/ sleep δ``:
+    one call integrates power over ``delta`` seconds at current utilization.
+    """
+
+    def __init__(self, spec: CpuSpec, gauges: UtilizationGauges) -> None:
+        self.spec = spec
+        self.gauges = gauges
+
+    def package_power_w(self) -> float:
+        u = self.gauges.get_util("cpu")
+        return self.spec.idle_w + (self.spec.max_w - self.spec.idle_w) * u
+
+    def dram_power_w(self) -> float:
+        u = self.gauges.get_util("mem")
+        return self.spec.dram_idle_w + self.spec.dram_active_w * u
+
+    def read_energy(self, delta: float) -> tuple[float, float]:
+        """Return ``(E_pkg, E_ram)`` joules consumed over ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        return self.package_power_w() * delta, self.dram_power_w() * delta
+
+
+class GpuNvmlModel:
+    """NVML substitute: per-GPU power readings.
+
+    Mirrors Algorithm 1 line 11: read each board's power ``P_i``, then the
+    sampler computes ``E_gpu = Σ_i P_i · δ``.
+    """
+
+    def __init__(self, spec: GpuSpec, gauges: UtilizationGauges) -> None:
+        self.spec = spec
+        self.gauges = gauges
+
+    @property
+    def device_count(self) -> int:
+        """Number of GPU boards."""
+        return self.spec.count
+
+    def power_w(self, device: int = 0) -> float:
+        if not 0 <= device < self.spec.count:
+            raise IndexError(f"no GPU device {device} (count={self.spec.count})")
+        u = self.gauges.get_util("gpu")
+        return self.spec.idle_w + (self.spec.max_w - self.spec.idle_w) * u
+
+    def total_power_w(self) -> float:
+        return sum(self.power_w(i) for i in range(self.spec.count))
+
+    def read_energy(self, delta: float) -> float:
+        """Joules across all boards over ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        return self.total_power_w() * delta
+
+
+class BusyWindowTracker:
+    """Integrates busy-time reports into a utilization gauge.
+
+    Pipeline stages call ``add_busy(seconds)`` whenever they complete a unit
+    of work; ``flush(window)`` converts accumulated busy time over the last
+    window into a utilization in [0, 1] and resets.  The monitor flushes
+    once per sampling interval.
+    """
+
+    def __init__(self, gauges: UtilizationGauges, component: str, lanes: int = 1) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.gauges = gauges
+        self.component = component
+        self.lanes = lanes  # parallel execution lanes (cores, SMs)
+        self._busy = 0.0
+        self._lock = threading.Lock()
+
+    def add_busy(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"busy seconds must be >= 0, got {seconds}")
+        with self._lock:
+            self._busy += seconds
+
+    def flush(self, window: float) -> float:
+        """Convert busy time over ``window`` seconds into the gauge."""
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        with self._lock:
+            busy, self._busy = self._busy, 0.0
+        util = min(1.0, busy / (window * self.lanes))
+        self.gauges.set_util(self.component, util)
+        return util

@@ -1,0 +1,154 @@
+"""Embedded time-series database — the InfluxDB substitute.
+
+Supports exactly what EnergyMonitor needs (paper §3): tagged points with
+float fields, batched writes, time-range queries filtered by tags, and
+aggregation over an interval.  Points persist to a JSON-lines file so a
+monitoring run can be inspected after the fact, mirroring how the paper
+queries InfluxDB post-hoc with NTP-aligned start/end timestamps.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Point:
+    """One sample: measurement name, tag set, float fields, timestamp."""
+
+    measurement: str
+    time: float
+    tags: tuple[tuple[str, str], ...] = ()
+    fields: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        measurement: str,
+        time: float,
+        tags: dict[str, str] | None = None,
+        fields: dict[str, float] | None = None,
+    ) -> "Point":
+        return cls(
+            measurement=measurement,
+            time=float(time),
+            tags=tuple(sorted((tags or {}).items())),
+            fields=tuple(sorted((fields or {}).items())),
+        )
+
+    def tag_dict(self) -> dict[str, str]:
+        return dict(self.tags)
+
+    def field_dict(self) -> dict[str, float]:
+        return dict(self.fields)
+
+
+class TimeSeriesDB:
+    """In-memory, thread-safe TSDB with per-measurement time ordering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # measurement -> (sorted list of times, parallel list of points)
+        self._series: dict[str, tuple[list[float], list[Point]]] = {}
+        self.points_written = 0
+
+    def write_points(self, points: Iterable[Point]) -> int:
+        """Insert points (any time order); returns the number written."""
+        n = 0
+        with self._lock:
+            for p in points:
+                times, pts = self._series.setdefault(p.measurement, ([], []))
+                i = bisect.bisect_right(times, p.time)
+                times.insert(i, p.time)
+                pts.insert(i, p)
+                n += 1
+            self.points_written += n
+        return n
+
+    def measurements(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def query(
+        self,
+        measurement: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+        tags: dict[str, str] | None = None,
+    ) -> list[Point]:
+        """Points with ``start <= t <= end`` matching every given tag."""
+        with self._lock:
+            series = self._series.get(measurement)
+            if series is None:
+                return []
+            times, pts = series
+            lo = bisect.bisect_left(times, start)
+            hi = bisect.bisect_right(times, end)
+            selected = pts[lo:hi]
+        if tags:
+            wanted = set(tags.items())
+            selected = [p for p in selected if wanted.issubset(set(p.tags))]
+        return selected
+
+    def sum_fields(
+        self,
+        measurement: str,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+        tags: dict[str, str] | None = None,
+    ) -> dict[str, float]:
+        """Sum every field over the interval (energy tuples are per-interval
+        joules, so interval energy = plain sum)."""
+        totals: dict[str, float] = {}
+        for p in self.query(measurement, start, end, tags):
+            for k, v in p.fields:
+                totals[k] = totals.get(k, 0.0) + v
+        return totals
+
+    def distinct_tag_values(self, measurement: str, key: str) -> list[str]:
+        with self._lock:
+            series = self._series.get(measurement)
+            pts = series[1] if series else []
+            values = {p.tag_dict().get(key) for p in pts}
+        return sorted(v for v in values if v is not None)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Write all points as JSON lines; returns the count."""
+        with self._lock:
+            all_points = [p for _t, pts in self._series.values() for p in pts]
+        with open(path, "w") as fh:
+            for p in sorted(all_points, key=lambda p: (p.measurement, p.time)):
+                fh.write(
+                    json.dumps(
+                        {
+                            "m": p.measurement,
+                            "t": p.time,
+                            "tags": dict(p.tags),
+                            "fields": dict(p.fields),
+                        }
+                    )
+                    + "\n"
+                )
+        return len(all_points)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TimeSeriesDB":
+        db = cls()
+        points = []
+        with open(path) as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                obj = json.loads(line)
+                points.append(
+                    Point.make(obj["m"], obj["t"], tags=obj["tags"], fields=obj["fields"])
+                )
+        db.write_points(points)
+        return db

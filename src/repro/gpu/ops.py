@@ -1,0 +1,132 @@
+"""Preprocessing kernels: the real numpy work the "GPU" executes.
+
+These mirror the DALI pipeline stages the paper lists (§4.1): decode JPEGs,
+resize, crop, normalize.  They operate on uint8 HWC images and produce
+float32 CHW tensors, matching the torchvision/DALI convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.raw import raw_decode
+from repro.codec.sjpg import sjpg_decode
+
+IMAGENET_MEAN = np.array([0.485, 0.456, 0.406], dtype=np.float32)
+IMAGENET_STD = np.array([0.229, 0.224, 0.225], dtype=np.float32)
+
+
+def decode_sample(data: bytes) -> np.ndarray:
+    """Decode one encoded sample to an HxWxC uint8 image.
+
+    Dispatches on magic: SJPG images decode for real; RAW records (the 2 MB
+    synthetic workload) are verified and viewed as a 1-D "image" row so the
+    rest of the pipeline is format-agnostic.
+    """
+    if data[:4] == b"SJPG":
+        return sjpg_decode(data)
+    if data[:4] == b"TOK0":
+        from repro.data.text import tokens_decode
+
+        tokens = tokens_decode(data)
+        # Token ids ride the image path as a 1-row, 1-channel "image" of
+        # low bytes; LLM consumers should use decode_tokens() instead.
+        return (tokens & 0xFF).astype(np.uint8)[None, :, None]
+    if data[:4] == b"RAW0":
+        payload = raw_decode(data)
+        arr = np.frombuffer(payload, dtype=np.uint8)
+        side = max(1, int(np.sqrt(arr.size // 3)))
+        usable = side * side * 3
+        return arr[:usable].reshape(side, side, 3).copy()
+    raise ValueError(f"unknown sample magic: {data[:4]!r}")
+
+
+def decode_tokens_batch(samples: list[bytes]) -> np.ndarray:
+    """Decode a batch of TOK0 records into an (N, context_len) int64 array.
+
+    The LLM-path counterpart of :func:`preprocess_batch`: no resize or
+    normalization, just framed-token decode and stacking.  All records in
+    a batch must share one context length (the packer guarantees this).
+    """
+    from repro.data.text import tokens_decode
+
+    rows = [tokens_decode(s) for s in samples]
+    lengths = {r.size for r in rows}
+    if len(lengths) > 1:
+        raise ValueError(f"mixed context lengths in one batch: {sorted(lengths)}")
+    return np.stack(rows).astype(np.int64)
+
+
+def resize_bilinear(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Vectorized bilinear resize of an HxWxC uint8 image."""
+    if img.ndim != 3:
+        raise ValueError(f"expected HxWxC, got shape {img.shape}")
+    if out_h < 1 or out_w < 1:
+        raise ValueError(f"invalid output size {(out_h, out_w)}")
+    h, w, _c = img.shape
+    ys = np.linspace(0, h - 1, out_h)
+    xs = np.linspace(0, w - 1, out_w)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[:, None, None]
+    wx = (xs - x0)[None, :, None]
+    im = img.astype(np.float32)
+    top = im[y0][:, x0] * (1 - wx) + im[y0][:, x1] * wx
+    bot = im[y1][:, x0] * (1 - wx) + im[y1][:, x1] * wx
+    out = top * (1 - wy) + bot * wy
+    return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+
+def random_crop(img: np.ndarray, crop_h: int, crop_w: int, rng: np.random.Generator) -> np.ndarray:
+    """Random crop; resizes up first when the image is smaller than the crop."""
+    h, w, _c = img.shape
+    if h < crop_h or w < crop_w:
+        img = resize_bilinear(img, max(h, crop_h), max(w, crop_w))
+        h, w, _c = img.shape
+    y = int(rng.integers(0, h - crop_h + 1))
+    x = int(rng.integers(0, w - crop_w + 1))
+    return img[y : y + crop_h, x : x + crop_w]
+
+
+def normalize_batch(batch_hwc: np.ndarray) -> np.ndarray:
+    """uint8 NHWC -> float32 NCHW, ImageNet mean/std normalized."""
+    if batch_hwc.ndim != 4:
+        raise ValueError(f"expected NHWC batch, got shape {batch_hwc.shape}")
+    x = batch_hwc.astype(np.float32) / 255.0
+    c = batch_hwc.shape[-1]
+    if c == 3:
+        x = (x - IMAGENET_MEAN) / IMAGENET_STD
+    return np.ascontiguousarray(x.transpose(0, 3, 1, 2))
+
+
+def preprocess_batch(
+    samples: list[bytes],
+    out_hw: tuple[int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Full per-batch preprocess: decode → crop/resize → normalize."""
+    out_h, out_w = out_hw
+    images = np.empty((len(samples), out_h, out_w, 3), dtype=np.uint8)
+    for i, data in enumerate(samples):
+        img = decode_sample(data)
+        if img.shape[2] == 1:
+            img = np.repeat(img, 3, axis=2)
+        img = random_crop(img, min(img.shape[0], out_h * 2), min(img.shape[1], out_w * 2), rng)
+        images[i] = resize_bilinear(img, out_h, out_w)
+    return normalize_batch(images)
+
+
+def batch_megapixels(samples: list[bytes]) -> float:
+    """Decoded megapixels of a batch (drives the GPU decode cost model)."""
+    from repro.codec.sjpg import sjpg_decode_shape
+
+    total = 0.0
+    for data in samples:
+        if data[:4] == b"SJPG":
+            h, w, c = sjpg_decode_shape(data)
+            total += h * w * c / 1e6
+        else:
+            total += len(data) / 1e6  # RAW: bytes stand in for pixels
+    return total

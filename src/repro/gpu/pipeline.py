@@ -1,0 +1,204 @@
+"""DALI-like preprocessing pipeline.
+
+Reproduces the DALI behaviours EMLIO depends on (paper §4.4, Algorithm 3):
+
+* ``external_source`` — a host callback producing raw batches (EMLIO's
+  BatchProvider plugs in here; baselines plug in their own readers);
+* prefetch queue depth ``Q`` with warm-up (Algorithm 3 line 4 runs ``Q``
+  iterations to fill internal buffers);
+* ``exec_async``/``exec_pipelined`` — a background worker thread decodes and
+  augments *ahead* of the consumer, overlapping preprocess with training.
+
+``run()`` returns the next preprocessed batch (float32 NCHW + labels),
+blocking until one is ready — the ``pipe.run()`` of Algorithm 3 line 7.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.ops import batch_megapixels, preprocess_batch
+from repro.util.clock import MonotonicClock
+
+
+class EndOfData(Exception):
+    """Raised by an external source to signal epoch end, and by run() when
+    every in-flight batch has been drained."""
+
+
+@dataclass
+class PipelineStats:
+    """Counters for overlap analysis."""
+
+    batches: int = 0
+    samples: int = 0
+    wait_s: float = 0.0  # consumer time blocked on run()
+    preprocess_s: float = 0.0  # worker time spent in decode/augment
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_batch(self, n: int, preprocess_s: float) -> None:
+        with self._lock:
+            self.batches += 1
+            self.samples += n
+            self.preprocess_s += preprocess_s
+
+    def record_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.wait_s += seconds
+
+
+class Pipeline:
+    """Asynchronous decode/augment pipeline fed by an external source.
+
+    Parameters
+    ----------
+    external_source:
+        Callable returning ``(samples, labels)`` — a list of encoded sample
+        bytes and an int list — or raising :class:`EndOfData`.
+    gpu:
+        Device executing the decode/augment kernels.
+    output_hw:
+        Spatial size of the produced tensors.
+    prefetch:
+        Queue depth Q.
+    exec_async:
+        When True (DALI default), a worker thread prefetches; when False,
+        ``run()`` preprocesses synchronously (used to measure the benefit
+        of pipelining in ablations).
+    seed:
+        Seed for augmentation randomness.
+    """
+
+    def __init__(
+        self,
+        external_source: Callable[[], tuple[list[bytes], list[int]]],
+        gpu: SimulatedGPU | None = None,
+        output_hw: tuple[int, int] = (64, 64),
+        prefetch: int = 2,
+        exec_async: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1, got {prefetch}")
+        self.external_source = external_source
+        self.gpu = gpu or SimulatedGPU()
+        self.output_hw = output_hw
+        self.prefetch = prefetch
+        self.exec_async = exec_async
+        self.stats = PipelineStats()
+        self._rng = np.random.default_rng(seed)
+        self._clock = MonotonicClock()
+        self._out: queue.Queue = queue.Queue(maxsize=prefetch)
+        self._worker: threading.Thread | None = None
+        self._stopped = threading.Event()
+        self._built = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def build(self) -> "Pipeline":
+        """Start the prefetch worker (idempotent)."""
+        if self._built:
+            return self
+        self._built = True
+        if self.exec_async:
+            self._worker = threading.Thread(
+                target=self._prefetch_loop, daemon=True, name="dali-worker"
+            )
+            self._worker.start()
+        return self
+
+    def warmup(self) -> None:
+        """Algorithm 3 line 4: wait until Q batches are buffered (or the
+        source ends first)."""
+        self.build()
+        if not self.exec_async:
+            return
+        deadline = self._clock.now() + 60.0
+        while (
+            self._out.qsize() < self.prefetch
+            and not self._stopped.is_set()
+            and self._clock.now() < deadline
+        ):
+            self._clock.sleep(0.001)
+
+    def _preprocess(self, samples: list[bytes], labels: list[int]):
+        start = self._clock.now()
+        mpix = batch_megapixels(samples)
+        modeled = self.gpu.cost_model.decode_time(mpix) + self.gpu.cost_model.augment_time(mpix)
+        tensors = self.gpu.submit(
+            lambda: preprocess_batch(samples, self.output_hw, self._rng), modeled
+        )
+        self.stats.record_batch(len(samples), self._clock.now() - start)
+        return tensors, np.asarray(labels, dtype=np.int64)
+
+    def _prefetch_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                samples, labels = self.external_source()
+            except EndOfData:
+                self._out.put(EndOfData)
+                return
+            except Exception as err:  # surface source errors to the consumer
+                self._out.put(err)
+                return
+            self._out.put(self._preprocess(samples, labels))
+
+    # -- consumption -------------------------------------------------------------
+
+    def run(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next preprocessed ``(tensors, labels)`` batch.
+
+        Raises :class:`EndOfData` when the source is exhausted.
+        """
+        self.build()
+        start = self._clock.now()
+        if self.exec_async:
+            item = self._out.get()
+            self.stats.record_wait(self._clock.now() - start)
+            if item is EndOfData:
+                self._out.put(EndOfData)  # keep raising for later callers
+                raise EndOfData
+            if isinstance(item, Exception):
+                raise item
+            return item
+        try:
+            samples, labels = self.external_source()
+        except EndOfData:
+            self.stats.record_wait(self._clock.now() - start)
+            raise
+        result = self._preprocess(samples, labels)
+        self.stats.record_wait(0.0)
+        return result
+
+    def __iter__(self):
+        while True:
+            try:
+                yield self.run()
+            except EndOfData:
+                return
+
+    def teardown(self) -> None:
+        """Stop the worker and drop buffered batches (Algorithm 3 line 11)."""
+        self._stopped.set()
+        if self._worker is not None:
+            # Keep draining so a worker blocked on a full queue can exit.
+            deadline = self._clock.now() + 10.0
+            while self._worker.is_alive() and self._clock.now() < deadline:
+                try:
+                    self._out.get_nowait()
+                except queue.Empty:
+                    pass
+                self._worker.join(timeout=0.02)
+
+    def __enter__(self) -> "Pipeline":
+        self.build()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.teardown()

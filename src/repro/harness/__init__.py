@@ -1,0 +1,24 @@
+"""Experiment harness: registry, runner, and report rendering.
+
+``python -m repro.harness`` (or the per-figure benchmarks) regenerates every
+table/figure of the paper's evaluation as text tables, plus shape checks
+(EMLIO RTT-flatness, baseline monotonicity, speedup factors) that quantify
+how well the reproduction matches the published trends.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import (
+    energy_factor,
+    relative_spread,
+    render_table,
+    speedup,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "render_table",
+    "speedup",
+    "energy_factor",
+    "relative_spread",
+]

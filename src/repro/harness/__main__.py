@@ -1,0 +1,24 @@
+"""CLI: regenerate paper tables.  ``python -m repro.harness [exp ...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import render_table
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or sorted(EXPERIMENTS)
+    for exp_id in targets:
+        exp = EXPERIMENTS[exp_id]
+        print(f"== {exp.id}: {exp.title}")
+        print(f"   paper claim: {exp.paper_claim}")
+        rows = run_experiment(exp_id)
+        print(render_table(rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

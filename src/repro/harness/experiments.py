@@ -1,0 +1,127 @@
+"""Experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.modelsim import scenarios
+from repro.modelsim.clusters import NODES
+
+
+def _table1_rows() -> list[dict]:
+    rows = []
+    for node in NODES.values():
+        rows.append(
+            {
+                "node": node.name,
+                "cpu": node.cpu.name,
+                "sockets": node.cpu.sockets,
+                "tdp_w": node.cpu.tdp_w,
+                "dram_gib": node.cpu.dram_gib,
+                "gpu": node.gpu.name if node.gpu else "-",
+                "gpus": node.gpu.count if node.gpu else 0,
+                "storage": node.storage.name,
+                "nic_gbps": round(node.nic_bps * 8 / 1e9, 1),
+            }
+        )
+    return rows
+
+
+def _fig11_rows() -> list[dict]:
+    curves = scenarios.fig11_convergence()
+    rows = []
+    for loader, series in curves.items():
+        losses = series["losses"]
+        times = series["times"]
+        rows.append(
+            {
+                "loader": loader,
+                "epoch_s": round(series["epoch_s"], 1),
+                "iters": len(losses),
+                "first_loss": round(losses[0], 3),
+                "final_loss": round(losses[-1], 3),
+                "t_final_s": round(times[-1], 1),
+            }
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    id: str
+    title: str
+    runner: Callable[[], list[dict]]
+    paper_claim: str
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.id: exp
+    for exp in (
+        Experiment(
+            "fig1",
+            "Stage breakdown (R / R+P / R+P+T) across distance regimes",
+            scenarios.stage_breakdown,
+            "I/O share of time+energy grows from ~15-20% locally to >90% at 30 ms RTT",
+        ),
+        Experiment(
+            "table1",
+            "Testbed node specifications",
+            _table1_rows,
+            "UC/TACC compute+storage node inventory",
+        ),
+        Experiment(
+            "fig5",
+            "ImageNet 10 GB: PyTorch vs DALI vs EMLIO, four regimes",
+            scenarios.fig5_imagenet,
+            "EMLIO flat (<5% spread); DALI/PyTorch 3-27x slower, 4-60x more energy at RTT",
+        ),
+        Experiment(
+            "fig6",
+            "COCO: DALI vs EMLIO, three RTTs",
+            scenarios.fig6_coco,
+            "~6x faster, ~8x less I/O energy at 30 ms",
+        ),
+        Experiment(
+            "fig7",
+            "Synthetic 2 MB, daemon concurrency 1",
+            scenarios.fig7_synthetic_c1,
+            "serialization overhead makes EMLIO slightly slower than DALI at 0.1-1 ms",
+        ),
+        Experiment(
+            "fig8",
+            "Synthetic 2 MB, daemon concurrency 2",
+            scenarios.fig8_synthetic_c2,
+            "concurrency 2 amortizes setup; EMLIO regains 2-3x throughput lead",
+        ),
+        Experiment(
+            "fig9",
+            "VGG-19 on ImageNet: DALI vs EMLIO",
+            scenarios.fig9_vgg19,
+            "DALI 4.6x / 15x slower at 10 / 30 ms; EMLIO flat",
+        ),
+        Experiment(
+            "fig10",
+            "Sharded 50% local + 50% remote: DALI vs EMLIO",
+            scenarios.fig10_sharded,
+            "EMLIO 6.4x / 18.7x faster at 10 / 30 ms; energy cut 41-46%",
+        ),
+        Experiment(
+            "fig11",
+            "Training loss vs wall-clock at 10 ms RTT",
+            _fig11_rows,
+            "EMLIO finishes the epoch ~7x sooner and leads in loss at every instant",
+        ),
+    )
+}
+
+
+def run_experiment(exp_id: str) -> list[dict]:
+    """Run one experiment by id; returns its rows."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}") from None
+    return exp.runner()

@@ -1,0 +1,62 @@
+"""Report rendering and shape metrics."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render row dicts as an aligned text table (the paper-figure output)."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(c) for c in cols}
+    rendered: list[list[str]] = []
+    for row in rows:
+        line = []
+        for c in cols:
+            cell = row.get(c, "")
+            text = f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            widths[c] = max(widths[c], len(text))
+            line.append(text)
+        rendered.append(line)
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    body = "\n".join("  ".join(v.ljust(widths[c]) for v, c in zip(line, cols)) for line in rendered)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _select(rows: Sequence[dict], **match: Any) -> list[dict]:
+    return [r for r in rows if all(r.get(k) == v for k, v in match.items())]
+
+
+def speedup(rows: Sequence[dict], baseline: str, contender: str, **match: Any) -> float:
+    """duration(baseline) / duration(contender) under matching row keys."""
+    base = _select(rows, loader=baseline, **match)
+    cont = _select(rows, loader=contender, **match)
+    if len(base) != 1 or len(cont) != 1:
+        raise ValueError(
+            f"speedup needs exactly one row per loader; got {len(base)} baseline, "
+            f"{len(cont)} contender for {match}"
+        )
+    return base[0]["duration_s"] / cont[0]["duration_s"]
+
+
+def energy_factor(rows: Sequence[dict], baseline: str, contender: str, **match: Any) -> float:
+    """total energy(baseline) / total energy(contender)."""
+    base = _select(rows, loader=baseline, **match)
+    cont = _select(rows, loader=contender, **match)
+    if len(base) != 1 or len(cont) != 1:
+        raise ValueError(f"energy_factor needs exactly one row per loader for {match}")
+    return base[0]["total_kj"] / cont[0]["total_kj"]
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / mean — the paper's ±5 % RTT-flatness metric."""
+    values = list(values)
+    if not values:
+        raise ValueError("relative_spread of no values")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return (max(values) - min(values)) / mean

@@ -1,0 +1,25 @@
+"""Baseline data loaders the paper compares EMLIO against (§5.1).
+
+* :class:`~repro.loaders.pytorch_loader.PyTorchStyleLoader` — the "PyTorch
+  DataLoader over NFSv4" baseline: multi-worker, *per-sample* random reads
+  through the (possibly remote) filesystem, CPU-side decode/augment.
+* :class:`~repro.loaders.dali_loader.DALIStyleLoader` — the "NVIDIA DALI
+  over NFSv4" baseline: per-batch reads with GPU-offloaded preprocessing and
+  prefetch, but still issuing filesystem reads from the compute node.
+
+Both consume the same sharded TFRecord dataset as EMLIO and emit the same
+``(tensors, labels)`` batches, so every pipeline differs only in *where and
+how* bytes move — which is exactly the paper's controlled variable.
+"""
+
+from repro.loaders.base import EpochResult, Loader, LoaderStats
+from repro.loaders.dali_loader import DALIStyleLoader
+from repro.loaders.pytorch_loader import PyTorchStyleLoader
+
+__all__ = [
+    "EpochResult",
+    "Loader",
+    "LoaderStats",
+    "DALIStyleLoader",
+    "PyTorchStyleLoader",
+]

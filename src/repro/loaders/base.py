@@ -1,0 +1,82 @@
+"""Loader interface and shared bookkeeping.
+
+A loader wraps a sharded TFRecord dataset behind a storage backend (local
+or NFS-like) and yields preprocessed training batches for one epoch.  The
+interface is intentionally identical across PyTorch-style, DALI-style, and
+EMLIO so experiment code can swap pipelines with one argument.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from repro.tfrecord.index import ShardIndex
+from repro.tfrecord.sharder import ShardedDataset
+
+
+@dataclass
+class LoaderStats:
+    """I/O accounting shared by every loader."""
+
+    read_ops: int = 0
+    bytes_read: int = 0
+    batches: int = 0
+    samples: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.read_ops += 1
+            self.bytes_read += nbytes
+
+    def record_batch(self, n: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.samples += n
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time copy of the counters."""
+        with self._lock:
+            return {
+                "read_ops": self.read_ops,
+                "bytes_read": self.bytes_read,
+                "batches": self.batches,
+                "samples": self.samples,
+            }
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """Summary of one completed epoch."""
+
+    duration_s: float
+    batches: int
+    samples: int
+    read_ops: int
+    bytes_read: int
+
+
+class Loader(Protocol):
+    """Common loader protocol: iterate one epoch of (tensors, labels)."""
+
+    def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        ...  # pragma: no cover - protocol stub
+
+
+def epoch_sample_order(
+    dataset: ShardedDataset, epoch_index: int, seed: int
+) -> list[tuple[ShardIndex, int]]:
+    """Global shuffled order of (shard, record) pairs for one epoch.
+
+    Baseline loaders randomize across the *whole* dataset (the access
+    pattern that causes small random reads); EMLIO's planner instead
+    shuffles shards and samples within shards (paper §2 technique (i)).
+    """
+    rng = np.random.default_rng((seed, epoch_index))
+    pairs = [(ix, r) for ix in dataset.indexes for r in range(ix.num_records)]
+    order = rng.permutation(len(pairs))
+    return [pairs[i] for i in order]

@@ -1,0 +1,58 @@
+"""Calibrated discrete-event models of the three data-loading pipelines.
+
+The paper's evaluation runs epochs of 150–4200 wall-clock seconds on a
+Chameleon testbed; this package reproduces those sweeps in virtual time on
+the :mod:`repro.sim` kernel:
+
+* :mod:`~repro.modelsim.clusters` — Table 1 node specifications (UC/TACC
+  compute and storage nodes) with power/throughput parameters.
+* :mod:`~repro.modelsim.components` — DES building blocks: storage devices,
+  shared network links, CPU pools, GPU streams, and busy-time ledgers.
+* :mod:`~repro.modelsim.energy` — converts ledger busy-time into per-node
+  CPU/DRAM/GPU joules with the same affine power models the live
+  EnergyMonitor uses.
+* :mod:`~repro.modelsim.pipelines` — the PyTorch-style, DALI-style, and
+  EMLIO pipeline models (per-sample NFS round trips vs storage-side
+  streaming with HWM'd out-of-order prefetch).
+* :mod:`~repro.modelsim.scenarios` — per-figure experiment drivers
+  (stage breakdown, centralized, sharded, convergence).
+"""
+
+from repro.modelsim.clusters import (
+    TACC_COMPUTE,
+    TACC_STORAGE,
+    UC_COMPUTE,
+    UC_STORAGE,
+    NodeSpec,
+    StorageSpec,
+)
+from repro.modelsim.components import BusyLedger, CpuPool, GpuStream, Link, StorageDevice
+from repro.modelsim.energy import NodeEnergy, integrate_node_energy
+from repro.modelsim.pipelines import (
+    DaliPipelineModel,
+    EmlioPipelineModel,
+    PipelineResult,
+    PytorchPipelineModel,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "NodeSpec",
+    "StorageSpec",
+    "UC_COMPUTE",
+    "UC_STORAGE",
+    "TACC_COMPUTE",
+    "TACC_STORAGE",
+    "BusyLedger",
+    "CpuPool",
+    "GpuStream",
+    "Link",
+    "StorageDevice",
+    "NodeEnergy",
+    "integrate_node_energy",
+    "DaliPipelineModel",
+    "EmlioPipelineModel",
+    "PytorchPipelineModel",
+    "PipelineResult",
+    "WorkloadSpec",
+]

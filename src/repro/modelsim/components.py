@@ -1,0 +1,157 @@
+"""DES building blocks: ledgers, storage devices, links, CPU pools, GPUs.
+
+Every component records its busy time into a :class:`BusyLedger`; after a
+run, :mod:`repro.modelsim.energy` converts ledgers into joules with the same
+affine power models the live EnergyMonitor uses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.modelsim.clusters import StorageSpec
+from repro.net.emulation import NetworkProfile
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+class BusyLedger:
+    """Accumulates busy seconds (and bytes) per named component."""
+
+    def __init__(self) -> None:
+        self.busy_s: dict[str, float] = defaultdict(float)
+        self.bytes: dict[str, float] = defaultdict(float)
+
+    def add(self, component: str, seconds: float, nbytes: float = 0.0) -> None:
+        if seconds < 0:
+            raise ValueError(f"busy seconds must be >= 0, got {seconds}")
+        self.busy_s[component] += seconds
+        self.bytes[component] += nbytes
+
+    def get(self, component: str) -> float:
+        return self.busy_s.get(component, 0.0)
+
+
+class StorageDevice:
+    """A local disk: per-op latency + bandwidth, bounded queue depth."""
+
+    def __init__(self, sim: Simulator, spec: StorageSpec, ledger: BusyLedger, name: str = "disk") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.ledger = ledger
+        self.name = name
+        self._slots = Resource(sim, spec.queue_depth)
+
+    def read(self, nbytes: int, sequential: bool = True):
+        """Process: one read of ``nbytes``; returns when data is in memory."""
+
+        def _read():
+            yield self._slots.request()
+            try:
+                service = self.spec.access_latency_s + nbytes / self.spec.seq_read_bps
+                if not sequential:
+                    service += self.spec.access_latency_s  # extra seek
+                yield self.sim.timeout(service)
+                self.ledger.add(self.name, service, nbytes)
+            finally:
+                self._slots.release()
+
+        return self.sim.process(_read(), name=f"{self.name}.read")
+
+
+class Link:
+    """A shared network link: serialization (exclusive) + propagation
+    (overlapped).
+
+    ``transfer(nbytes)`` is a process that completes when the payload has
+    been fully delivered at the far end.  Serialization time is paid under a
+    mutex (the NIC), propagation (``one_way_s``) overlaps across payloads —
+    so a pipelined sender keeps the wire full, while request/response
+    callers pay the full RTT per exchange.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: NetworkProfile,
+        ledger: BusyLedger,
+        name: str = "link",
+        per_op_overhead_s: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.ledger = ledger
+        self.name = name
+        self.per_op_overhead_s = per_op_overhead_s
+        self._nic = Resource(sim, 1)
+
+    def transfer(self, nbytes: float):
+        def _xfer():
+            yield self._nic.request()
+            try:
+                ser = self.profile.transfer_time(nbytes) + self.per_op_overhead_s
+                if ser > 0:
+                    yield self.sim.timeout(ser)
+                self.ledger.add(self.name, ser, nbytes)
+            finally:
+                self._nic.release()
+            if self.profile.one_way_s > 0:
+                yield self.sim.timeout(self.profile.one_way_s)
+
+        return self.sim.process(_xfer(), name=f"{self.name}.xfer")
+
+    def round_trip(self, request_bytes: float, response_bytes: float):
+        """Process: one request/response exchange (an NFS op)."""
+
+        def _rt():
+            yield self.transfer(request_bytes)
+            yield self.transfer(response_bytes)
+
+        return self.sim.process(_rt(), name=f"{self.name}.rt")
+
+
+class CpuPool:
+    """N-core CPU: ``run(seconds)`` holds one core for the duration."""
+
+    def __init__(self, sim: Simulator, cores: int, ledger: BusyLedger, name: str = "cpu") -> None:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.sim = sim
+        self.cores = cores
+        self.ledger = ledger
+        self.name = name
+        self._cores = Resource(sim, cores)
+
+    def run(self, seconds: float, nbytes: float = 0.0):
+        def _run():
+            yield self._cores.request()
+            try:
+                if seconds > 0:
+                    yield self.sim.timeout(seconds)
+                self.ledger.add(self.name, seconds, nbytes)
+            finally:
+                self._cores.release()
+
+        return self.sim.process(_run(), name=f"{self.name}.run")
+
+
+class GpuStream:
+    """Single-stream GPU: kernels serialize, busy time is ledgered."""
+
+    def __init__(self, sim: Simulator, ledger: BusyLedger, name: str = "gpu") -> None:
+        self.sim = sim
+        self.ledger = ledger
+        self.name = name
+        self._stream = Resource(sim, 1)
+
+    def run(self, seconds: float):
+        def _run():
+            yield self._stream.request()
+            try:
+                if seconds > 0:
+                    yield self.sim.timeout(seconds)
+                self.ledger.add(self.name, seconds)
+            finally:
+                self._stream.release()
+
+        return self.sim.process(_run(), name=f"{self.name}.kernel")

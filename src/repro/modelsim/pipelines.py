@@ -1,0 +1,524 @@
+"""DES models of the three data-loading pipelines at paper scale.
+
+Each model reproduces the *mechanism* that determines its pipeline's RTT
+sensitivity:
+
+* **PyTorch-style** — each DataLoader worker fetches the B samples of its
+  batch *sequentially*, and every sample costs ``ops_per_sample`` NFS round
+  trips (lookup/open/read/close); decode runs on compute-node cores; the
+  consumer thread pays a collate cost serialized with training.  Epoch time
+  therefore grows ~ ``samples x ops x RTT / workers``.
+* **DALI-style** — reader threads fetch per-sample files with fewer ops
+  (attribute caching) and decode on the GPU with prefetch depth Q; still
+  every byte is pulled from the compute side, so RTT sensitivity remains
+  ~ ``samples x 2 x RTT / readers``.
+* **EMLIO** — the daemon reads contiguous B-record ranges *locally* on the
+  storage node, serializes on storage-node cores, and streams batches over
+  parallel links with HWM in-flight bounding; no compute-side request ever
+  waits on storage, so RTT appears only in the pipeline fill (once per
+  epoch).
+
+All three share one GPU-resident training consumer, one workload spec, and
+one energy integration, so the only controlled variable is the pipeline —
+matching the paper's §5 methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.modelsim.clusters import NodeSpec, UC_COMPUTE, UC_STORAGE
+from repro.modelsim.components import BusyLedger, CpuPool, GpuStream, Link, StorageDevice
+from repro.modelsim.energy import NodeEnergy, integrate_node_energy
+from repro.net.emulation import NetworkProfile
+from repro.sim.core import Simulator
+from repro.sim.resources import Store
+from repro.train.models import ModelProfile, RESNET50_PROFILE
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The dataset/batch geometry of one experiment."""
+
+    name: str
+    num_samples: int
+    sample_bytes: int
+    mpix_per_sample: float  # decoded megapixels (drives decode cost)
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {self.num_samples}")
+        if self.sample_bytes < 1:
+            raise ValueError(f"sample_bytes must be >= 1, got {self.sample_bytes}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def num_batches(self) -> int:
+        """Batches per epoch (ceil of samples / batch size)."""
+        return -(-self.num_samples // self.batch_size)
+
+    @property
+    def total_bytes(self) -> int:
+        """Dataset bytes (samples x sample size)."""
+        return self.num_samples * self.sample_bytes
+
+
+# Paper workloads at evaluation scale (§5.1): a 10 GB ImageNet subset,
+# COCO, and 2 MB synthetic records.
+IMAGENET_10GB = WorkloadSpec(
+    "imagenet-10gb", num_samples=100_000, sample_bytes=100_000, mpix_per_sample=0.15
+)
+COCO_10GB = WorkloadSpec(
+    "coco-10gb", num_samples=50_000, sample_bytes=200_000, mpix_per_sample=0.30
+)
+SYNTHETIC_2MB = WorkloadSpec(
+    "synthetic-2mb", num_samples=4_000, sample_bytes=2_000_000, mpix_per_sample=2.0
+)
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Host/GPU cost constants shared by the pipeline models."""
+
+    cpu_decode_s_per_mpix: float = 7e-3  # single-core JPEG-class decode
+    cpu_augment_s_per_mpix: float = 3e-3
+    gpu_decode_s_per_mpix: float = 0.5e-3
+    gpu_augment_s_per_mpix: float = 0.25e-3
+    per_sample_loader_overhead_s: float = 0.15e-3  # Python/dispatch per sample
+    collate_s_per_sample: float = 0.20e-3  # main-thread batch assembly
+    serialize_s_per_mb: float = 0.35e-3  # daemon msgpack pack per MB
+    deserialize_s_per_mb: float = 0.25e-3  # receiver unpack per MB
+    nfs_request_bytes: int = 250
+    nfs_small_response_bytes: int = 250
+
+
+DEFAULT_COSTS = CostParams()
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one modeled epoch."""
+
+    loader: str
+    workload: str
+    profile: str
+    rtt_ms: float
+    duration_s: float
+    samples: int
+    batches: int
+    network_bytes: float
+    compute_energy: NodeEnergy
+    storage_energy: NodeEnergy
+    stage_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Compute + storage node joules."""
+        return self.compute_energy.total_j + self.storage_energy.total_j
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for report tables."""
+        return {
+            "loader": self.loader,
+            "workload": self.workload,
+            "rtt_ms": self.rtt_ms,
+            "duration_s": round(self.duration_s, 1),
+            "cpu_kj": round((self.compute_energy.cpu_j + self.storage_energy.cpu_j) / 1e3, 2),
+            "dram_kj": round((self.compute_energy.dram_j + self.storage_energy.dram_j) / 1e3, 2),
+            "gpu_kj": round(self.compute_energy.gpu_j / 1e3, 2),
+            "total_kj": round(self.total_energy_j / 1e3, 2),
+        }
+
+
+class _BaseModel:
+    """Shared scaffolding: nodes, links, ledgers, trainer, energy."""
+
+    loader_name = "base"
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        profile: NetworkProfile,
+        model: ModelProfile = RESNET50_PROFILE,
+        compute_node: NodeSpec = UC_COMPUTE,
+        storage_node: NodeSpec = UC_STORAGE,
+        costs: CostParams = DEFAULT_COSTS,
+        train: bool = True,
+        preprocess: bool = True,
+        local_fraction: float = 0.0,
+        ddp_sync_s: float = 0.0,
+    ) -> None:
+        if not 0.0 <= local_fraction <= 1.0:
+            raise ValueError(f"local_fraction must be in [0,1], got {local_fraction}")
+        self.workload = workload
+        self.profile = profile
+        self.model = model
+        self.compute_node = compute_node
+        self.storage_node = storage_node
+        self.costs = costs
+        self.train = train
+        self.preprocess = preprocess
+        self.local_fraction = local_fraction
+        self.ddp_sync_s = ddp_sync_s
+
+        self.sim = Simulator()
+        self.compute_ledger = BusyLedger()
+        self.storage_ledger = BusyLedger()
+        bw = min(compute_node.nic_bps, storage_node.nic_bps)
+        link_profile = NetworkProfile(profile.name, rtt_s=profile.rtt_s, bandwidth_bps=bw)
+        # Full duplex: independent serialization resources per direction.
+        self.uplink = Link(self.sim, link_profile, self.compute_ledger, name="net-up")
+        self.downlink = Link(self.sim, link_profile, self.storage_ledger, name="net-down")
+        self.remote_disk = StorageDevice(self.sim, storage_node.storage, self.storage_ledger, name="disk")
+        self.local_disk = StorageDevice(self.sim, compute_node.storage, self.compute_ledger, name="disk")
+        self.compute_cpu = CpuPool(self.sim, compute_node.cores, self.compute_ledger, name="cpu")
+        self.storage_cpu = CpuPool(self.sim, storage_node.cores, self.storage_ledger, name="cpu")
+        self.gpu = GpuStream(self.sim, self.compute_ledger, name="gpu")
+        self.network_bytes = 0.0
+        self._is_local = _local_picker(local_fraction)
+
+    # -- shared subprocesses ----------------------------------------------------
+
+    def _nfs_op(self, response_bytes: float, disk_bytes: float, sequential: bool):
+        """One NFS round trip: request up, (optional disk), response down."""
+
+        def _op():
+            yield self.uplink.transfer(self.costs.nfs_request_bytes)
+            if disk_bytes > 0:
+                yield self.remote_disk.read(disk_bytes, sequential=sequential)
+            yield self.downlink.transfer(response_bytes)
+            self.network_bytes += self.costs.nfs_request_bytes + response_bytes
+
+        return self.sim.process(_op(), name="nfs-op")
+
+    def _fetch_sample_nfs(self, ops_per_sample: int, local: bool):
+        """Fetch one sample file: metadata ops + the data read."""
+
+        def _fetch():
+            if local:
+                yield self.local_disk.read(self.workload.sample_bytes, sequential=False)
+                return
+            for _ in range(ops_per_sample - 1):  # lookup/open/close
+                yield self._nfs_op(self.costs.nfs_small_response_bytes, 0, False)
+            yield self._nfs_op(self.workload.sample_bytes, self.workload.sample_bytes, False)
+
+        return self.sim.process(_fetch(), name="fetch-sample")
+
+    def _train_step(self, n_samples: int):
+        def _step():
+            if self.train:
+                yield self.gpu.run(self.model.step_time(n_samples))
+                if self.ddp_sync_s > 0:
+                    yield self.sim.timeout(self.ddp_sync_s)
+
+        return self.sim.process(_step(), name="train-step")
+
+    # -- result assembly ----------------------------------------------------------
+
+    def _result(self, duration: float, stage_s: dict[str, float] | None = None) -> PipelineResult:
+        compute = integrate_node_energy(self.compute_node, self.compute_ledger, duration)
+        storage = integrate_node_energy(self.storage_node, self.storage_ledger, duration)
+        return PipelineResult(
+            loader=self.loader_name,
+            workload=self.workload.name,
+            profile=self.profile.name,
+            rtt_ms=self.profile.rtt_s * 1e3,
+            duration_s=duration,
+            samples=self.workload.num_samples,
+            batches=self.workload.num_batches,
+            network_bytes=self.network_bytes,
+            compute_energy=compute,
+            storage_energy=storage,
+            stage_s=stage_s or {},
+        )
+
+    def run(self) -> PipelineResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _train_busy_fraction(model: ModelProfile) -> float:
+    """Training kernels occupy the stream for their wall time but draw
+    sustained board power at the architecture's utilization; the ledger's
+    train busy-seconds are scaled by it before energy integration."""
+    return model.gpu_util
+
+
+def _local_picker(fraction: float):
+    """Deterministic interleaving of local/remote choices at a given ratio."""
+    state = {"acc": 0.0}
+
+    def pick() -> bool:
+        state["acc"] += fraction
+        if state["acc"] >= 1.0 - 1e-12:
+            state["acc"] -= 1.0
+            return True
+        return False
+
+    return pick
+
+
+class PytorchPipelineModel(_BaseModel):
+    """The PyTorch-DataLoader-over-NFS baseline model."""
+
+    loader_name = "pytorch"
+
+    def __init__(self, *args, num_workers: int = 4, ops_per_sample: int = 4, prefetch: int = 2, **kw) -> None:
+        super().__init__(*args, **kw)
+        if num_workers < 1 or ops_per_sample < 1:
+            raise ValueError("num_workers and ops_per_sample must be >= 1")
+        self.num_workers = num_workers
+        self.ops_per_sample = ops_per_sample
+        self.prefetch = prefetch
+
+    def run(self) -> PipelineResult:
+        w = self.workload
+        tasks = Store(self.sim)
+        done = Store(self.sim, capacity=max(1, self.prefetch) * self.num_workers)
+        batch_sizes = [min(w.batch_size, w.num_samples - i) for i in range(0, w.num_samples, w.batch_size)]
+        for n in batch_sizes:
+            tasks.put(n)
+        for _ in range(self.num_workers):
+            tasks.put(None)
+
+        decode_s = (
+            w.mpix_per_sample * (self.costs.cpu_decode_s_per_mpix + self.costs.cpu_augment_s_per_mpix)
+            if self.preprocess
+            else 0.0
+        )
+
+        def worker():
+            while True:
+                n = yield tasks.get()
+                if n is None:
+                    yield done.put(None)
+                    return
+                for _ in range(n):  # sequential per-sample fetches
+                    yield self._fetch_sample_nfs(self.ops_per_sample, local=self._is_local())
+                    cpu_s = decode_s + self.costs.per_sample_loader_overhead_s
+                    yield self.compute_cpu.run(cpu_s, nbytes=w.sample_bytes)
+                yield done.put(n)
+
+        def consumer():
+            finished = 0
+            while finished < self.num_workers:
+                n = yield done.get()
+                if n is None:
+                    finished += 1
+                    continue
+                # Main-thread collate, serialized with the train step.
+                yield self.compute_cpu.run(self.costs.collate_s_per_sample * n, nbytes=w.sample_bytes * n)
+                yield self._train_step(n)
+
+        for _ in range(self.num_workers):
+            self.sim.process(worker(), name="pt-worker")
+        main = self.sim.process(consumer(), name="pt-consumer")
+        self.sim.run(until=main)
+        duration = self.sim.now
+        self._rescale_gpu_busy()
+        return self._result(duration)
+
+    def _rescale_gpu_busy(self) -> None:
+        self.compute_ledger.busy_s["gpu"] *= _train_busy_fraction(self.model)
+
+
+class DaliPipelineModel(_BaseModel):
+    """The DALI-over-NFS baseline model: GPU decode, prefetch Q, fewer ops."""
+
+    loader_name = "dali"
+
+    def __init__(self, *args, read_threads: int = 4, ops_per_sample: int = 2, prefetch: int = 2, **kw) -> None:
+        super().__init__(*args, **kw)
+        if read_threads < 1 or ops_per_sample < 1:
+            raise ValueError("read_threads and ops_per_sample must be >= 1")
+        self.read_threads = read_threads
+        self.ops_per_sample = ops_per_sample
+        self.prefetch = prefetch
+
+    def run(self) -> PipelineResult:
+        w = self.workload
+        tasks = Store(self.sim)
+        raw = Store(self.sim, capacity=max(1, self.prefetch))
+        ready = Store(self.sim, capacity=max(1, self.prefetch))
+        batch_sizes = [min(w.batch_size, w.num_samples - i) for i in range(0, w.num_samples, w.batch_size)]
+        for n in batch_sizes:
+            tasks.put(n)
+        for _ in range(self.read_threads):
+            tasks.put(None)
+
+        gpu_pre_s_per_sample = (
+            w.mpix_per_sample * (self.costs.gpu_decode_s_per_mpix + self.costs.gpu_augment_s_per_mpix)
+            if self.preprocess
+            else 0.0
+        )
+
+        def reader():
+            while True:
+                n = yield tasks.get()
+                if n is None:
+                    yield raw.put(None)
+                    return
+                for _ in range(n):
+                    yield self._fetch_sample_nfs(self.ops_per_sample, local=self._is_local())
+                    yield self.compute_cpu.run(
+                        self.costs.per_sample_loader_overhead_s, nbytes=w.sample_bytes
+                    )
+                yield raw.put(n)
+
+        def preprocessor():
+            finished = 0
+            while finished < self.read_threads:
+                n = yield raw.get()
+                if n is None:
+                    finished += 1
+                    continue
+                yield self.gpu.run(gpu_pre_s_per_sample * n)
+                yield ready.put(n)
+            yield ready.put(None)
+
+        def consumer():
+            while True:
+                n = yield ready.get()
+                if n is None:
+                    return
+                yield self._train_step(n)
+
+        for _ in range(self.read_threads):
+            self.sim.process(reader(), name="dali-reader")
+        self.sim.process(preprocessor(), name="dali-preproc")
+        main = self.sim.process(consumer(), name="dali-consumer")
+        self.sim.run(until=main)
+        duration = self.sim.now
+        # Train kernels run at model utilization; preprocessing near full.
+        pre_busy = gpu_pre_s_per_sample * w.num_samples
+        train_busy = self.compute_ledger.busy_s["gpu"] - pre_busy
+        self.compute_ledger.busy_s["gpu"] = pre_busy + max(0.0, train_busy) * _train_busy_fraction(self.model)
+        return self._result(duration)
+
+
+class EmlioPipelineModel(_BaseModel):
+    """The EMLIO model: storage-side batching + HWM'd streaming."""
+
+    loader_name = "emlio"
+
+    def __init__(
+        self,
+        *args,
+        daemon_threads: int = 1,
+        streams: int = 2,
+        hwm: int = 16,
+        prefetch: int = 2,
+        **kw,
+    ) -> None:
+        super().__init__(*args, **kw)
+        if daemon_threads < 1 or streams < 1 or hwm < 1:
+            raise ValueError("daemon_threads, streams, hwm must be >= 1")
+        self.daemon_threads = daemon_threads
+        self.streams = streams
+        self.hwm = hwm
+        self.prefetch = prefetch
+
+    def run(self) -> PipelineResult:
+        w = self.workload
+        tasks = Store(self.sim)
+        in_flight = Store(self.sim, capacity=self.hwm * self.streams)
+        recv = Store(self.sim)
+        ready = Store(self.sim, capacity=max(1, self.prefetch))
+        batch_sizes = [min(w.batch_size, w.num_samples - i) for i in range(0, w.num_samples, w.batch_size)]
+        for n in batch_sizes:
+            tasks.put(n)
+        for _ in range(self.daemon_threads):
+            tasks.put(None)
+
+        gpu_pre_s_per_sample = (
+            w.mpix_per_sample * (self.costs.gpu_decode_s_per_mpix + self.costs.gpu_augment_s_per_mpix)
+            if self.preprocess
+            else 0.0
+        )
+        n_batches = len(batch_sizes)
+        total_senders = self.daemon_threads * self.streams
+        state = {"delivered": 0, "senders": 0}
+
+        def sender():
+            """Daemon worker: local contiguous read, serialize, stream."""
+            while True:
+                n = yield tasks.get()
+                if n is None:
+                    state["senders"] += 1
+                    if state["senders"] == total_senders and state["delivered"] >= n_batches:
+                        yield recv.put(None)
+                    return
+                batch_bytes = n * w.sample_bytes
+                local = self._is_local()
+                if local:
+                    yield self.local_disk.read(batch_bytes, sequential=True)
+                    yield self.compute_cpu.run(
+                        self.costs.serialize_s_per_mb * batch_bytes / 1e6, nbytes=batch_bytes
+                    )
+                else:
+                    yield self.remote_disk.read(batch_bytes, sequential=True)
+                    yield self.storage_cpu.run(
+                        self.costs.serialize_s_per_mb * batch_bytes / 1e6, nbytes=batch_bytes
+                    )
+                yield in_flight.put(n)  # HWM: blocks when the window is full
+                self.sim.process(deliver(n, batch_bytes, local), name="emlio-deliver")
+
+        def deliver(n, batch_bytes, local):
+            if not local:
+                yield self.downlink.transfer(batch_bytes)
+                self.network_bytes += batch_bytes
+            yield self.compute_cpu.run(
+                self.costs.deserialize_s_per_mb * batch_bytes / 1e6, nbytes=batch_bytes
+            )
+            yield in_flight.get()  # credit returns
+            state["delivered"] += 1
+            yield recv.put(n)
+            if state["delivered"] >= n_batches and state["senders"] >= total_senders:
+                yield recv.put(None)
+
+        def preprocessor():
+            while True:
+                n = yield recv.get()
+                if n is None:
+                    yield ready.put(None)
+                    return
+                yield self.gpu.run(gpu_pre_s_per_sample * n)
+                yield ready.put(n)
+
+        def consumer():
+            while True:
+                n = yield ready.get()
+                if n is None:
+                    return
+                yield self._train_step(n)
+
+        for _ in range(self.daemon_threads * self.streams):
+            self.sim.process(sender(), name="emlio-sender")
+        # More sender processes than tasks sentinels: add sentinels to match.
+        for _ in range(self.daemon_threads * self.streams - self.daemon_threads):
+            tasks.put(None)
+        self.sim.process(preprocessor(), name="emlio-preproc")
+        main = self.sim.process(consumer(), name="emlio-consumer")
+        self.sim.run(until=main)
+        duration = self.sim.now
+        pre_busy = gpu_pre_s_per_sample * w.num_samples
+        train_busy = self.compute_ledger.busy_s["gpu"] - pre_busy
+        self.compute_ledger.busy_s["gpu"] = pre_busy + max(0.0, train_busy) * _train_busy_fraction(self.model)
+        return self._result(duration)
+
+
+MODELS = {
+    "pytorch": PytorchPipelineModel,
+    "dali": DaliPipelineModel,
+    "emlio": EmlioPipelineModel,
+}
+
+
+def make_model(loader: str, *args, **kw) -> _BaseModel:
+    """Factory over the three pipeline models."""
+    try:
+        cls = MODELS[loader]
+    except KeyError:
+        raise ValueError(f"unknown loader {loader!r}; choose from {sorted(MODELS)}") from None
+    return cls(*args, **kw)

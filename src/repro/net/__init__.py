@@ -1,0 +1,43 @@
+"""Network substrate: framing, latency emulation, channels, message queues.
+
+EMLIO streams pre-batched payloads over "TCP/ZeroMQ" (paper §4.1).  We build
+that stack from scratch on real TCP sockets:
+
+* :mod:`~repro.net.framing` — length-prefixed frames on a stream socket.
+* :mod:`~repro.net.emulation` — the ``tc``/``qdisc`` substitute: per-link
+  RTT and bandwidth shaping (delay applied on delivery, so pipelined senders
+  are *not* serialized by the emulated latency — exactly like a real WAN).
+* :mod:`~repro.net.channel` — framed, shaped, thread-safe channels plus
+  listen/connect helpers.
+* :mod:`~repro.net.mq` — PUSH/PULL message sockets with high-water-mark
+  backpressure and blocking send, the ZeroMQ behaviours EMLIO relies on
+  (§4.5: "HWM to 16 and blocking send to infinity").
+"""
+
+from repro.net.channel import Channel, Listener, connect_channel
+from repro.net.emulation import (
+    LAN_0_1MS,
+    LAN_1MS,
+    LAN_10MS,
+    LOCAL,
+    WAN_30MS,
+    NetworkProfile,
+)
+from repro.net.framing import recv_frame, send_frame
+from repro.net.mq import PullSocket, PushSocket
+
+__all__ = [
+    "Channel",
+    "Listener",
+    "connect_channel",
+    "NetworkProfile",
+    "LOCAL",
+    "LAN_0_1MS",
+    "LAN_1MS",
+    "LAN_10MS",
+    "WAN_30MS",
+    "recv_frame",
+    "send_frame",
+    "PullSocket",
+    "PushSocket",
+]

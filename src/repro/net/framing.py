@@ -1,0 +1,54 @@
+"""Length-prefixed frames over stream sockets.
+
+Wire format: ``u32 big-endian length`` followed by ``length`` payload bytes.
+A length of 0 is a valid (empty) frame.  ``MAX_FRAME`` guards against a
+corrupted length prefix making us allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+_LEN = struct.Struct(">I")
+
+MAX_FRAME = 256 * 1024 * 1024  # 256 MiB
+
+
+class ConnectionClosed(ConnectionError):
+    """Peer closed the connection at a frame boundary (clean EOF)."""
+
+
+def send_frame(sock: socket.socket, payload: bytes | memoryview) -> None:
+    """Send one frame; ``sendall`` handles partial writes."""
+    n = len(payload)
+    if n > MAX_FRAME:
+        raise ValueError(f"frame of {n} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+    sock.sendall(_LEN.pack(n))
+    if n:
+        sock.sendall(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        k = sock.recv_into(view[got:], n - got)
+        if k == 0:
+            if got == 0:
+                raise ConnectionClosed("peer closed connection")
+            raise ConnectionError(f"connection dropped mid-frame ({got}/{n} bytes)")
+        got += k
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Receive one frame; raises :class:`ConnectionClosed` on clean EOF."""
+    header = _recv_exact(sock, 4)
+    (n,) = _LEN.unpack(header)
+    if n > MAX_FRAME:
+        raise ValueError(f"incoming frame of {n} bytes exceeds MAX_FRAME")
+    if n == 0:
+        return b""
+    return _recv_exact(sock, n)

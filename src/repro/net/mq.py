@@ -1,0 +1,257 @@
+"""PUSH/PULL message sockets with high-water-mark backpressure.
+
+The ZeroMQ substitute.  EMLIO's daemon PUSHes serialized batches and relies
+on two ZMQ behaviours (paper §4.5):
+
+* **HWM backpressure** — a bounded number of in-flight messages per stream;
+  when the receiver is slow, ``send`` blocks ("blocking send to infinity")
+  so storage-side workers naturally back off.
+* **Multi-stream fan-in** — a PULL socket accepts many PUSH peers and merges
+  their messages into one stream.
+
+Flow control is explicit and credit-based (TCP socket buffers on loopback
+are megabytes deep, so relying on kernel backpressure would make the HWM a
+fiction): each PUSH stream starts with ``hwm`` credits; sending a message
+consumes one; the PULL side returns a credit on the same stream when the
+application dequeues the message.  In-flight messages per stream are thus
+bounded by ``hwm`` end-to-end, deterministically.
+
+Wire format: 1 type byte (0x00 data / 0x01 credit) + payload.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Iterable
+
+from repro.net.channel import Channel, Listener, connect_channel
+from repro.net.emulation import NetworkProfile
+from repro.net.framing import ConnectionClosed
+
+_DATA = b"\x00"
+_CREDIT = b"\x01"
+_POLL_S = 0.02  # writer wake-up period for stop checks
+
+
+class PushSocket:
+    """Connect-side socket distributing messages across one or more streams.
+
+    Messages go to the stream with the shortest outbound queue (least-loaded,
+    round-robin tiebreak) — multiple TCP streams sharing load is what keeps
+    the pipe full at high RTT.
+    """
+
+    def __init__(
+        self,
+        endpoints: Iterable[tuple[str, int]],
+        hwm: int = 16,
+        profile: NetworkProfile | None = None,
+        streams_per_endpoint: int = 1,
+    ) -> None:
+        if hwm < 1:
+            raise ValueError(f"hwm must be >= 1, got {hwm}")
+        if streams_per_endpoint < 1:
+            raise ValueError(f"streams_per_endpoint must be >= 1, got {streams_per_endpoint}")
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise ValueError("PushSocket needs at least one endpoint")
+        self.hwm = hwm
+        self._channels: list[Channel] = []
+        self._queues: list[queue.Queue] = []
+        self._credits: list[threading.Semaphore] = []
+        self._threads: list[threading.Thread] = []
+        self._rr = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stop_event = threading.Event()
+        for host, port in endpoints:
+            for _ in range(streams_per_endpoint):
+                chan = connect_channel(host, port, profile=profile)
+                q: queue.Queue = queue.Queue(maxsize=hwm)
+                credits = threading.Semaphore(hwm)
+                writer = threading.Thread(
+                    target=self._writer, args=(chan, q, credits), daemon=True, name="push-writer"
+                )
+                reader = threading.Thread(
+                    target=self._credit_reader, args=(chan, credits), daemon=True, name="push-credits"
+                )
+                writer.start()
+                reader.start()
+                self._channels.append(chan)
+                self._queues.append(q)
+                self._credits.append(credits)
+                self._threads.append(writer)
+
+    @property
+    def num_streams(self) -> int:
+        """Number of open PUSH streams."""
+        return len(self._channels)
+
+    def _writer(self, chan: Channel, q: queue.Queue, credits: threading.Semaphore) -> None:
+        while True:
+            try:
+                item = q.get(timeout=_POLL_S)
+            except queue.Empty:
+                if self._stop_event.is_set():
+                    return
+                continue
+            # Blocking send: wait for receive-side room (a credit).  On
+            # close, an undeliverable in-flight message is dropped.
+            while not credits.acquire(timeout=_POLL_S):
+                if self._stop_event.is_set():
+                    return
+            try:
+                chan.send(_DATA + item)
+            except (ConnectionError, OSError):
+                return
+
+    def _credit_reader(self, chan: Channel, credits: threading.Semaphore) -> None:
+        while True:
+            try:
+                frame = chan.recv()
+            except (ConnectionClosed, ConnectionError, OSError):
+                return
+            if frame[:1] == _CREDIT:
+                credits.release()
+
+    def send(self, payload: bytes) -> None:
+        """Queue one message; blocks while every stream is at its HWM."""
+        if self._closed:
+            raise RuntimeError("send() on closed PushSocket")
+        with self._lock:
+            sizes = [q.qsize() for q in self._queues]
+            best = min(range(len(sizes)), key=lambda i: (sizes[i], (i - self._rr) % len(sizes)))
+            self._rr = (best + 1) % len(sizes)
+            target = self._queues[best]
+        target.put(payload)
+
+    def try_send(self, payload: bytes) -> bool:
+        """Non-blocking send; False when every stream queue is at HWM."""
+        if self._closed:
+            raise RuntimeError("try_send() on closed PushSocket")
+        with self._lock:
+            order = sorted(range(len(self._queues)), key=lambda i: self._queues[i].qsize())
+        for i in order:
+            try:
+                self._queues[i].put_nowait(payload)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total payload bytes sent."""
+        return sum(c.bytes_sent for c in self._channels)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush queued messages (bounded by ``timeout``), then close streams.
+
+        Messages the receiver never grants credits for within the deadline
+        are dropped — close cannot block forever on a dead peer.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        end = time.monotonic() + timeout
+        while any(q.qsize() for q in self._queues) and time.monotonic() < end:
+            time.sleep(0.01)
+        self._stop_event.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        for c in self._channels:
+            c.close()
+
+
+class PullSocket:
+    """Bind-side socket merging messages from any number of PUSH peers.
+
+    ``recv`` returns the next message and grants a credit back to the stream
+    it arrived on, opening room for the next in-flight message.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        hwm: int = 16,
+        profile: NetworkProfile | None = None,
+    ) -> None:
+        if hwm < 1:
+            raise ValueError(f"hwm must be >= 1, got {hwm}")
+        self.hwm = hwm
+        self._listener = Listener(host=host, port=port, profile=profile)
+        # In-flight is bounded by per-stream sender credits, so the shared
+        # queue needs no own bound.
+        self._queue: queue.Queue = queue.Queue()
+        self._channels: list[Channel] = []
+        self._closed = False
+        self._reader_lock = threading.Lock()
+        self._listener.serve_forever(self._on_connect)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` address."""
+        return self._listener.address
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port."""
+        return self._listener.port
+
+    def _on_connect(self, chan: Channel) -> None:
+        with self._reader_lock:
+            if self._closed:
+                chan.close()
+                return
+            self._channels.append(chan)
+        while True:
+            try:
+                frame = chan.recv()
+            except (ConnectionClosed, ConnectionError, OSError):
+                return
+            if frame[:1] == _DATA:
+                self._queue.put((chan, frame[1:]))
+
+    def _grant_credit(self, chan: Channel) -> None:
+        try:
+            chan.send(_CREDIT)
+        except (ConnectionError, OSError):
+            pass  # peer already gone; nothing to grant
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Pop the next message from any peer; raises ``queue.Empty`` on timeout."""
+        chan, msg = self._queue.get(timeout=timeout)
+        self._grant_credit(chan)
+        return msg
+
+    def try_recv(self) -> bytes | None:
+        """Non-blocking recv; ``None`` when no message is ready."""
+        try:
+            chan, msg = self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        self._grant_credit(chan)
+        return msg
+
+    @property
+    def pending(self) -> int:
+        """Messages buffered and not yet recv()ed."""
+        return self._queue.qsize()
+
+    @property
+    def bytes_received(self) -> int:
+        """Total payload bytes received."""
+        with self._reader_lock:
+            return sum(c.bytes_received for c in self._channels)
+
+    def close(self) -> None:
+        """Release resources."""
+        with self._reader_lock:
+            self._closed = True
+            channels = list(self._channels)
+        self._listener.close()
+        for c in channels:
+            c.close()

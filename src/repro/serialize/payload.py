@@ -1,0 +1,94 @@
+"""Batch payload schema exchanged between EMLIO daemon and receiver.
+
+One payload carries ``B`` raw (still-encoded) samples plus their labels and
+provenance metadata.  The daemon slices ``B`` contiguous records out of an
+mmap'ed TFRecord shard and encodes them here (paper §4.1, "serializes groups
+of B examples into a single msgpack payload").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serialize.msgpack import packb, unpackb
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BatchPayload:
+    """A pre-batched group of raw samples.
+
+    Attributes
+    ----------
+    epoch / batch_index:
+        Position of this batch in the plan (for logging and ordering checks;
+        delivery itself is deliberately out-of-order).
+    shard:
+        Originating shard name, e.g. ``"shard_00003"``.
+    samples:
+        Raw encoded sample bytes (e.g. SJPG images), length ``B``.
+    labels:
+        Integer class labels, parallel to ``samples``.
+    node_id:
+        Target compute node the planner assigned this batch to.
+    """
+
+    epoch: int
+    batch_index: int
+    shard: str
+    samples: list[bytes]
+    labels: list[int]
+    node_id: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.samples) != len(self.labels):
+            raise ValueError(
+                f"samples/labels length mismatch: {len(self.samples)} != {len(self.labels)}"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        """Samples in this batch."""
+        return len(self.samples)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload body size (sample bytes only), used for throughput math."""
+        return sum(len(s) for s in self.samples)
+
+
+def encode_batch(payload: BatchPayload) -> bytes:
+    """Serialize a :class:`BatchPayload` to msgpack bytes."""
+    return packb(
+        {
+            "v": _SCHEMA_VERSION,
+            "epoch": payload.epoch,
+            "batch_index": payload.batch_index,
+            "shard": payload.shard,
+            "node_id": payload.node_id,
+            "samples": payload.samples,
+            "labels": payload.labels,
+            "meta": payload.meta,
+        }
+    )
+
+
+def decode_batch(data: bytes | memoryview) -> BatchPayload:
+    """Inverse of :func:`encode_batch`; validates the schema version."""
+    obj = unpackb(data)
+    if not isinstance(obj, dict):
+        raise ValueError(f"batch payload must decode to a map, got {type(obj).__name__}")
+    version = obj.get("v")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported batch payload version: {version!r}")
+    return BatchPayload(
+        epoch=obj["epoch"],
+        batch_index=obj["batch_index"],
+        shard=obj["shard"],
+        samples=list(obj["samples"]),
+        labels=list(obj["labels"]),
+        node_id=obj.get("node_id", 0),
+        meta=obj.get("meta", {}),
+    )

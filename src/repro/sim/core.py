@@ -1,0 +1,288 @@
+"""DES kernel: simulator, events, generator-coroutine processes.
+
+Model code is written as generators that ``yield`` events::
+
+    def producer(sim: Simulator, out: Store):
+        for i in range(10):
+            yield sim.timeout(0.5)          # 500 ms of virtual work
+            yield out.put(i)                # blocks when the store is full
+
+    sim = Simulator()
+    sim.process(producer(sim, store))
+    sim.run()
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so repeated
+runs of the same model produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.util.clock import VirtualClock
+
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* with a value (or failure) and then fires its
+    callbacks at the scheduled time.  Waiting on an already-processed event
+    resumes the waiter immediately (on the next loop step).
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool | None = None  # None = not triggered yet
+        self.processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value."""
+        return self._ok is not None
+
+    @property
+    def value(self) -> Any:
+        """The event result (raises if not yet triggered)."""
+        if self._ok is None:
+            raise RuntimeError("event has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        if self._ok is not None:
+            raise RuntimeError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        if self._ok is not None:
+            raise RuntimeError("event already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+
+class Process(Event):
+    """A running generator coroutine.  Also an Event: fires on completion."""
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume the generator at time now.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return  # already finished; nothing to interrupt
+        kick = Event(self.sim)
+        kick.callbacks.append(lambda ev: self._throw(Interrupt(cause)))
+        kick.succeed(None)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume_from_event)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        try:
+            ev = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # process died with an error
+            self.fail(err)
+            return
+        self._wait_on(ev)
+
+    def _resume(self, _boot: Event) -> None:
+        self._step(None, ok=True)
+
+    def _resume_from_event(self, ev: Event) -> None:
+        self._waiting_on = None
+        self._step(ev._value, ok=bool(ev._ok))
+
+    def _step(self, value: Any, ok: bool) -> None:
+        try:
+            if ok:
+                nxt = self.gen.send(value)
+            else:
+                nxt = self.gen.throw(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+        self._wait_on(nxt)
+
+    def _wait_on(self, ev: Event) -> None:
+        if not isinstance(ev, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {type(ev).__name__}, expected Event"
+            )
+        if ev.processed:
+            # Already fired: resume immediately at current time.
+            kick = Event(self.sim)
+            kick.callbacks.append(lambda _e: self._step(ev._value, bool(ev._ok)))
+            kick.succeed(None)
+        else:
+            self._waiting_on = ev
+            ev.callbacks.append(self._resume_from_event)
+
+
+class Simulator:
+    """Event loop over a binary heap of ``(time, seq, event)`` entries."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = VirtualClock(start)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+        return self.clock.now()
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, ev: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), ev))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` virtual seconds from now."""
+        ev = Event(self)
+        ev._ok = True
+        ev._value = value
+        self._schedule(ev, delay)
+        return ev
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Register a generator as a concurrently running process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires when every input event has fired."""
+        events = list(events)
+        done = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        results: list[Any] = [None] * remaining
+        state = {"left": remaining}
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                if not ev._ok:
+                    if not done.triggered:
+                        done.fail(ev._value)
+                    return
+                results[i] = ev._value
+                state["left"] -= 1
+                if state["left"] == 0 and not done.triggered:
+                    done.succeed(list(results))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            if ev.processed:
+                make_cb(i)(ev)
+            else:
+                ev.callbacks.append(make_cb(i))
+        return done
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires when the first input event fires."""
+        events = list(events)
+        done = self.event()
+
+        def cb(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev._ok:
+                done.succeed(ev._value)
+            else:
+                done.fail(ev._value)
+
+        for ev in events:
+            if ev.processed:
+                cb(ev)
+            else:
+                ev.callbacks.append(cb)
+        return done
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> float:
+        """Process the next event; return its timestamp."""
+        t, _seq, ev = heapq.heappop(self._heap)
+        self.clock.set(t)
+        ev.processed = True
+        callbacks, ev.callbacks = ev.callbacks, []
+        for cb in callbacks:
+            cb(ev)
+        if ev._ok is False and not callbacks:
+            # Nobody was waiting on this failure: a model component died
+            # silently.  Crash loudly instead of skewing results.
+            raise ev._value
+        return t
+
+    def run(self, until: float | Event | None = None) -> None:
+        """Run to quiescence, to virtual time ``until``, or until an event.
+
+        Failures in processes nobody waits on propagate out of ``run`` —
+        silent death of a model component would otherwise skew results.
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise RuntimeError(
+                        "deadlock: event loop drained before target event fired"
+                    )
+                self.step()
+            if target._ok is False:
+                raise target._value
+            return
+        horizon = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        if until is not None and self.now < horizon:
+            self.clock.set(horizon)
+
+    def run_all(self, procs: Iterable[Process]) -> list[Any]:
+        """Run until every process in ``procs`` has finished; return values."""
+        done = self.all_of(list(procs))
+        self.run(until=done)
+        return done.value

@@ -1,0 +1,19 @@
+"""Storage substrate: local backend and NFS-like remote file access.
+
+The paper's baselines read training data over an NFSv4 mount; every small
+random read then pays a network round trip, which is the root cause of the
+latency/energy blow-up in Figures 5–9.  We reproduce that access pattern
+with a from-scratch remote-file protocol:
+
+* :class:`~repro.storage.localfs.LocalStorage` — instrumented local reads.
+* :class:`~repro.storage.server.StorageServer` — serves a directory over a
+  framed channel (LOOKUP / STAT / READ / READDIR), one round trip per op.
+* :class:`~repro.storage.nfs.NFSMount` — client mount exposing the same API
+  as LocalStorage, so loaders are storage-location agnostic.
+"""
+
+from repro.storage.localfs import LocalStorage, StorageStats
+from repro.storage.nfs import NFSMount
+from repro.storage.server import StorageServer
+
+__all__ = ["LocalStorage", "StorageStats", "NFSMount", "StorageServer"]

@@ -1,0 +1,106 @@
+"""CRC-32C (Castagnoli) in pure Python, plus TFRecord masking.
+
+TFRecord frames each length and data field with a *masked* CRC-32C:
+
+    mask(crc) = ((crc >> 15) | (crc << 17)) + 0xa282ead8   (mod 2**32)
+
+Two implementations share one set of tables:
+
+* byte-at-a-time (reference, used for small buffers and as the test oracle);
+* slicing-by-8, where the crc-independent contribution of bytes 4..7 of each
+  8-byte group is precomputed with a vectorized numpy pass and the remaining
+  sequential recurrence runs over plain Python lists (fast int indexing).
+  This reaches tens of MB/s — enough to checksum whole shards at dataset
+  conversion time without dominating the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x82F63B78  # reflected CRC-32C polynomial
+_MASK_DELTA = 0xA282EAD8
+
+
+def _make_table() -> list[int]:
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_POLY if crc & 1 else 0)
+        table.append(crc)
+    return table
+
+
+_TABLE = _make_table()
+
+
+def _make_tables8() -> list[list[int]]:
+    tables = [_TABLE]
+    for _ in range(1, 8):
+        prev = tables[-1]
+        tables.append([_TABLE[c & 0xFF] ^ (c >> 8) for c in prev])
+    return tables
+
+
+_TABLES8 = _make_tables8()
+_T_NP = [np.asarray(t, dtype=np.uint32) for t in _TABLES8]
+
+
+def _crc_update_bytewise(data: bytes, crc: int) -> int:
+    table = _TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc
+
+
+def crc32c(data: bytes | bytearray | memoryview) -> int:
+    """CRC-32C of ``data`` (unmasked)."""
+    mv = memoryview(data).cast("B")
+    n = len(mv)
+    crc = 0xFFFFFFFF
+    if n >= 1024:
+        groups = n // 8
+        arr = np.frombuffer(mv[: groups * 8], dtype=np.uint8).reshape(groups, 8)
+        # Contribution of bytes 4..7 of each group: independent of the running
+        # CRC, so computed vectorized up front.
+        tail = (
+            _T_NP[3][arr[:, 4]]
+            ^ _T_NP[2][arr[:, 5]]
+            ^ _T_NP[1][arr[:, 6]]
+            ^ _T_NP[0][arr[:, 7]]
+        ).tolist()
+        a = arr[:, 0].tolist()
+        b = arr[:, 1].tolist()
+        c = arr[:, 2].tolist()
+        d = arr[:, 3].tolist()
+        t7, t6, t5, t4 = _TABLES8[7], _TABLES8[6], _TABLES8[5], _TABLES8[4]
+        for i in range(groups):
+            crc = (
+                t7[(crc ^ a[i]) & 0xFF]
+                ^ t6[((crc >> 8) ^ b[i]) & 0xFF]
+                ^ t5[((crc >> 16) ^ c[i]) & 0xFF]
+                ^ t4[((crc >> 24) ^ d[i]) & 0xFF]
+                ^ tail[i]
+            )
+        crc = _crc_update_bytewise(bytes(mv[groups * 8 :]), crc)
+    else:
+        crc = _crc_update_bytewise(bytes(mv), crc)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32c_reference(data: bytes | bytearray | memoryview) -> int:
+    """Byte-at-a-time CRC-32C: the oracle the fast path is tested against."""
+    return _crc_update_bytewise(bytes(memoryview(data).cast("B")), 0xFFFFFFFF) ^ 0xFFFFFFFF
+
+
+def masked_crc32c(data: bytes | bytearray | memoryview) -> int:
+    """TFRecord's masked CRC: rotate right 15 and add the mask delta."""
+    crc = crc32c(data)
+    return (((crc >> 15) | (crc << 17)) + _MASK_DELTA) & 0xFFFFFFFF
+
+
+def unmask_crc32c(masked: int) -> int:
+    """Inverse of the TFRecord mask (used by validation tooling)."""
+    rot = (masked - _MASK_DELTA) & 0xFFFFFFFF
+    return ((rot << 15) | (rot >> 17)) & 0xFFFFFFFF

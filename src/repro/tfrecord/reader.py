@@ -1,0 +1,127 @@
+"""TFRecord shard reader with mmap-backed contiguous range reads.
+
+The EMLIO daemon's key access pattern (paper §4.3) is: mmap the shard, then
+grab a contiguous block of ``B`` records in one slice — no per-record read
+syscalls.  :meth:`TFRecordReader.read_range` implements exactly that; the
+sequential :func:`scan_records` iterator and random-access
+:func:`read_record_at` cover the baseline loaders and tooling.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from pathlib import Path
+from types import TracebackType
+from typing import Iterator
+
+from repro.tfrecord.crc32c import masked_crc32c
+from repro.tfrecord.writer import FOOTER_BYTES, HEADER_BYTES
+
+_LEN = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+
+
+class TFRecordCorruption(ValueError):
+    """Raised when a record's length or data CRC does not verify."""
+
+
+def _parse_record(buf: memoryview, offset: int, verify: bool) -> tuple[bytes, int]:
+    """Parse one record at ``offset``; return ``(data, next_offset)``."""
+    if offset + HEADER_BYTES > len(buf):
+        raise TFRecordCorruption(f"truncated header at offset {offset}")
+    length_bytes = bytes(buf[offset : offset + 8])
+    (length,) = _LEN.unpack(length_bytes)
+    (length_crc,) = _CRC.unpack(bytes(buf[offset + 8 : offset + 12]))
+    if verify and masked_crc32c(length_bytes) != length_crc:
+        raise TFRecordCorruption(f"length CRC mismatch at offset {offset}")
+    data_start = offset + HEADER_BYTES
+    data_end = data_start + length
+    if data_end + FOOTER_BYTES > len(buf):
+        raise TFRecordCorruption(f"truncated record body at offset {offset}")
+    data = bytes(buf[data_start:data_end])
+    (data_crc,) = _CRC.unpack(bytes(buf[data_end : data_end + 4]))
+    if verify and masked_crc32c(data) != data_crc:
+        raise TFRecordCorruption(f"data CRC mismatch at offset {offset}")
+    return data, data_end + FOOTER_BYTES
+
+
+class TFRecordReader:
+    """mmap-backed random/sequential/range access to one shard file."""
+
+    def __init__(self, path: str | Path, verify: bool = True) -> None:
+        self.path = Path(path)
+        self.verify = verify
+        self._fh = open(self.path, "rb")
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:  # empty file cannot be mmap'ed
+            self._mm = None
+        self._view = memoryview(self._mm) if self._mm is not None else memoryview(b"")
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes."""
+        return len(self._view)
+
+    def read_at(self, offset: int) -> bytes:
+        """Read and verify the single record starting at ``offset``."""
+        data, _next = _parse_record(self._view, offset, self.verify)
+        return data
+
+    def read_range(self, offset: int, count: int) -> list[bytes]:
+        """Read ``count`` consecutive records starting at ``offset``.
+
+        This is the daemon's one-slice batch read: a single contiguous
+        traversal of the mapped region, no per-record syscalls.
+        """
+        out: list[bytes] = []
+        pos = offset
+        for _ in range(count):
+            data, pos = _parse_record(self._view, pos, self.verify)
+            out.append(data)
+        return out
+
+    def raw_slice(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy view of ``nbytes`` of the mapped file (transfer path)."""
+        if offset + nbytes > len(self._view):
+            raise ValueError(
+                f"slice [{offset}, {offset + nbytes}) beyond shard end {len(self._view)}"
+            )
+        return self._view[offset : offset + nbytes]
+
+    def __iter__(self) -> Iterator[bytes]:
+        pos = 0
+        while pos < len(self._view):
+            data, pos = _parse_record(self._view, pos, self.verify)
+            yield data
+
+    def close(self) -> None:
+        """Release resources."""
+        self._view.release()
+        if self._mm is not None:
+            self._mm.close()
+        self._fh.close()
+
+    def __enter__(self) -> "TFRecordReader":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+def scan_records(path: str | Path, verify: bool = True) -> Iterator[bytes]:
+    """Stream every record in a shard (sequential scan)."""
+    with TFRecordReader(path, verify=verify) as reader:
+        yield from reader
+
+
+def read_record_at(path: str | Path, offset: int, verify: bool = True) -> bytes:
+    """One-shot random record read (the small-read pattern EMLIO avoids)."""
+    with TFRecordReader(path, verify=verify) as reader:
+        return reader.read_at(offset)

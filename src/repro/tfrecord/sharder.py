@@ -1,0 +1,118 @@
+"""Dataset → TFRecord shard conversion (paper §4.3).
+
+The one-time conversion cost the paper amortizes across training jobs:
+take an iterable of ``(sample_bytes, label)`` pairs, pack them into
+fixed-record-count TFRecord shards, and emit one ``mapping_shard_*.json``
+index per shard.
+
+Record payloads embed the label alongside the raw sample using a tiny
+msgpack map so a shard is self-contained even without its index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.serialize.msgpack import packb, unpackb
+from repro.tfrecord.index import RecordEntry, ShardIndex, load_shard_indexes
+from repro.tfrecord.writer import TFRecordWriter
+
+
+def pack_example(sample: bytes, label: int) -> bytes:
+    """Encode one training example as the record payload."""
+    return packb({"x": sample, "y": label})
+
+
+def unpack_example(record: bytes) -> tuple[bytes, int]:
+    """Inverse of :func:`pack_example`."""
+    obj = unpackb(record)
+    return obj["x"], obj["y"]
+
+
+@dataclass(frozen=True)
+class ShardedDataset:
+    """A converted dataset: shard files + their indexes under one root."""
+
+    root: Path
+    indexes: tuple[ShardIndex, ...]
+
+    @property
+    def num_shards(self) -> int:
+        """Shard files in the dataset."""
+        return len(self.indexes)
+
+    @property
+    def num_samples(self) -> int:
+        """Total records across shards."""
+        return sum(ix.num_records for ix in self.indexes)
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes."""
+        return sum(ix.nbytes for ix in self.indexes)
+
+    def shard_path(self, shard: str) -> Path:
+        for ix in self.indexes:
+            if ix.shard == shard:
+                return self.root / ix.path
+        raise KeyError(f"unknown shard {shard!r}")
+
+    def labels(self) -> dict[str, list[int]]:
+        """Global label map: shard name → per-record labels (Alg. 2 line 2)."""
+        return {ix.shard: [e.label for e in ix.entries] for ix in self.indexes}
+
+    @classmethod
+    def open(cls, root: str | Path) -> "ShardedDataset":
+        root = Path(root)
+        return cls(root=root, indexes=tuple(load_shard_indexes(root)))
+
+
+def write_shards(
+    samples: Iterable[tuple[bytes, int]],
+    root: str | Path,
+    records_per_shard: int = 1024,
+) -> ShardedDataset:
+    """Convert ``samples`` into TFRecord shards under ``root``.
+
+    Parameters
+    ----------
+    samples:
+        Iterable of ``(sample_bytes, label)``; consumed once, streaming.
+    records_per_shard:
+        Records per shard file; the last shard may be short.
+    """
+    if records_per_shard < 1:
+        raise ValueError(f"records_per_shard must be >= 1, got {records_per_shard}")
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+
+    indexes: list[ShardIndex] = []
+    it: Iterator[tuple[bytes, int]] = iter(samples)
+    shard_no = 0
+    exhausted = False
+    while not exhausted:
+        shard = f"shard_{shard_no:05d}"
+        filename = f"{shard}.tfrecord"
+        entries: list[RecordEntry] = []
+        with TFRecordWriter(root / filename) as writer:
+            for _ in range(records_per_shard):
+                try:
+                    sample, label = next(it)
+                except StopIteration:
+                    exhausted = True
+                    break
+                offset, size = writer.write(pack_example(sample, label))
+                entries.append(RecordEntry(offset=offset, size=size, label=label))
+        if not entries:
+            (root / filename).unlink()  # empty trailing shard
+            break
+        index = ShardIndex(shard=shard, path=filename, entries=tuple(entries))
+        index.save(root)
+        indexes.append(index)
+        shard_no += 1
+
+    if not indexes:
+        raise ValueError("write_shards received an empty sample stream")
+    return ShardedDataset(root=root, indexes=tuple(indexes))

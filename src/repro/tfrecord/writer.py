@@ -1,0 +1,99 @@
+"""TFRecord shard writer.
+
+Wire format per record (little-endian, byte-compatible with TensorFlow):
+
+    uint64  length
+    uint32  masked_crc32c(length field bytes)
+    bytes   data[length]
+    uint32  masked_crc32c(data)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from types import TracebackType
+
+from repro.tfrecord.crc32c import masked_crc32c
+
+_LEN = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+
+HEADER_BYTES = 12  # length (8) + length-crc (4)
+FOOTER_BYTES = 4  # data-crc
+
+
+def frame_record(data: bytes) -> bytes:
+    """Return the full framed record for ``data``."""
+    length_bytes = _LEN.pack(len(data))
+    return b"".join(
+        (
+            length_bytes,
+            _CRC.pack(masked_crc32c(length_bytes)),
+            data,
+            _CRC.pack(masked_crc32c(data)),
+        )
+    )
+
+
+def framed_size(data_len: int) -> int:
+    """On-disk size of a record whose payload is ``data_len`` bytes."""
+    return HEADER_BYTES + data_len + FOOTER_BYTES
+
+
+class TFRecordWriter:
+    """Append records to a shard file, tracking offsets for the index.
+
+    Usable as a context manager::
+
+        with TFRecordWriter(path) as w:
+            off, size = w.write(sample_bytes)
+    """
+
+    def __init__(self, path: str | Path | io.BufferedIOBase) -> None:
+        if isinstance(path, (str, Path)):
+            self._fh: io.BufferedIOBase = open(path, "wb")
+            self._owns = True
+            self.path = Path(path)
+        else:
+            self._fh = path
+            self._owns = False
+            self.path = None
+        self._offset = 0
+        self.records_written = 0
+
+    def write(self, data: bytes) -> tuple[int, int]:
+        """Append one record; return ``(offset, framed_size)`` of the frame."""
+        frame = frame_record(data)
+        self._fh.write(frame)
+        offset = self._offset
+        self._offset += len(frame)
+        self.records_written += 1
+        return offset, len(frame)
+
+    @property
+    def offset(self) -> int:
+        """Current end-of-file offset (start of the next record)."""
+        return self._offset
+
+    def flush(self) -> None:
+        """Flush the underlying file."""
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Release resources."""
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "TFRecordWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.flush()
+        self.close()

@@ -1,0 +1,9 @@
+"""Operational tooling: dataset conversion, shard validation, plan
+inspection.
+
+* ``python -m repro.tools.convert`` — generate + shard a synthetic dataset.
+* ``python -m repro.tools.fsck`` — verify every record CRC and every index
+  entry of a sharded dataset.
+* ``python -m repro.tools.planview`` — summarize a batch plan for a dataset
+  and node count.
+"""

@@ -1,0 +1,116 @@
+"""Shard integrity checker.
+
+Verifies a sharded dataset end-to-end:
+
+* every ``mapping_shard_*.json`` parses and its entries are contiguous;
+* every shard file exists and its byte length matches the index;
+* every record's length-CRC and data-CRC verify;
+* every index entry's ``(offset, size, label)`` matches the file contents.
+
+Returns structured findings so it is usable as a library; the CLI prints a
+report and exits non-zero on any fault.
+
+Usage: ``python -m repro.tools.fsck /path/to/dataset``
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.tfrecord.index import load_shard_indexes
+from repro.tfrecord.reader import TFRecordCorruption, TFRecordReader
+from repro.tfrecord.sharder import unpack_example
+from repro.tfrecord.writer import framed_size
+
+
+@dataclass
+class FsckReport:
+    """Findings of one dataset check."""
+
+    shards_checked: int = 0
+    records_checked: int = 0
+    bytes_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found."""
+        return not self.errors
+
+    def add_error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+
+def fsck_dataset(root: str | Path, verify_labels: bool = True) -> FsckReport:
+    """Check every shard under ``root``; never raises on data faults."""
+    root = Path(root)
+    report = FsckReport()
+    try:
+        indexes = load_shard_indexes(root)
+    except (FileNotFoundError, ValueError) as err:
+        report.add_error(f"index load failed: {err}")
+        return report
+
+    for ix in indexes:
+        report.shards_checked += 1
+        shard_file = root / ix.path
+        if not shard_file.exists():
+            report.add_error(f"{ix.shard}: shard file {ix.path} missing")
+            continue
+        actual = shard_file.stat().st_size
+        if actual != ix.nbytes:
+            report.add_error(
+                f"{ix.shard}: file is {actual} bytes, index covers {ix.nbytes}"
+            )
+            continue
+        try:
+            with TFRecordReader(shard_file, verify=True) as reader:
+                for i, entry in enumerate(ix.entries):
+                    try:
+                        record = reader.read_at(entry.offset)
+                    except TFRecordCorruption as err:
+                        report.add_error(f"{ix.shard}: record {i}: {err}")
+                        continue
+                    if framed_size(len(record)) != entry.size:
+                        report.add_error(
+                            f"{ix.shard}: record {i} framed size "
+                            f"{framed_size(len(record))} != index size {entry.size}"
+                        )
+                        continue
+                    if verify_labels:
+                        try:
+                            _sample, label = unpack_example(record)
+                        except Exception as err:  # noqa: BLE001 - report, don't crash
+                            report.add_error(f"{ix.shard}: record {i} unpack failed: {err}")
+                            continue
+                        if label != entry.label:
+                            report.add_error(
+                                f"{ix.shard}: record {i} label {label} != index {entry.label}"
+                            )
+                            continue
+                    report.records_checked += 1
+                    report.bytes_checked += entry.size
+        except OSError as err:
+            report.add_error(f"{ix.shard}: cannot read shard: {err}")
+    return report
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.tools.fsck <dataset-root>", file=sys.stderr)
+        return 2
+    report = fsck_dataset(argv[0])
+    print(
+        f"checked {report.shards_checked} shards / {report.records_checked} records "
+        f"/ {report.bytes_checked / 1e6:.1f} MB"
+    )
+    for err in report.errors:
+        print(f"ERROR: {err}")
+    print("OK" if report.ok else f"FAILED ({len(report.errors)} errors)")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

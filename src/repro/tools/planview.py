@@ -1,0 +1,64 @@
+"""Batch-plan inspector.
+
+Summarizes what the Planner (Algorithm 2) would do for a dataset: per-node
+batch/sample counts, per-thread split sizes, and coverage verification.
+
+Usage: ``python -m repro.tools.planview <dataset-root> [--nodes N]
+[--batch-size B] [--epochs E] [--threads T]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import EMLIOConfig
+from repro.core.planner import Planner
+from repro.tfrecord.sharder import ShardedDataset
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.planview")
+    parser.add_argument("root")
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--epochs", type=int, default=1)
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--coverage", choices=["partition", "replicate"], default="partition")
+    args = parser.parse_args(argv)
+
+    dataset = ShardedDataset.open(args.root)
+    config = EMLIOConfig(
+        batch_size=args.batch_size, epochs=args.epochs, coverage=args.coverage
+    )
+    plan = Planner(dataset, num_nodes=args.nodes, config=config).plan()
+
+    print(
+        f"dataset: {dataset.num_samples} samples / {dataset.num_shards} shards "
+        f"({dataset.nbytes / 1e6:.1f} MB)"
+    )
+    print(
+        f"plan: {len(plan.assignments)} assignments, {args.epochs} epoch(s), "
+        f"B={args.batch_size}, coverage={args.coverage}"
+    )
+    for epoch in range(args.epochs):
+        covered = 0
+        for node in range(args.nodes):
+            batches = plan.batches_per_node(node, epoch=epoch)
+            samples = plan.samples_per_node(node, epoch=epoch)
+            covered += samples
+            splits = [len(s) for s in plan.thread_splits(epoch, node, args.threads)]
+            print(
+                f"  epoch {epoch} node {node}: {batches} batches / {samples} samples, "
+                f"thread splits {splits}"
+            )
+        expected = (
+            dataset.num_samples if args.coverage == "partition" else dataset.num_samples * args.nodes
+        )
+        status = "OK" if covered == expected else f"MISMATCH (expected {expected})"
+        print(f"  epoch {epoch} coverage: {covered} samples — {status}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

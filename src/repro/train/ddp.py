@@ -1,0 +1,71 @@
+"""DDP gradient synchronization: real averaging + ring-allreduce cost model.
+
+:class:`RingAllReduce` performs the actual gradient averaging across rank
+replicas (so multi-rank training is numerically correct) and accounts the
+time a bandwidth-optimal ring allreduce would take on the given link:
+
+    T = 2 (N-1)/N * bytes / bandwidth  +  2 (N-1) * latency_per_step
+
+(the standard reduce-scatter + all-gather decomposition; each of the
+2(N-1) steps pays the link's one-way latency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.emulation import NetworkProfile
+
+
+def allreduce_cost_s(nbytes: int, num_ranks: int, profile: NetworkProfile) -> float:
+    """Modeled wall time of a ring allreduce of ``nbytes`` across ranks."""
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    if num_ranks == 1:
+        return 0.0
+    steps = 2 * (num_ranks - 1)
+    bw = profile.bandwidth_bps
+    transfer = 0.0 if bw == float("inf") else (2 * (num_ranks - 1) / num_ranks) * nbytes / bw
+    return transfer + steps * profile.one_way_s
+
+
+class RingAllReduce:
+    """Average per-rank gradient lists; account modeled sync time."""
+
+    def __init__(self, num_ranks: int, profile: NetworkProfile) -> None:
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.profile = profile
+        self.sync_count = 0
+        self.modeled_sync_s = 0.0
+
+    def average(self, per_rank_grads: list[list[np.ndarray]]) -> list[np.ndarray]:
+        """Return the element-wise mean of each parameter's gradients.
+
+        ``per_rank_grads[r][p]`` is rank r's gradient for parameter p; all
+        ranks must agree on shapes.
+        """
+        if len(per_rank_grads) != self.num_ranks:
+            raise ValueError(
+                f"expected {self.num_ranks} rank gradient lists, got {len(per_rank_grads)}"
+            )
+        first = per_rank_grads[0]
+        for r, grads in enumerate(per_rank_grads[1:], start=1):
+            if len(grads) != len(first):
+                raise ValueError(f"rank {r} has {len(grads)} grads, rank 0 has {len(first)}")
+            for p, (a, b) in enumerate(zip(first, grads)):
+                if a.shape != b.shape:
+                    raise ValueError(
+                        f"grad {p} shape mismatch: rank0 {a.shape} vs rank{r} {b.shape}"
+                    )
+        averaged = [
+            np.mean([per_rank_grads[r][p] for r in range(self.num_ranks)], axis=0)
+            for p in range(len(first))
+        ]
+        nbytes = sum(g.nbytes for g in first)
+        self.modeled_sync_s += allreduce_cost_s(nbytes, self.num_ranks, self.profile)
+        self.sync_count += 1
+        return averaged

@@ -1,0 +1,115 @@
+"""Training loop: Algorithm 3 lines 5–9 plus loss/time logging.
+
+The :class:`Trainer` consumes any loader's epoch iterator (PyTorch-style,
+DALI-style, or EMLIO — they share the batch interface), runs a train step
+per batch on the (simulated) GPU, and records ``(wall_time, loss)`` pairs —
+the series Figure 11 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.gpu.device import SimulatedGPU
+from repro.train.models import MLPClassifier, ModelProfile, SGDOptimizer
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.logging import TimestampLogger
+
+
+@dataclass
+class EpochLog:
+    """Per-epoch training record."""
+
+    epoch: int
+    duration_s: float
+    batches: int = 0
+    samples: int = 0
+    losses: list[float] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)  # wall time of each step
+    data_wait_s: float = 0.0
+    train_s: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last step (raises when empty)."""
+        if not self.losses:
+            raise ValueError("epoch produced no batches")
+        return self.losses[-1]
+
+    def moving_average(self, window: int = 10) -> list[float]:
+        """Paper Fig. 11's 10-iteration moving average of the loss."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        out = []
+        acc = 0.0
+        for i, loss in enumerate(self.losses):
+            acc += loss
+            if i >= window:
+                acc -= self.losses[i - window]
+            out.append(acc / min(i + 1, window))
+        return out
+
+
+class Trainer:
+    """SGD training over any loader's batch stream."""
+
+    def __init__(
+        self,
+        model: MLPClassifier,
+        profile: ModelProfile,
+        gpu: SimulatedGPU | None = None,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        clock: Clock | None = None,
+        logger: TimestampLogger | None = None,
+    ) -> None:
+        self.model = model
+        self.profile = profile
+        self.gpu = gpu or SimulatedGPU()
+        self.optimizer = SGDOptimizer(model.params, lr=lr, momentum=momentum)
+        self.clock = clock or MonotonicClock()
+        self.logger = logger or TimestampLogger(name="trainer")
+
+    def train_step(self, tensors: np.ndarray, labels: np.ndarray) -> float:
+        """One fwd+bwd+update, executed as a (simulated) GPU kernel."""
+
+        def kernel() -> float:
+            loss, grads = self.model.loss_and_grads(tensors, labels)
+            self.optimizer.step(grads)
+            return loss
+
+        modeled = self.profile.step_time(len(labels))
+        return self.gpu.submit(kernel, modeled)
+
+    def run_epoch(
+        self,
+        batches: Iterable[tuple[np.ndarray, np.ndarray]],
+        epoch: int = 0,
+    ) -> EpochLog:
+        """Consume one epoch of batches; return the loss/time log."""
+        start = self.clock.now()
+        log = EpochLog(epoch=epoch, duration_s=0.0)
+        self.logger.log("epoch_start", epoch=epoch)
+        it: Iterator = iter(batches)
+        while True:
+            t0 = self.clock.now()
+            try:
+                tensors, labels = next(it)
+            except StopIteration:
+                break
+            t1 = self.clock.now()
+            loss = self.train_step(tensors, labels)
+            t2 = self.clock.now()
+            log.batches += 1
+            log.samples += len(labels)
+            log.losses.append(loss)
+            log.times.append(t2 - start)
+            log.data_wait_s += t1 - t0
+            log.train_s += t2 - t1
+            self.logger.log("train_step", epoch=epoch, loss=loss)
+        log.duration_s = self.clock.now() - start
+        self.logger.log("epoch_end", epoch=epoch)
+        return log

@@ -1,0 +1,21 @@
+"""Shared utilities: clocks, timestamp logging, rate limiting.
+
+These are deliberately tiny, dependency-free building blocks used by every
+other subsystem.  The :class:`~repro.util.clock.Clock` protocol is the seam
+that lets the same pipeline code run against wall time (real sockets) or
+virtual time (the discrete-event simulator in :mod:`repro.sim`).
+"""
+
+from repro.util.clock import Clock, MonotonicClock, VirtualClock, WallClock
+from repro.util.logging import TimestampLogger, TimelineEvent
+from repro.util.rate import TokenBucket
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "VirtualClock",
+    "WallClock",
+    "TimestampLogger",
+    "TimelineEvent",
+    "TokenBucket",
+]

@@ -1,0 +1,93 @@
+"""TimestampLogger — shared event timeline (paper §4.5, *Timestamp Logging*).
+
+Both the EMLIO sender and receiver log events (batch send, batch receipt,
+epoch start/end) through one logger so the timeline can later be aligned with
+the energy traces stored in the TSDB.  The logger is thread-safe and clock-
+agnostic; events carry free-form key/value fields.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.util.clock import Clock, WallClock
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One logged event: ``t`` seconds, an event ``kind``, and tags/fields."""
+
+    t: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """JSON object line for this event."""
+        return json.dumps({"t": self.t, "kind": self.kind, **self.fields})
+
+
+class TimestampLogger:
+    """Append-only, thread-safe event log keyed on a shared clock.
+
+    Parameters
+    ----------
+    clock:
+        Time source; defaults to wall-clock.  Passing the simulator's
+        :class:`~repro.util.clock.VirtualClock` gives virtual-time stamps.
+    name:
+        Logical component name recorded on every event (e.g. ``"daemon0"``).
+    """
+
+    def __init__(self, clock: Clock | None = None, name: str = "") -> None:
+        self._clock = clock or WallClock()
+        self._name = name
+        self._events: list[TimelineEvent] = []
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        """Component name stamped on events."""
+        return self._name
+
+    def log(self, kind: str, **fields: Any) -> TimelineEvent:
+        """Record ``kind`` at the current clock time with extra ``fields``."""
+        if self._name:
+            fields.setdefault("component", self._name)
+        ev = TimelineEvent(t=self._clock.now(), kind=kind, fields=fields)
+        with self._lock:
+            self._events.append(ev)
+        return ev
+
+    def events(self, kind: str | None = None) -> list[TimelineEvent]:
+        """Snapshot of logged events, optionally filtered by ``kind``."""
+        with self._lock:
+            evs = list(self._events)
+        if kind is not None:
+            evs = [e for e in evs if e.kind == kind]
+        return evs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[TimelineEvent]:
+        return iter(self.events())
+
+    def span(self, start_kind: str, end_kind: str) -> float:
+        """Seconds between the first ``start_kind`` and last ``end_kind``.
+
+        Raises ``ValueError`` when either endpoint is missing — a missing
+        epoch-start/epoch-end marker is a harness bug worth failing loudly on.
+        """
+        starts = self.events(start_kind)
+        ends = self.events(end_kind)
+        if not starts or not ends:
+            raise ValueError(f"missing events: {start_kind!r} or {end_kind!r}")
+        return ends[-1].t - starts[0].t
+
+    def merge(self, other: "TimestampLogger") -> list[TimelineEvent]:
+        """Union of two timelines sorted by timestamp (cross-node alignment)."""
+        return sorted(self.events() + other.events(), key=lambda e: e.t)

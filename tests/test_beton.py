@@ -1,0 +1,165 @@
+"""Tests for the FFCV-style beton format and loader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beton.format import BetonReader, BetonWriter, write_beton
+from repro.beton.loader import FFCVStyleLoader
+from repro.codec.sjpg import sjpg_encode
+from repro.data.samples import smooth_image
+
+
+def make_samples(n, size_range=(10, 200), seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.integers(0, 256, int(rng.integers(*size_range)), dtype=np.uint8).tobytes(),
+         int(rng.integers(0, 7)))
+        for _ in range(n)
+    ]
+
+
+# -- format -----------------------------------------------------------------------
+
+
+def test_write_read_roundtrip(tmp_path):
+    samples = make_samples(20)
+    path = tmp_path / "d.beton"
+    stats = write_beton(samples, path)
+    assert stats["num_samples"] == 20
+    with BetonReader(path) as reader:
+        assert len(reader) == 20
+        for i, (sample, label) in enumerate(samples):
+            got_sample, got_label = reader[i]
+            assert got_sample == sample
+            assert got_label == label
+
+
+def test_slot_size_is_aligned_max(tmp_path):
+    samples = [(b"a" * 100, 0), (b"b" * 65, 1)]
+    stats = write_beton(samples, tmp_path / "d.beton")
+    assert stats["slot_size"] == 128  # 100 rounded up to 64-byte alignment
+    assert stats["file_bytes"] >= stats["payload_bytes"]
+
+
+def test_random_access_is_index_arithmetic(tmp_path):
+    samples = make_samples(50, seed=3)
+    write_beton(samples, tmp_path / "d.beton")
+    with BetonReader(tmp_path / "d.beton") as reader:
+        # Access in a scrambled order; every slot must resolve correctly.
+        for i in np.random.default_rng(0).permutation(50):
+            assert reader[int(i)] == samples[int(i)]
+
+
+def test_sample_view_zero_copy(tmp_path):
+    write_beton([(b"hello world", 4)], tmp_path / "d.beton")
+    with BetonReader(tmp_path / "d.beton") as reader:
+        view = reader.sample_view(0)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"hello world"
+        view.release()
+
+
+def test_out_of_range_index(tmp_path):
+    write_beton([(b"x", 0)], tmp_path / "d.beton")
+    with BetonReader(tmp_path / "d.beton") as reader:
+        with pytest.raises(IndexError):
+            reader.sample_view(1)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "d.beton"
+    write_beton([(b"x", 0)], path)
+    raw = bytearray(path.read_bytes())
+    raw[0] = ord("Z")
+    path.write_bytes(bytes(raw))
+    with pytest.raises(ValueError, match="magic"):
+        BetonReader(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "d.beton"
+    write_beton(make_samples(4), path)
+    path.write_bytes(path.read_bytes()[:-80])
+    with pytest.raises(ValueError, match="truncated"):
+        BetonReader(path)
+
+
+def test_writer_validation(tmp_path):
+    writer = BetonWriter(tmp_path / "d.beton")
+    with pytest.raises(ValueError):
+        writer.append(b"", 0)
+    with pytest.raises(ValueError):
+        writer.close()  # empty file
+    with pytest.raises(RuntimeError):
+        writer.close()  # double close
+    with pytest.raises(RuntimeError):
+        writer.append(b"x", 0)  # after close
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=300), st.integers(-100, 100)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_roundtrip(tmp_path_factory, samples):
+    path = tmp_path_factory.mktemp("beton") / "d.beton"
+    write_beton(samples, path)
+    with BetonReader(path) as reader:
+        assert [reader[i] for i in range(len(reader))] == [
+            (s, int(l)) for s, l in samples
+        ]
+
+
+# -- loader -----------------------------------------------------------------------
+
+
+@pytest.fixture
+def image_beton(tmp_path):
+    rng = np.random.default_rng(5)
+    samples = [
+        (sjpg_encode(smooth_image(rng, 24, 24)), int(rng.integers(0, 5))) for _ in range(30)
+    ]
+    path = tmp_path / "images.beton"
+    write_beton(samples, path)
+    return path, samples
+
+
+def test_loader_full_epoch(image_beton):
+    path, samples = image_beton
+    with FFCVStyleLoader(path, batch_size=8, output_hw=(16, 16)) as loader:
+        batches = list(loader.epoch())
+    assert sum(len(l) for _t, l in batches) == 30
+    got = sorted(int(l) for _t, labels in batches for l in labels)
+    assert got == sorted(l for _s, l in samples)
+    for tensors, _l in batches:
+        assert tensors.shape[1:] == (3, 16, 16)
+
+
+def test_loader_epochs_shuffle(image_beton):
+    path, _ = image_beton
+    with FFCVStyleLoader(path, batch_size=8, output_hw=(16, 16), seed=1) as loader:
+        l0 = [tuple(l.tolist()) for _t, l in loader.epoch(0)]
+        l1 = [tuple(l.tolist()) for _t, l in loader.epoch(1)]
+    assert l0 != l1
+
+
+def test_loader_no_filesystem_ops_after_open(image_beton):
+    """FFCV's point: an epoch touches the mmap, not the filesystem."""
+    path, _ = image_beton
+    with FFCVStyleLoader(path, batch_size=8, output_hw=(16, 16)) as loader:
+        list(loader.epoch())
+        assert loader.stats.read_ops == 30  # mmap slot views, one per sample
+        assert loader.stats.batches == 4
+
+
+def test_loader_validation(image_beton):
+    path, _ = image_beton
+    with pytest.raises(ValueError):
+        FFCVStyleLoader(path, batch_size=0)
+    with pytest.raises(ValueError):
+        FFCVStyleLoader(path, num_workers=0)

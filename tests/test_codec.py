@@ -1,0 +1,147 @@
+"""Tests for the SJPG and RAW codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.raw import raw_decode, raw_encode, raw_overhead
+from repro.codec.sjpg import psnr, sjpg_decode, sjpg_decode_shape, sjpg_encode
+from repro.data.samples import smooth_image
+
+
+@pytest.fixture
+def image(rng):
+    return smooth_image(rng, 48, 64, channels=3)
+
+
+def test_roundtrip_shape_and_dtype(image):
+    out = sjpg_decode(sjpg_encode(image, quality=75))
+    assert out.shape == image.shape
+    assert out.dtype == np.uint8
+
+
+def test_high_quality_high_psnr(image):
+    out = sjpg_decode(sjpg_encode(image, quality=95))
+    assert psnr(image, out) > 30.0
+
+
+def test_quality_monotonic_in_fidelity(image):
+    p = [psnr(image, sjpg_decode(sjpg_encode(image, quality=q))) for q in (10, 50, 95)]
+    assert p[0] < p[1] < p[2]
+
+
+def test_quality_monotonic_in_size(image):
+    sizes = [len(sjpg_encode(image, quality=q)) for q in (10, 50, 95)]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_smooth_images_compress(image):
+    encoded = sjpg_encode(image, quality=75)
+    assert len(encoded) < image.nbytes / 2
+
+
+def test_grayscale_and_single_channel(rng):
+    gray2d = smooth_image(rng, 40, 40, channels=1)[:, :, 0]
+    out = sjpg_decode(sjpg_encode(gray2d, quality=85))
+    assert out.shape == (40, 40, 1)
+
+
+def test_non_multiple_of_8_dimensions(rng):
+    img = smooth_image(rng, 37, 53, channels=3)
+    out = sjpg_decode(sjpg_encode(img, quality=85))
+    assert out.shape == img.shape
+    assert psnr(img, out) > 25.0
+
+
+def test_decode_shape_peek(image):
+    data = sjpg_encode(image, quality=75)
+    assert sjpg_decode_shape(data) == image.shape
+
+
+def test_bad_magic_rejected(image):
+    data = bytearray(sjpg_encode(image))
+    data[0] = ord("X")
+    with pytest.raises(ValueError, match="magic"):
+        sjpg_decode(bytes(data))
+
+
+def test_quality_bounds():
+    img = np.zeros((8, 8, 1), dtype=np.uint8)
+    with pytest.raises(ValueError):
+        sjpg_encode(img, quality=0)
+    with pytest.raises(ValueError):
+        sjpg_encode(img, quality=101)
+
+
+def test_wrong_dtype_rejected():
+    with pytest.raises(TypeError):
+        sjpg_encode(np.zeros((8, 8, 3), dtype=np.float32))
+
+
+def test_empty_image_rejected():
+    with pytest.raises(ValueError):
+        sjpg_encode(np.zeros((0, 8, 3), dtype=np.uint8))
+
+
+def test_constant_image_roundtrips_exactly_at_high_quality():
+    img = np.full((16, 16, 3), 128, dtype=np.uint8)
+    out = sjpg_decode(sjpg_encode(img, quality=100))
+    assert np.all(np.abs(out.astype(int) - 128) <= 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    h=st.integers(min_value=8, max_value=40),
+    w=st.integers(min_value=8, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_roundtrip_psnr(h, w, seed):
+    rng = np.random.default_rng(seed)
+    img = smooth_image(rng, h, w, channels=3)
+    out = sjpg_decode(sjpg_encode(img, quality=90))
+    assert out.shape == img.shape
+    assert psnr(img, out) > 24.0
+
+
+# -- RAW codec ---------------------------------------------------------------
+
+
+def test_raw_roundtrip():
+    payload = b"\x01\x02\x03" * 1000
+    assert raw_decode(raw_encode(payload)) == payload
+
+
+def test_raw_exact_size():
+    payload = b"z" * 500
+    assert len(raw_encode(payload)) == 500 + raw_overhead()
+
+
+def test_raw_detects_corruption():
+    framed = bytearray(raw_encode(b"data" * 100))
+    framed[50] ^= 0xFF
+    with pytest.raises(ValueError, match="checksum"):
+        raw_decode(bytes(framed))
+
+
+def test_raw_detects_truncation():
+    framed = raw_encode(b"data" * 100)
+    with pytest.raises(ValueError, match="length"):
+        raw_decode(framed[:-3])
+
+
+def test_raw_bad_magic():
+    framed = bytearray(raw_encode(b"x"))
+    framed[0] = ord("Z")
+    with pytest.raises(ValueError, match="magic"):
+        raw_decode(bytes(framed))
+
+
+def test_raw_empty_payload():
+    assert raw_decode(raw_encode(b"")) == b""
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=0, max_size=4096))
+def test_raw_property_roundtrip(payload):
+    assert raw_decode(raw_encode(payload)) == payload

@@ -1,0 +1,192 @@
+"""Tests for the accumulator and the end-to-end EnergyMonitor."""
+
+import time
+
+import pytest
+
+from repro.energy.accumulator import Accumulator
+from repro.energy.monitor import EnergyMonitor, query_node
+from repro.energy.power_models import CpuSpec, GpuSpec
+from repro.energy.tsdb import TimeSeriesDB
+
+# -- Accumulator -----------------------------------------------------------------
+
+
+def test_merge_aligned_streams():
+    acc = Accumulator(tick_interval=0.1)
+    cpu = [(0.0, {"cpu_energy": 1.0}), (0.1, {"cpu_energy": 2.0})]
+    gpu = [(0.0, {"gpu_energy": 5.0}), (0.1, {"gpu_energy": 6.0})]
+    merged = acc.merge([cpu, gpu])
+    assert len(merged) == 2
+    assert merged[0].fields == {"cpu_energy": 1.0, "gpu_energy": 5.0}
+    assert merged[1].fields == {"cpu_energy": 2.0, "gpu_energy": 6.0}
+    assert not merged[0].interpolated
+
+
+def test_interpolation_fills_missing_tick_exactly():
+    acc = Accumulator(tick_interval=0.1)
+    # CPU missed the middle tick: linear interpolation must give the mean.
+    cpu = [(0.0, {"cpu_energy": 1.0}), (0.2, {"cpu_energy": 3.0})]
+    gpu = [(0.0, {"gpu_energy": 1.0}), (0.1, {"gpu_energy": 1.0}), (0.2, {"gpu_energy": 1.0})]
+    merged = acc.merge([cpu, gpu])
+    assert len(merged) == 3
+    mid = merged[1]
+    assert mid.fields["cpu_energy"] == pytest.approx(2.0)
+    assert "cpu_energy" in mid.interpolated
+    assert "gpu_energy" not in mid.interpolated
+
+
+def test_interpolation_multi_gap():
+    acc = Accumulator(tick_interval=1.0)
+    cpu = [(0.0, {"e": 0.0}), (4.0, {"e": 8.0})]
+    anchor = [(float(k), {"g": 0.0}) for k in range(5)]
+    merged = acc.merge([cpu, anchor])
+    assert [m.fields["e"] for m in merged] == pytest.approx([0.0, 2.0, 4.0, 6.0, 8.0])
+
+
+def test_edge_gaps_hold_nearest_value():
+    acc = Accumulator(tick_interval=1.0)
+    cpu = [(1.0, {"e": 5.0}), (2.0, {"e": 7.0})]
+    anchor = [(float(k), {"g": 0.0}) for k in range(4)]
+    merged = acc.merge([cpu, anchor])
+    assert merged[0].fields["e"] == 5.0  # held backwards
+    assert merged[3].fields["e"] == 7.0  # held forwards
+
+
+def test_empty_streams():
+    acc = Accumulator(tick_interval=0.1)
+    assert acc.merge([[], []]) == []
+
+
+def test_jittered_timestamps_snap_to_grid():
+    acc = Accumulator(tick_interval=0.1)
+    cpu = [(0.0, {"c": 1.0}), (0.104, {"c": 2.0}), (0.197, {"c": 3.0})]
+    merged = acc.merge([cpu])
+    assert len(merged) == 3
+    assert [m.fields["c"] for m in merged] == [1.0, 2.0, 3.0]
+
+
+def test_accumulator_validation():
+    with pytest.raises(ValueError):
+        Accumulator(tick_interval=0.0)
+
+
+# -- EnergyMonitor end-to-end ------------------------------------------------------
+
+
+def run_monitor(duration=0.25, interval=0.02, gpu=True, **kw):
+    mon = EnergyMonitor(
+        node_id="n0",
+        cpu_spec=CpuSpec(),
+        gpu_spec=GpuSpec() if gpu else None,
+        interval=interval,
+        **kw,
+    )
+    with mon:
+        time.sleep(duration)
+    return mon
+
+
+def test_monitor_collects_samples():
+    mon = run_monitor()
+    report = mon.query()
+    assert report.samples >= 5
+    assert report.cpu_j > 0
+    assert report.dram_j > 0
+    assert report.gpu_j > 0
+
+
+def test_monitor_without_gpu_has_no_gpu_energy():
+    mon = run_monitor(gpu=False)
+    report = mon.query()
+    assert report.gpu_j == 0.0
+    assert report.cpu_j > 0
+
+
+def test_idle_energy_matches_power_model():
+    interval = 0.02
+    mon = run_monitor(duration=0.3, interval=interval)
+    report = mon.query()
+    # At idle, per-sample CPU energy must equal idle power * interval.
+    expected_per_sample = mon.cpu_spec.idle_w * interval
+    assert report.cpu_j / report.samples == pytest.approx(expected_per_sample, rel=0.05)
+
+
+def test_busy_trackers_raise_measured_energy():
+    mon_idle = run_monitor(duration=0.3)
+    mon_busy = EnergyMonitor(node_id="n0", cpu_spec=CpuSpec(), gpu_spec=GpuSpec(), interval=0.02)
+    with mon_busy:
+        end = time.monotonic() + 0.3
+        while time.monotonic() < end:
+            mon_busy.cpu_tracker.add_busy(0.02)
+            mon_busy.gpu_tracker.add_busy(0.02)
+            time.sleep(0.005)
+    idle = mon_idle.query()
+    busy = mon_busy.query()
+    assert busy.cpu_j / busy.samples > idle.cpu_j / idle.samples
+    assert busy.gpu_j / busy.samples > idle.gpu_j / idle.samples
+
+
+def test_dropped_samples_are_interpolated():
+    # GPU sampler drops every 3rd tick; the merged series must stay gapless.
+    mon = EnergyMonitor(
+        node_id="n0",
+        cpu_spec=CpuSpec(),
+        gpu_spec=GpuSpec(),
+        interval=0.02,
+        gpu_drop_hook=lambda k: k % 3 == 1,
+    )
+    with mon:
+        time.sleep(0.3)
+    report = mon.query()
+    assert report.interpolated_samples > 0
+    pts = mon.tsdb.query("energy", tags={"node_id": "n0"})
+    dropped = [p for p in pts if "gpu_energy" not in p.field_dict()]
+    # Interior ticks must all carry gpu_energy after interpolation.
+    assert len(dropped) <= 1  # at most a trailing edge tick
+
+
+def test_interval_query_window():
+    mon = run_monitor(duration=0.4)
+    full = mon.query()
+    pts = mon.tsdb.query("energy")
+    t_mid = pts[len(pts) // 2].time
+    half = mon.query(start=t_mid)
+    assert 0 < half.cpu_j < full.cpu_j
+
+
+def test_central_tsdb_cross_node_query():
+    central = TimeSeriesDB()
+    m1 = EnergyMonitor(node_id="compute", cpu_spec=CpuSpec(), gpu_spec=GpuSpec(), interval=0.02, tsdb=central)
+    m2 = EnergyMonitor(node_id="storage", cpu_spec=CpuSpec(), interval=0.02, tsdb=central)
+    with m1, m2:
+        time.sleep(0.2)
+    compute = query_node(central, "compute")
+    storage = query_node(central, "storage")
+    assert compute.samples > 0 and storage.samples > 0
+    assert compute.gpu_j > 0
+    assert storage.gpu_j == 0.0
+    assert central.distinct_tag_values("energy", "node_id") == ["compute", "storage"]
+
+
+def test_double_start_rejected():
+    mon = EnergyMonitor(node_id="n0", interval=0.02)
+    mon.start()
+    with pytest.raises(RuntimeError):
+        mon.start()
+    mon.stop()
+
+
+def test_stop_is_idempotent():
+    mon = EnergyMonitor(node_id="n0", interval=0.02)
+    mon.start()
+    mon.stop()
+    mon.stop()  # no error
+
+
+def test_report_total_and_dict():
+    mon = run_monitor()
+    r = mon.query()
+    assert r.total_j == pytest.approx(r.cpu_j + r.dram_j + r.gpu_j)
+    d = r.as_dict()
+    assert set(d) == {"cpu_j", "dram_j", "gpu_j", "total_j", "duration_s"}

@@ -1,0 +1,183 @@
+"""Tests for power models and the TSDB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.power_models import (
+    BusyWindowTracker,
+    CpuRaplModel,
+    CpuSpec,
+    GpuNvmlModel,
+    GpuSpec,
+    UtilizationGauges,
+)
+from repro.energy.tsdb import Point, TimeSeriesDB
+
+# -- power models ---------------------------------------------------------------
+
+
+def test_cpu_power_affine_in_utilization():
+    spec = CpuSpec()
+    gauges = UtilizationGauges()
+    rapl = CpuRaplModel(spec, gauges)
+    gauges.set_util("cpu", 0.0)
+    assert rapl.package_power_w() == pytest.approx(spec.idle_w)
+    gauges.set_util("cpu", 1.0)
+    assert rapl.package_power_w() == pytest.approx(spec.max_w)
+    gauges.set_util("cpu", 0.5)
+    assert rapl.package_power_w() == pytest.approx((spec.idle_w + spec.max_w) / 2)
+
+
+def test_default_spec_matches_table1_xeon():
+    spec = CpuSpec()
+    assert spec.sockets == 2
+    assert spec.max_w == pytest.approx(250.0)  # 2x 125 W TDP
+
+
+def test_rapl_read_energy_integrates_power():
+    gauges = UtilizationGauges()
+    rapl = CpuRaplModel(CpuSpec(), gauges)
+    gauges.set_util("cpu", 1.0)
+    e_pkg, _e_ram = rapl.read_energy(2.0)
+    assert e_pkg == pytest.approx(2.0 * rapl.spec.max_w)
+
+
+def test_dram_power_scales_with_mem_util():
+    gauges = UtilizationGauges()
+    rapl = CpuRaplModel(CpuSpec(), gauges)
+    gauges.set_util("mem", 0.0)
+    low = rapl.dram_power_w()
+    gauges.set_util("mem", 1.0)
+    assert rapl.dram_power_w() > low
+
+
+def test_gpu_power_and_energy():
+    gauges = UtilizationGauges()
+    nvml = GpuNvmlModel(GpuSpec(count=2), gauges)
+    gauges.set_util("gpu", 0.0)
+    assert nvml.total_power_w() == pytest.approx(2 * 25.0)
+    gauges.set_util("gpu", 1.0)
+    assert nvml.read_energy(1.0) == pytest.approx(2 * 260.0)
+
+
+def test_gpu_device_bounds():
+    nvml = GpuNvmlModel(GpuSpec(count=1), UtilizationGauges())
+    with pytest.raises(IndexError):
+        nvml.power_w(1)
+
+
+def test_gauge_bounds():
+    g = UtilizationGauges()
+    with pytest.raises(ValueError):
+        g.set_util("cpu", 1.5)
+    with pytest.raises(ValueError):
+        g.set_util("cpu", -0.1)
+
+
+def test_negative_delta_rejected():
+    gauges = UtilizationGauges()
+    with pytest.raises(ValueError):
+        CpuRaplModel(CpuSpec(), gauges).read_energy(-1.0)
+    with pytest.raises(ValueError):
+        GpuNvmlModel(GpuSpec(), gauges).read_energy(-1.0)
+
+
+def test_busy_window_tracker_converts_to_utilization():
+    gauges = UtilizationGauges()
+    tracker = BusyWindowTracker(gauges, "cpu", lanes=2)
+    tracker.add_busy(0.1)  # 0.1 busy-seconds over a 0.1 s window on 2 lanes
+    util = tracker.flush(0.1)
+    assert util == pytest.approx(0.5)
+    assert gauges.get_util("cpu") == pytest.approx(0.5)
+    # Flush resets.
+    assert tracker.flush(0.1) == 0.0
+
+
+def test_busy_window_tracker_saturates_at_one():
+    tracker = BusyWindowTracker(UtilizationGauges(), "gpu", lanes=1)
+    tracker.add_busy(10.0)
+    assert tracker.flush(0.1) == 1.0
+
+
+def test_busy_tracker_validation():
+    g = UtilizationGauges()
+    with pytest.raises(ValueError):
+        BusyWindowTracker(g, "cpu", lanes=0)
+    t = BusyWindowTracker(g, "cpu")
+    with pytest.raises(ValueError):
+        t.add_busy(-1.0)
+    with pytest.raises(ValueError):
+        t.flush(0.0)
+
+
+# -- TSDB -------------------------------------------------------------------------
+
+
+def make_point(t, node="n0", **fields):
+    return Point.make("energy", t, tags={"node_id": node}, fields=fields)
+
+
+def test_write_and_query_interval():
+    db = TimeSeriesDB()
+    db.write_points([make_point(t, cpu_energy=1.0) for t in range(10)])
+    pts = db.query("energy", start=2, end=5)
+    assert [p.time for p in pts] == [2.0, 3.0, 4.0, 5.0]
+
+
+def test_query_unknown_measurement_is_empty():
+    assert TimeSeriesDB().query("nothing") == []
+
+
+def test_out_of_order_writes_are_time_sorted():
+    db = TimeSeriesDB()
+    db.write_points([make_point(5), make_point(1), make_point(3)])
+    assert [p.time for p in db.query("energy")] == [1.0, 3.0, 5.0]
+
+
+def test_tag_filtering():
+    db = TimeSeriesDB()
+    db.write_points([make_point(1, node="a"), make_point(2, node="b")])
+    assert len(db.query("energy", tags={"node_id": "a"})) == 1
+    assert db.distinct_tag_values("energy", "node_id") == ["a", "b"]
+
+
+def test_sum_fields_over_interval():
+    db = TimeSeriesDB()
+    db.write_points([make_point(t, cpu_energy=2.0, gpu_energy=3.0) for t in range(5)])
+    totals = db.sum_fields("energy", start=1, end=3)
+    assert totals == {"cpu_energy": 6.0, "gpu_energy": 9.0}
+
+
+def test_persistence_roundtrip(tmp_path):
+    db = TimeSeriesDB()
+    db.write_points([make_point(t, node=f"n{t % 2}", cpu_energy=float(t)) for t in range(6)])
+    path = tmp_path / "energy.jsonl"
+    assert db.save(path) == 6
+    loaded = TimeSeriesDB.load(path)
+    assert loaded.sum_fields("energy") == db.sum_fields("energy")
+    assert loaded.distinct_tag_values("energy", "node_id") == ["n0", "n1"]
+
+
+def test_points_written_counter():
+    db = TimeSeriesDB()
+    db.write_points([make_point(1), make_point(2)])
+    db.write_points([make_point(3)])
+    assert db.points_written == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+def test_property_interval_sum_equals_total(times):
+    db = TimeSeriesDB()
+    db.write_points([make_point(t, cpu_energy=1.0) for t in times])
+    total = db.sum_fields("energy")["cpu_energy"]
+    lo, hi = min(times), max(times)
+    in_range = db.sum_fields("energy", start=lo, end=hi)["cpu_energy"]
+    assert in_range == pytest.approx(total)
+    # Split-interval additivity.
+    mid = (lo + hi) / 2
+    left = db.sum_fields("energy", start=lo, end=mid).get("cpu_energy", 0.0)
+    right = db.sum_fields("energy", start=mid, end=hi).get("cpu_energy", 0.0)
+    on_boundary = db.sum_fields("energy", start=mid, end=mid).get("cpu_energy", 0.0)
+    assert left + right - on_boundary == pytest.approx(total)

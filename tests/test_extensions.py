@@ -1,0 +1,65 @@
+"""Tests for the future-work extensions: transports and co-scheduling."""
+
+import pytest
+
+from repro.modelsim.cosched import cosched_comparison
+from repro.modelsim.pipelines import WorkloadSpec
+from repro.modelsim.transports import NVME_OF, RDMA, TCP, TRANSPORTS, TransportSpec, transport_sweep
+from repro.net.emulation import LAN_10MS, NetworkProfile
+
+SMALL = WorkloadSpec("im-1k", num_samples=1_000, sample_bytes=100_000, mpix_per_sample=0.15, batch_size=64)
+
+
+def test_transport_registry():
+    assert set(TRANSPORTS) == {"tcp", "rdma", "nvme-of"}
+    assert RDMA.per_op_overhead_s < NVME_OF.per_op_overhead_s < TCP.per_op_overhead_s
+    assert RDMA.cpu_s_per_mb < TCP.cpu_s_per_mb
+
+
+def test_transport_spec_validation():
+    with pytest.raises(ValueError):
+        TransportSpec("bad", per_op_overhead_s=1e-6, cpu_s_per_mb=0, bandwidth_efficiency=0.0)
+    with pytest.raises(ValueError):
+        TransportSpec("bad", per_op_overhead_s=-1, cpu_s_per_mb=0, bandwidth_efficiency=0.9)
+
+
+def test_transport_profile_application():
+    shaped = RDMA.apply_to_profile(LAN_10MS)
+    assert shaped.rtt_s == LAN_10MS.rtt_s
+    assert shaped.bandwidth_bps == pytest.approx(LAN_10MS.bandwidth_bps * 0.97)
+    assert "rdma" in shaped.name
+
+
+def test_transport_costs_application():
+    costs = TCP.apply_to_costs()
+    assert costs.serialize_s_per_mb > RDMA.apply_to_costs().serialize_s_per_mb
+
+
+def test_transport_sweep_rdma_saves_cpu_energy():
+    """The §6 hypothesis: kernel-bypass transports cut I/O CPU energy."""
+    rows = transport_sweep(SMALL, LAN_10MS)
+    by_name = {r["transport"]: r for r in rows}
+    assert by_name["rdma"]["cpu_kj"] <= by_name["tcp"]["cpu_kj"]
+    assert by_name["rdma"]["duration_s"] <= by_name["tcp"]["duration_s"] * 1.02
+    assert by_name["nvme-of"]["cpu_kj"] <= by_name["tcp"]["cpu_kj"]
+
+
+def test_cosched_reduces_time_and_energy():
+    rows = cosched_comparison(SMALL, LAN_10MS)
+    by_sched = {r["schedule"]: r for r in rows}
+    un = by_sched["uncoordinated"]
+    co = by_sched["cosched"]
+    assert co["duration_s"] < un["duration_s"]
+    assert co["total_kj"] < un["total_kj"]
+    assert co["sync_residue_ms"] < un["sync_residue_ms"]
+
+
+def test_cosched_gap_grows_with_rtt():
+    lan = cosched_comparison(SMALL, NetworkProfile("l", rtt_s=1e-3, bandwidth_bps=10e9 / 8))
+    wan = cosched_comparison(SMALL, NetworkProfile("w", rtt_s=30e-3, bandwidth_bps=10e9 / 8))
+
+    def gap(rows):
+        by = {r["schedule"]: r for r in rows}
+        return by["uncoordinated"]["duration_s"] - by["cosched"]["duration_s"]
+
+    assert gap(wan) > gap(lan)

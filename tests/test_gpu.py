@@ -1,0 +1,250 @@
+"""Tests for the simulated GPU, preprocessing ops, and DALI-like pipeline."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.codec.raw import raw_encode
+from repro.codec.sjpg import sjpg_encode
+from repro.data.samples import smooth_image
+from repro.energy.power_models import BusyWindowTracker, UtilizationGauges
+from repro.gpu.device import GpuCostModel, SimulatedGPU
+from repro.gpu.ops import (
+    batch_megapixels,
+    decode_sample,
+    normalize_batch,
+    preprocess_batch,
+    random_crop,
+    resize_bilinear,
+)
+from repro.gpu.pipeline import EndOfData, Pipeline
+
+# -- device ---------------------------------------------------------------------
+
+
+def test_gpu_accounts_busy_time():
+    gpu = SimulatedGPU()
+    gpu.submit(lambda: 1 + 1, modeled_s=0.5)
+    gpu.submit(lambda: 2, modeled_s=0.25)
+    snap = gpu.snapshot()
+    assert snap["busy_s"] == pytest.approx(0.75)
+    assert snap["kernels_run"] == 2
+
+
+def test_gpu_realtime_occupies_wall_time():
+    gpu = SimulatedGPU(realtime=True)
+    start = time.monotonic()
+    gpu.submit(lambda: None, modeled_s=0.05)
+    assert time.monotonic() - start >= 0.045
+
+
+def test_gpu_feeds_busy_tracker():
+    gauges = UtilizationGauges()
+    tracker = BusyWindowTracker(gauges, "gpu")
+    gpu = SimulatedGPU(tracker=tracker)
+    gpu.submit(lambda: None, modeled_s=0.05)
+    tracker.flush(0.1)
+    assert gauges.get_util("gpu") == pytest.approx(0.5)
+
+
+def test_gpu_serializes_kernels():
+    """Kernels from many threads never overlap (single CUDA stream)."""
+    gpu = SimulatedGPU()
+    active = []
+    overlaps = []
+    lock = threading.Lock()
+
+    def kernel():
+        with lock:
+            active.append(1)
+            if len(active) > 1:
+                overlaps.append(True)
+        time.sleep(0.01)
+        with lock:
+            active.pop()
+
+    threads = [
+        threading.Thread(target=gpu.submit, args=(kernel, 0.0)) for _ in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not overlaps
+
+
+def test_gpu_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        SimulatedGPU().submit(lambda: None, modeled_s=-1.0)
+
+
+def test_cost_model_scaling():
+    cm = GpuCostModel()
+    assert cm.decode_time(2.0) > cm.decode_time(1.0)
+    assert cm.train_step_time(64) > cm.train_step_time(32)
+
+
+# -- ops -------------------------------------------------------------------------
+
+
+def test_decode_sample_dispatch(rng):
+    img = smooth_image(rng, 24, 24)
+    out = decode_sample(sjpg_encode(img))
+    assert out.shape == (24, 24, 3)
+    raw = decode_sample(raw_encode(b"\x07" * 3 * 100))
+    assert raw.ndim == 3 and raw.shape[2] == 3
+
+
+def test_decode_unknown_magic():
+    with pytest.raises(ValueError):
+        decode_sample(b"XXXXsomething")
+
+
+def test_resize_identity(rng):
+    img = smooth_image(rng, 32, 32)
+    out = resize_bilinear(img, 32, 32)
+    assert np.array_equal(out, img)
+
+
+def test_resize_shapes(rng):
+    img = smooth_image(rng, 30, 50)
+    assert resize_bilinear(img, 60, 25).shape == (60, 25, 3)
+    assert resize_bilinear(img, 7, 7).shape == (7, 7, 3)
+
+
+def test_resize_constant_image_stays_constant():
+    img = np.full((16, 16, 3), 99, dtype=np.uint8)
+    out = resize_bilinear(img, 31, 9)
+    assert np.all(out == 99)
+
+
+def test_resize_validation(rng):
+    img = smooth_image(rng, 16, 16)
+    with pytest.raises(ValueError):
+        resize_bilinear(img, 0, 10)
+    with pytest.raises(ValueError):
+        resize_bilinear(img[:, :, 0], 8, 8)
+
+
+def test_random_crop_bounds(rng):
+    img = smooth_image(rng, 40, 40)
+    crop = random_crop(img, 16, 16, rng)
+    assert crop.shape == (16, 16, 3)
+
+
+def test_random_crop_upscales_small_images(rng):
+    img = smooth_image(rng, 8, 8)
+    crop = random_crop(img, 16, 16, rng)
+    assert crop.shape == (16, 16, 3)
+
+
+def test_normalize_batch_shape_and_stats(rng):
+    batch = np.stack([smooth_image(rng, 16, 16) for _ in range(4)])
+    out = normalize_batch(batch)
+    assert out.shape == (4, 3, 16, 16)
+    assert out.dtype == np.float32
+    # Normalized values should be roughly centered.
+    assert abs(float(out.mean())) < 3.0
+
+
+def test_normalize_batch_validation():
+    with pytest.raises(ValueError):
+        normalize_batch(np.zeros((16, 16, 3), dtype=np.uint8))
+
+
+def test_preprocess_batch_end_to_end(rng):
+    samples = [sjpg_encode(smooth_image(rng, 20 + i, 24)) for i in range(3)]
+    out = preprocess_batch(samples, (16, 16), rng)
+    assert out.shape == (3, 3, 16, 16)
+
+
+def test_batch_megapixels(rng):
+    samples = [sjpg_encode(smooth_image(rng, 100, 100))]
+    assert batch_megapixels(samples) == pytest.approx(100 * 100 * 3 / 1e6)
+    assert batch_megapixels([raw_encode(b"z" * 1000)]) == pytest.approx(1016 / 1e6)
+
+
+# -- pipeline --------------------------------------------------------------------
+
+
+def make_source(rng, n_batches, batch=4, hw=(16, 16)):
+    payloads = [
+        (
+            [sjpg_encode(smooth_image(rng, *hw)) for _ in range(batch)],
+            list(range(batch)),
+        )
+        for _ in range(n_batches)
+    ]
+    state = {"i": 0}
+
+    def source():
+        if state["i"] >= len(payloads):
+            raise EndOfData
+        item = payloads[state["i"]]
+        state["i"] += 1
+        return item
+
+    return source
+
+
+def test_pipeline_yields_all_batches(rng):
+    pipe = Pipeline(make_source(rng, 5), output_hw=(16, 16), prefetch=2)
+    batches = list(pipe)
+    assert len(batches) == 5
+    for tensors, labels in batches:
+        assert tensors.shape == (4, 3, 16, 16)
+        assert labels.tolist() == [0, 1, 2, 3]
+    assert pipe.stats.batches == 5
+    assert pipe.stats.samples == 20
+
+
+def test_pipeline_run_raises_end_of_data_repeatedly(rng):
+    pipe = Pipeline(make_source(rng, 1), output_hw=(16, 16))
+    pipe.run()
+    with pytest.raises(EndOfData):
+        pipe.run()
+    with pytest.raises(EndOfData):
+        pipe.run()  # stays terminal
+    pipe.teardown()
+
+
+def test_pipeline_warmup_fills_prefetch(rng):
+    pipe = Pipeline(make_source(rng, 6), output_hw=(16, 16), prefetch=3)
+    pipe.warmup()
+    assert pipe._out.qsize() >= 3
+    list(pipe)
+    pipe.teardown()
+
+
+def test_pipeline_sync_mode(rng):
+    pipe = Pipeline(make_source(rng, 3), output_hw=(16, 16), exec_async=False)
+    assert len(list(pipe)) == 3
+
+
+def test_pipeline_source_error_propagates(rng):
+    def bad_source():
+        raise RuntimeError("source exploded")
+
+    pipe = Pipeline(bad_source, output_hw=(16, 16))
+    with pytest.raises(RuntimeError, match="source exploded"):
+        pipe.run()
+    pipe.teardown()
+
+
+def test_pipeline_prefetch_validation(rng):
+    with pytest.raises(ValueError):
+        Pipeline(make_source(rng, 1), prefetch=0)
+
+
+def test_pipeline_teardown_with_full_queue(rng):
+    pipe = Pipeline(make_source(rng, 10), output_hw=(16, 16), prefetch=1)
+    pipe.warmup()
+    pipe.teardown()  # must not hang with the worker blocked on a full queue
+
+
+def test_pipeline_context_manager(rng):
+    with Pipeline(make_source(rng, 2), output_hw=(16, 16)) as pipe:
+        tensors, _labels = pipe.run()
+        assert tensors.shape[0] == 4

@@ -1,0 +1,77 @@
+"""Tests for the report helpers and the experiment registry."""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import energy_factor, relative_spread, render_table, speedup
+
+
+def rows_fixture():
+    return [
+        {"loader": "dali", "rtt_ms": 10, "duration_s": 500.0, "total_kj": 100.0},
+        {"loader": "emlio", "rtt_ms": 10, "duration_s": 100.0, "total_kj": 20.0},
+    ]
+
+
+def test_render_table_alignment():
+    text = render_table(rows_fixture())
+    lines = text.splitlines()
+    assert lines[0].startswith("loader")
+    assert len(lines) == 4  # header, sep, 2 rows
+    assert "dali" in lines[2] and "emlio" in lines[3]
+
+
+def test_render_table_empty():
+    assert render_table([]) == "(no rows)"
+
+
+def test_render_table_column_subset():
+    text = render_table(rows_fixture(), columns=["loader", "duration_s"])
+    assert "total_kj" not in text
+
+
+def test_speedup():
+    assert speedup(rows_fixture(), "dali", "emlio", rtt_ms=10) == pytest.approx(5.0)
+
+
+def test_speedup_requires_unique_rows():
+    rows = rows_fixture() + rows_fixture()
+    with pytest.raises(ValueError):
+        speedup(rows, "dali", "emlio", rtt_ms=10)
+
+
+def test_energy_factor():
+    assert energy_factor(rows_fixture(), "dali", "emlio", rtt_ms=10) == pytest.approx(5.0)
+
+
+def test_relative_spread():
+    assert relative_spread([100.0, 100.0, 100.0]) == 0.0
+    assert relative_spread([90.0, 110.0]) == pytest.approx(0.2)
+    with pytest.raises(ValueError):
+        relative_spread([])
+
+
+def test_experiment_registry_covers_every_figure():
+    assert set(EXPERIMENTS) == {
+        "fig1", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    }
+    for exp in EXPERIMENTS.values():
+        assert exp.title and exp.paper_claim
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ValueError):
+        run_experiment("fig99")
+
+
+def test_table1_rows():
+    rows = run_experiment("table1")
+    assert len(rows) == 4
+    assert {r["gpu"] for r in rows} == {"quadro-rtx-6000", "tesla-p100", "-"}
+
+
+def test_fig8_shape_quick():
+    """Concurrency-2 EMLIO matches or beats DALI at low RTT (paper Fig. 8)."""
+    rows = run_experiment("fig8")
+    for rtt in (0.1, 1.0):
+        assert speedup(rows, "dali", "emlio", rtt_ms=rtt) >= 0.97

@@ -1,0 +1,184 @@
+"""Tests for DES components, cluster specs, and energy integration."""
+
+import pytest
+
+from repro.energy.power_models import CpuSpec, GpuSpec
+from repro.modelsim.clusters import (
+    NODES,
+    TACC_COMPUTE,
+    UC_COMPUTE,
+    UC_STORAGE,
+    NodeSpec,
+    StorageSpec,
+)
+from repro.modelsim.components import BusyLedger, CpuPool, GpuStream, Link, StorageDevice
+from repro.modelsim.energy import CPU_POWER_LANES, integrate_node_energy
+from repro.net.emulation import NetworkProfile
+from repro.sim.core import Simulator
+
+# -- clusters --------------------------------------------------------------------
+
+
+def test_table1_inventory():
+    assert set(NODES) == {
+        "uc-compute-gpu_rtx_6000",
+        "uc-storage-compute_skylake",
+        "tacc-compute-gpu_p100",
+        "tacc-storage",
+    }
+    assert UC_COMPUTE.has_gpu and not UC_STORAGE.has_gpu
+    assert TACC_COMPUTE.gpu.count == 2  # 2x P100
+    assert UC_COMPUTE.nic_bps == pytest.approx(10e9 / 8)
+
+
+def test_storage_spec_validation():
+    with pytest.raises(ValueError):
+        StorageSpec("bad", seq_read_bps=0, access_latency_s=0.001)
+    with pytest.raises(ValueError):
+        StorageSpec("bad", seq_read_bps=1e9, access_latency_s=-1)
+    with pytest.raises(ValueError):
+        StorageSpec("bad", seq_read_bps=1e9, access_latency_s=0, queue_depth=0)
+
+
+# -- components -------------------------------------------------------------------
+
+
+def test_storage_device_timing():
+    sim = Simulator()
+    ledger = BusyLedger()
+    spec = StorageSpec("ssd", seq_read_bps=100e6, access_latency_s=1e-3, queue_depth=1)
+    disk = StorageDevice(sim, spec, ledger)
+    p = disk.read(100e6)  # 1 second of transfer + 1 ms latency
+    sim.run(until=p)
+    assert sim.now == pytest.approx(1.001)
+    assert ledger.get("disk") == pytest.approx(1.001)
+    assert ledger.bytes["disk"] == 100e6
+
+
+def test_storage_random_read_pays_extra_seek():
+    sim = Simulator()
+    spec = StorageSpec("hdd", seq_read_bps=100e6, access_latency_s=5e-3, queue_depth=1)
+    disk = StorageDevice(sim, spec, BusyLedger())
+    p = disk.read(1000, sequential=False)
+    sim.run(until=p)
+    assert sim.now == pytest.approx(2 * 5e-3 + 1000 / 100e6)
+
+
+def test_storage_queue_depth_parallelism():
+    sim = Simulator()
+    spec = StorageSpec("ssd", seq_read_bps=1e9, access_latency_s=0.1, queue_depth=4)
+    disk = StorageDevice(sim, spec, BusyLedger())
+    procs = [disk.read(0) for _ in range(8)]
+    sim.run_all(procs)
+    assert sim.now == pytest.approx(0.2)  # two waves of four
+
+
+def test_link_request_response_pays_rtt():
+    sim = Simulator()
+    profile = NetworkProfile("x", rtt_s=0.02, bandwidth_bps=float("inf"))
+    link = Link(sim, profile, BusyLedger())
+    p = link.round_trip(100, 100)
+    sim.run(until=p)
+    assert sim.now == pytest.approx(0.02)
+
+
+def test_link_pipelined_transfers_overlap_propagation():
+    """Ten pipelined messages over a 50 ms one-way link take ~1 one-way
+    (plus serialization), not 10."""
+    sim = Simulator()
+    profile = NetworkProfile("x", rtt_s=0.1, bandwidth_bps=float("inf"))
+    link = Link(sim, profile, BusyLedger())
+    procs = [link.transfer(1000) for _ in range(10)]
+    sim.run_all(procs)
+    assert sim.now == pytest.approx(0.05, abs=1e-6)
+
+
+def test_link_serialization_is_exclusive():
+    sim = Simulator()
+    profile = NetworkProfile("x", rtt_s=0.0, bandwidth_bps=1e6)
+    ledger = BusyLedger()
+    link = Link(sim, profile, ledger)
+    procs = [link.transfer(1e6) for _ in range(3)]  # 1 s each on the NIC
+    sim.run_all(procs)
+    assert sim.now == pytest.approx(3.0)
+    assert ledger.bytes["link"] == pytest.approx(3e6)
+
+
+def test_cpu_pool_capacity():
+    sim = Simulator()
+    cpu = CpuPool(sim, cores=2, ledger=BusyLedger())
+    procs = [cpu.run(1.0) for _ in range(4)]
+    sim.run_all(procs)
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_gpu_stream_serializes():
+    sim = Simulator()
+    ledger = BusyLedger()
+    gpu = GpuStream(sim, ledger)
+    procs = [gpu.run(0.5) for _ in range(3)]
+    sim.run_all(procs)
+    assert sim.now == pytest.approx(1.5)
+    assert ledger.get("gpu") == pytest.approx(1.5)
+
+
+def test_ledger_validation():
+    ledger = BusyLedger()
+    with pytest.raises(ValueError):
+        ledger.add("x", -1.0)
+
+
+# -- energy integration --------------------------------------------------------------
+
+
+def make_node(gpu=True):
+    return NodeSpec(
+        name="test",
+        cpu=CpuSpec(sockets=1, tdp_w=100.0, idle_frac=0.5, dram_idle_w=2.0, dram_active_w=10.0),
+        storage=StorageSpec("ssd", seq_read_bps=1e9, access_latency_s=0),
+        nic_bps=1e9,
+        gpu=GpuSpec(count=1, idle_w=10.0, max_w=110.0) if gpu else None,
+        cores=8,
+    )
+
+
+def test_idle_node_energy_is_idle_power_times_time():
+    node = make_node()
+    e = integrate_node_energy(node, BusyLedger(), duration_s=100.0)
+    assert e.cpu_j == pytest.approx(50.0 * 100.0)  # idle 50 W
+    assert e.gpu_j == pytest.approx(10.0 * 100.0)
+    assert e.dram_j == pytest.approx(2.0 * 100.0)
+
+
+def test_busy_time_adds_dynamic_energy():
+    node = make_node()
+    ledger = BusyLedger()
+    ledger.add("cpu", CPU_POWER_LANES * 10.0)  # 10 s at full package power
+    ledger.add("gpu", 20.0)
+    e = integrate_node_energy(node, ledger, duration_s=100.0)
+    assert e.cpu_j == pytest.approx(50.0 * 100.0 + 50.0 * 10.0)
+    assert e.gpu_j == pytest.approx(10.0 * 100.0 + 100.0 * 20.0)
+
+
+def test_gpu_energy_zero_without_gpu():
+    e = integrate_node_energy(make_node(gpu=False), BusyLedger(), duration_s=10.0)
+    assert e.gpu_j == 0.0
+
+
+def test_busy_beyond_capacity_is_clamped():
+    node = make_node()
+    ledger = BusyLedger()
+    ledger.add("gpu", 1e9)  # absurd busy time
+    e = integrate_node_energy(node, ledger, duration_s=10.0)
+    assert e.gpu_j <= 10.0 * 10.0 + 100.0 * 10.0
+
+
+def test_energy_validation():
+    with pytest.raises(ValueError):
+        integrate_node_energy(make_node(), BusyLedger(), duration_s=-1.0)
+
+
+def test_total_and_dict():
+    e = integrate_node_energy(make_node(), BusyLedger(), duration_s=5.0)
+    assert e.total_j == pytest.approx(e.cpu_j + e.dram_j + e.gpu_j)
+    assert e.as_dict()["node"] == "test"

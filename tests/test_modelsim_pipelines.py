@@ -1,0 +1,158 @@
+"""Tests for the pipeline models: mechanics at small scale, paper shape at
+reduced scale (fast versions of the figure sweeps)."""
+
+import pytest
+
+from repro.harness.report import relative_spread
+from repro.modelsim.pipelines import (
+    DaliPipelineModel,
+    EmlioPipelineModel,
+    PytorchPipelineModel,
+    WorkloadSpec,
+    make_model,
+)
+from repro.net.emulation import LAN_0_1MS, LAN_10MS, LOCAL, WAN_30MS, NetworkProfile
+
+# A 1/50-scale ImageNet: same per-sample geometry, 2k samples.
+SMALL = WorkloadSpec("small-imagenet", num_samples=2_000, sample_bytes=100_000, mpix_per_sample=0.15, batch_size=64)
+
+
+def run(loader, profile, **kw):
+    return make_model(loader, SMALL, profile, **kw).run()
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec("bad", num_samples=0, sample_bytes=1, mpix_per_sample=0.1)
+    with pytest.raises(ValueError):
+        WorkloadSpec("bad", num_samples=1, sample_bytes=0, mpix_per_sample=0.1)
+    w = WorkloadSpec("ok", num_samples=100, sample_bytes=10, mpix_per_sample=0.1, batch_size=32)
+    assert w.num_batches == 4
+    assert w.total_bytes == 1000
+
+
+def test_make_model_factory():
+    assert isinstance(make_model("pytorch", SMALL, LOCAL), PytorchPipelineModel)
+    assert isinstance(make_model("dali", SMALL, LOCAL), DaliPipelineModel)
+    assert isinstance(make_model("emlio", SMALL, LOCAL), EmlioPipelineModel)
+    with pytest.raises(ValueError):
+        make_model("ffcv", SMALL, LOCAL)
+
+
+def test_all_loaders_complete_and_account():
+    for loader in ("pytorch", "dali", "emlio"):
+        r = run(loader, LAN_0_1MS)
+        assert r.duration_s > 0
+        assert r.samples == SMALL.num_samples
+        assert r.batches == SMALL.num_batches
+        assert r.compute_energy.total_j > 0
+        assert r.storage_energy.total_j > 0
+
+
+def test_train_time_is_a_lower_bound():
+    from repro.train.models import RESNET50_PROFILE
+
+    floor = SMALL.num_samples * RESNET50_PROFILE.train_s_per_sample
+    for loader in ("pytorch", "dali", "emlio"):
+        assert run(loader, LOCAL).duration_s >= floor
+
+
+def test_baselines_degrade_monotonically_with_rtt():
+    for loader in ("pytorch", "dali"):
+        durations = [run(loader, p).duration_s for p in (LAN_0_1MS, LAN_10MS, WAN_30MS)]
+        assert durations[0] < durations[1] < durations[2]
+
+
+def test_emlio_is_rtt_flat_within_5_percent():
+    """The paper's headline claim (±5 % from 0.1 ms to 30 ms)."""
+    durations = [
+        run("emlio", p).duration_s for p in (LOCAL, LAN_0_1MS, LAN_10MS, WAN_30MS)
+    ]
+    assert relative_spread(durations) < 0.05
+
+
+def test_emlio_energy_rtt_flat():
+    energies = [
+        run("emlio", p).total_energy_j for p in (LAN_0_1MS, LAN_10MS, WAN_30MS)
+    ]
+    assert relative_spread(energies) < 0.05
+
+
+def test_emlio_beats_baselines_at_wan():
+    emlio = run("emlio", WAN_30MS)
+    dali = run("dali", WAN_30MS)
+    pytorch = run("pytorch", WAN_30MS)
+    assert dali.duration_s / emlio.duration_s > 3.0
+    assert pytorch.duration_s / emlio.duration_s > 6.0
+    assert dali.total_energy_j > emlio.total_energy_j
+    assert pytorch.total_energy_j > dali.total_energy_j
+
+
+def test_pytorch_slower_than_dali_everywhere():
+    for p in (LAN_0_1MS, LAN_10MS, WAN_30MS):
+        assert run("pytorch", p).duration_s > run("dali", p).duration_s
+
+
+def test_baseline_energy_grows_with_duration():
+    a = run("dali", LAN_0_1MS)
+    b = run("dali", WAN_30MS)
+    assert b.total_energy_j > 2 * a.total_energy_j
+
+
+def test_more_pytorch_workers_help_at_rtt():
+    slow = run("pytorch", LAN_10MS, num_workers=2)
+    fast = run("pytorch", LAN_10MS, num_workers=8)
+    assert fast.duration_s < slow.duration_s
+
+
+def test_emlio_hwm_bounds_matter_at_wan():
+    """Tiny HWM strangles the pipe at high RTT; the default does not."""
+    wan = NetworkProfile("wan-fat", rtt_s=0.2, bandwidth_bps=10e9 / 8)
+    tight = run("emlio", wan, hwm=1, streams=1)
+    roomy = run("emlio", wan, hwm=16, streams=2)
+    assert roomy.duration_s <= tight.duration_s
+
+
+def test_emlio_network_bytes_match_dataset():
+    r = run("emlio", LAN_10MS)
+    assert r.network_bytes == pytest.approx(SMALL.total_bytes, rel=0.01)
+
+
+def test_local_fraction_reduces_network_traffic():
+    remote = run("dali", LAN_10MS, local_fraction=0.0)
+    half = run("dali", LAN_10MS, local_fraction=0.5)
+    assert half.network_bytes < remote.network_bytes * 0.7
+    assert half.duration_s < remote.duration_s
+
+
+def test_local_fraction_validation():
+    with pytest.raises(ValueError):
+        run("dali", LOCAL, local_fraction=1.5)
+
+
+def test_ddp_sync_extends_epoch():
+    base = run("emlio", LAN_10MS)
+    synced = run("emlio", LAN_10MS, ddp_sync_s=0.05)
+    assert synced.duration_s > base.duration_s + 0.04 * SMALL.num_batches
+
+
+def test_preprocess_and_train_flags():
+    r_only = run("pytorch", LAN_0_1MS, preprocess=False, train=False)
+    rp = run("pytorch", LAN_0_1MS, preprocess=True, train=False)
+    rpt = run("pytorch", LAN_0_1MS, preprocess=True, train=True)
+    assert r_only.duration_s <= rp.duration_s <= rpt.duration_s
+    assert rpt.compute_energy.gpu_j > rp.compute_energy.gpu_j
+
+
+def test_result_row_fields():
+    row = run("emlio", LAN_0_1MS).row()
+    assert set(row) == {
+        "loader", "workload", "rtt_ms", "duration_s", "cpu_kj", "dram_kj", "gpu_kj", "total_kj",
+    }
+
+
+def test_determinism():
+    a = run("dali", LAN_10MS)
+    b = run("dali", LAN_10MS)
+    assert a.duration_s == b.duration_s
+    assert a.total_energy_j == b.total_energy_j

@@ -1,0 +1,195 @@
+"""Tests for framing and channels, including latency emulation."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net.channel import Channel, Listener, connect_channel
+from repro.net.emulation import NetworkProfile
+from repro.net.framing import ConnectionClosed, recv_frame, send_frame
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    return a, b
+
+
+def test_frame_roundtrip():
+    a, b = socket_pair()
+    send_frame(a, b"hello world")
+    assert recv_frame(b) == b"hello world"
+    a.close(), b.close()
+
+
+def test_empty_frame():
+    a, b = socket_pair()
+    send_frame(a, b"")
+    assert recv_frame(b) == b""
+    a.close(), b.close()
+
+
+def test_multiple_frames_in_order():
+    a, b = socket_pair()
+    frames = [f"frame-{i}".encode() for i in range(10)]
+    for f in frames:
+        send_frame(a, f)
+    assert [recv_frame(b) for _ in range(10)] == frames
+    a.close(), b.close()
+
+
+def test_large_frame():
+    a, b = socket_pair()
+    payload = bytes(range(256)) * 4096  # 1 MiB
+    t = threading.Thread(target=send_frame, args=(a, payload))
+    t.start()
+    assert recv_frame(b) == payload
+    t.join()
+    a.close(), b.close()
+
+
+def test_clean_eof_raises_connection_closed():
+    a, b = socket_pair()
+    a.close()
+    with pytest.raises(ConnectionClosed):
+        recv_frame(b)
+    b.close()
+
+
+def test_oversized_incoming_frame_rejected():
+    import struct
+
+    from repro.net.framing import MAX_FRAME
+
+    a, b = socket_pair()
+    a.sendall(struct.pack(">I", MAX_FRAME + 1))  # corrupted length prefix
+    with pytest.raises(ValueError, match="exceeds MAX_FRAME"):
+        recv_frame(b)
+    a.close(), b.close()
+
+
+def test_channel_roundtrip_unshaped():
+    with Listener() as listener:
+        results = {}
+
+        def server():
+            chan = listener.accept(timeout=5)
+            results["got"] = chan.recv()
+            chan.send(b"pong")
+            chan.close()
+
+        t = threading.Thread(target=server)
+        t.start()
+        client = connect_channel("127.0.0.1", listener.port)
+        client.send(b"ping")
+        assert client.recv() == b"pong"
+        t.join()
+        assert results["got"] == b"ping"
+        assert client.bytes_sent == 4 and client.bytes_received == 4
+        client.close()
+
+
+@pytest.mark.parametrize("rtt_ms", [20.0, 60.0])
+def test_emulated_rtt_on_request_response(rtt_ms):
+    profile = NetworkProfile("test", rtt_s=rtt_ms / 1000.0)
+    with Listener(profile=profile) as listener:
+
+        def server():
+            chan = listener.accept(timeout=5)
+            while True:
+                try:
+                    msg = chan.recv()
+                except (ConnectionError, OSError):
+                    return
+                chan.send(msg)
+
+        t = threading.Thread(target=server, daemon=True)
+        t.start()
+        client = connect_channel("127.0.0.1", listener.port, profile=profile)
+        client.send(b"warmup")
+        client.recv()
+        start = time.monotonic()
+        rounds = 3
+        for _ in range(rounds):
+            client.send(b"x")
+            client.recv()
+        elapsed = time.monotonic() - start
+        expected = rounds * rtt_ms / 1000.0
+        assert elapsed >= expected * 0.9
+        assert elapsed < expected * 3.0 + 0.2
+        client.close()
+
+
+def test_emulated_latency_does_not_serialize_pipelined_sends():
+    """10 pipelined messages over a 50 ms one-way link must take ~1 RTT,
+    not 10 RTTs — the netem property EMLIO's prefetching exploits."""
+    profile = NetworkProfile("test", rtt_s=0.1)
+    with Listener() as listener:  # server replies unshaped
+        received = []
+        done = threading.Event()
+
+        def server():
+            chan = listener.accept(timeout=5)
+            for _ in range(10):
+                received.append(chan.recv())
+            done.set()
+
+        t = threading.Thread(target=server, daemon=True)
+        t.start()
+        client = connect_channel("127.0.0.1", listener.port, profile=profile)
+        start = time.monotonic()
+        for i in range(10):
+            client.send(f"msg{i}".encode())
+        assert done.wait(timeout=5)
+        elapsed = time.monotonic() - start
+        # one-way 50 ms: all 10 messages should land well within 3x one-way.
+        assert elapsed < 0.15
+        assert received == [f"msg{i}".encode() for i in range(10)]
+        client.close()
+
+
+def test_bandwidth_shaping_slows_bulk_transfer():
+    # 1 MiB over a 4 MiB/s emulated link: >= ~0.2 s (allowing burst capacity).
+    profile = NetworkProfile("slow", rtt_s=0.0, bandwidth_bps=4 * 1024 * 1024)
+    with Listener() as listener:
+        got = []
+        done = threading.Event()
+
+        def server():
+            chan = listener.accept(timeout=5)
+            got.append(chan.recv())
+            done.set()
+
+        threading.Thread(target=server, daemon=True).start()
+        client = connect_channel("127.0.0.1", listener.port, profile=profile)
+        payload = b"z" * (1024 * 1024)
+        start = time.monotonic()
+        client.send(payload)
+        assert done.wait(timeout=10)
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.15
+        assert got[0] == payload
+        client.close()
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        NetworkProfile("bad", rtt_s=-1.0)
+    with pytest.raises(ValueError):
+        NetworkProfile("bad", rtt_s=0.0, bandwidth_bps=0.0)
+
+
+def test_profile_transfer_time():
+    p = NetworkProfile("x", rtt_s=0.01, bandwidth_bps=1000.0)
+    assert p.transfer_time(500) == pytest.approx(0.5)
+    assert p.one_way_s == pytest.approx(0.005)
+    assert NetworkProfile("y", rtt_s=0.0).transfer_time(10**9) == 0.0
+
+
+def test_send_on_closed_channel_raises():
+    a, _b = socket_pair()
+    chan = Channel(a)
+    chan.close()
+    with pytest.raises(ConnectionError):
+        chan.send(b"x")

@@ -1,0 +1,204 @@
+"""Tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim.core import Interrupt, Simulator
+
+
+def test_timeout_advances_virtual_time():
+    sim = Simulator()
+    trace = []
+
+    def proc(sim):
+        yield sim.timeout(1.5)
+        trace.append(sim.now)
+        yield sim.timeout(2.5)
+        trace.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert trace == [1.5, 4.0]
+
+
+def test_process_return_value_via_event():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run(until=p)
+    assert p.value == 42
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    trace = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        trace.append(tag)
+
+    for tag in "abc":
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert trace == ["a", "b", "c"]
+
+
+def test_run_until_time_stops_at_horizon():
+    sim = Simulator()
+    trace = []
+
+    def proc(sim):
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert trace == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert sim.now == 5.0
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return "done"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    p = sim.process(parent(sim))
+    sim.run(until=p)
+    assert p.value == (3.0, "done")
+
+
+def test_all_of_waits_for_slowest():
+    sim = Simulator()
+
+    def worker(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    procs = [sim.process(worker(sim, d)) for d in (1.0, 5.0, 3.0)]
+    done = sim.all_of(procs)
+    sim.run(until=done)
+    assert sim.now == 5.0
+    assert done.value == [1.0, 5.0, 3.0]
+
+
+def test_any_of_fires_on_fastest():
+    sim = Simulator()
+
+    def worker(sim, d):
+        yield sim.timeout(d)
+        return d
+
+    procs = [sim.process(worker(sim, d)) for d in (4.0, 2.0)]
+    first = sim.any_of(procs)
+    sim.run(until=first)
+    assert sim.now == 2.0
+    assert first.value == 2.0
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    done = sim.all_of([])
+    sim.run(until=done)
+    assert done.value == []
+    assert sim.now == 0.0
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("boom")
+
+    p = sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=p)
+
+
+def test_unwaited_process_failure_crashes_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("silent death")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="silent death"):
+        sim.run()
+
+
+def test_interrupt_is_delivered():
+    sim = Simulator()
+    trace = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            trace.append((sim.now, intr.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert trace == [(2.0, "wake up")]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_deadlock_detection_when_waiting_on_never_fired_event():
+    sim = Simulator()
+    never = sim.event()
+
+    def waiter(sim):
+        yield never
+
+    p = sim.process(waiter(sim))
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run(until=p)
+
+
+def test_determinism_two_identical_runs():
+    def build_and_run():
+        sim = Simulator()
+        trace = []
+
+        def proc(sim, tag, period):
+            for _ in range(5):
+                yield sim.timeout(period)
+                trace.append((sim.now, tag))
+
+        sim.process(proc(sim, "a", 0.3))
+        sim.process(proc(sim, "b", 0.7))
+        sim.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

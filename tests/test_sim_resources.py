@@ -1,0 +1,179 @@
+"""Tests for repro.sim.resources (Store, Resource)."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource, Store
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer(sim):
+        for i in range(5):
+            yield store.put(i)
+            yield sim.timeout(0.1)
+
+    def consumer(sim):
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_bounded_store_blocks_producer():
+    """With capacity 2 and a slow consumer, puts are paced by gets (HWM)."""
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    put_times = []
+
+    def producer(sim):
+        for i in range(6):
+            yield store.put(i)
+            put_times.append(sim.now)
+
+    def consumer(sim):
+        for _ in range(6):
+            yield sim.timeout(1.0)
+            yield store.get()
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    # First two puts admitted at t=0; each later put waits for a get (t=1..4).
+    assert put_times == [0.0, 0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(2.0)
+        yield store.put("x")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [(2.0, "x")]
+
+
+def test_store_level_never_exceeds_capacity():
+    sim = Simulator()
+    store = Store(sim, capacity=3)
+    max_level = 0
+
+    def producer(sim):
+        for i in range(20):
+            yield store.put(i)
+
+    def consumer(sim):
+        nonlocal max_level
+        for _ in range(20):
+            yield sim.timeout(0.5)
+            max_level = max(max_level, store.level)
+            yield store.get()
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert max_level <= 3
+
+
+def test_try_get_nonblocking():
+    sim = Simulator()
+    store = Store(sim)
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+    def producer(sim):
+        yield store.put(9)
+
+    sim.process(producer(sim))
+    sim.run()
+    ok, item = store.try_get()
+    assert ok and item == 9
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, tag):
+        yield res.request()
+        start = sim.now
+        yield sim.timeout(1.0)
+        res.release()
+        spans.append((tag, start, sim.now))
+
+    for tag in "abc":
+        sim.process(worker(sim, tag))
+    sim.run()
+    # Non-overlapping 1 s slots.
+    assert [(s, e) for _t, s, e in spans] == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+
+def test_resource_parallelism_matches_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    finish = []
+
+    def worker(sim):
+        yield res.request()
+        yield sim.timeout(1.0)
+        res.release()
+        finish.append(sim.now)
+
+    for _ in range(6):
+        sim.process(worker(sim))
+    sim.run()
+    assert finish == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+
+
+def test_resource_over_release_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_available_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def worker(sim):
+        yield res.request()
+        assert res.available >= 0
+        yield sim.timeout(1.0)
+        res.release()
+
+    for _ in range(4):
+        sim.process(worker(sim))
+    sim.run()
+    assert res.available == 2
+
+
+def test_resource_use_helper():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    procs = [res.use(2.0), res.use(2.0)]
+    sim.run_all(procs)
+    assert sim.now == 4.0

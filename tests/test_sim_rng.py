@@ -1,0 +1,45 @@
+"""Tests for repro.sim.rng."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7)["net"].random(10)
+    b = RngStreams(7)["net"].random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1)["net"].random(10)
+    b = RngStreams(2)["net"].random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_streams_are_independent_by_name():
+    rng = RngStreams(0)
+    a = rng["storage"].random(10)
+    b = rng["net"].random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_adding_stream_does_not_perturb_existing():
+    rng1 = RngStreams(5)
+    a_before = rng1["a"].random(5)
+
+    rng2 = RngStreams(5)
+    _ = rng2["b"].random(5)  # touch an extra stream first
+    a_after = rng2["a"].random(5)
+    assert np.array_equal(a_before, a_after)
+
+
+def test_stream_is_cached():
+    rng = RngStreams(0)
+    assert rng["x"] is rng["x"]
+
+
+def test_names_lists_touched_streams():
+    rng = RngStreams(0)
+    rng["b"], rng["a"]
+    assert rng.names() == ["a", "b"]

@@ -1,0 +1,140 @@
+"""Tests for TFRecord writer/reader: framing, mmap ranges, corruption."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tfrecord.reader import (
+    TFRecordCorruption,
+    TFRecordReader,
+    read_record_at,
+    scan_records,
+)
+from repro.tfrecord.writer import TFRecordWriter, frame_record, framed_size
+
+
+def write_shard(path, records):
+    offsets = []
+    with TFRecordWriter(path) as w:
+        for rec in records:
+            offsets.append(w.write(rec))
+    return offsets
+
+
+def test_frame_layout():
+    data = b"hello"
+    frame = frame_record(data)
+    assert len(frame) == framed_size(len(data)) == 12 + 5 + 4
+    (length,) = struct.unpack("<Q", frame[:8])
+    assert length == 5
+    assert frame[12:17] == data
+
+
+def test_write_read_roundtrip(tmp_path):
+    records = [b"alpha", b"beta", b"gamma" * 100, b""]
+    path = tmp_path / "s.tfrecord"
+    write_shard(path, records)
+    assert list(scan_records(path)) == records
+
+
+def test_offsets_are_contiguous(tmp_path):
+    records = [b"a" * n for n in (1, 10, 100)]
+    path = tmp_path / "s.tfrecord"
+    offsets = write_shard(path, records)
+    pos = 0
+    for (off, size), rec in zip(offsets, records):
+        assert off == pos
+        assert size == framed_size(len(rec))
+        pos += size
+
+
+def test_random_access_by_offset(tmp_path):
+    records = [f"record-{i}".encode() for i in range(20)]
+    path = tmp_path / "s.tfrecord"
+    offsets = write_shard(path, records)
+    for (off, _size), rec in zip(offsets, records):
+        assert read_record_at(path, off) == rec
+
+
+def test_read_range_contiguous_batch(tmp_path):
+    records = [f"r{i}".encode() * (i + 1) for i in range(16)]
+    path = tmp_path / "s.tfrecord"
+    offsets = write_shard(path, records)
+    with TFRecordReader(path) as reader:
+        batch = reader.read_range(offsets[4][0], 8)
+    assert batch == records[4:12]
+
+
+def test_raw_slice_zero_copy_bytes(tmp_path):
+    records = [b"abc", b"defg"]
+    path = tmp_path / "s.tfrecord"
+    offsets = write_shard(path, records)
+    total = sum(size for _off, size in offsets)
+    with TFRecordReader(path) as reader:
+        view = reader.raw_slice(0, total)
+        assert isinstance(view, memoryview)
+        assert len(view) == total
+        assert reader.nbytes == total
+        view.release()
+
+
+def test_raw_slice_out_of_bounds(tmp_path):
+    path = tmp_path / "s.tfrecord"
+    write_shard(path, [b"x"])
+    with TFRecordReader(path) as reader:
+        with pytest.raises(ValueError):
+            reader.raw_slice(0, 10**6)
+
+
+def test_data_corruption_detected(tmp_path):
+    path = tmp_path / "s.tfrecord"
+    write_shard(path, [b"precious data"])
+    raw = bytearray(path.read_bytes())
+    raw[14] ^= 0xFF  # flip a data byte
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TFRecordCorruption, match="data CRC"):
+        list(scan_records(path))
+
+
+def test_length_corruption_detected(tmp_path):
+    path = tmp_path / "s.tfrecord"
+    write_shard(path, [b"precious data"])
+    raw = bytearray(path.read_bytes())
+    raw[0] ^= 0x01  # flip a length byte
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TFRecordCorruption):
+        list(scan_records(path))
+
+
+def test_truncated_file_detected(tmp_path):
+    path = tmp_path / "s.tfrecord"
+    write_shard(path, [b"hello world"])
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-2])
+    with pytest.raises(TFRecordCorruption, match="truncated"):
+        list(scan_records(path))
+
+
+def test_verify_false_skips_crc(tmp_path):
+    path = tmp_path / "s.tfrecord"
+    write_shard(path, [b"precious data"])
+    raw = bytearray(path.read_bytes())
+    raw[14] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    assert len(list(scan_records(path, verify=False))) == 1
+
+
+def test_empty_file_iterates_nothing(tmp_path):
+    path = tmp_path / "empty.tfrecord"
+    path.write_bytes(b"")
+    assert list(scan_records(path)) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=512), min_size=1, max_size=20))
+def test_property_roundtrip(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("tf") / "s.tfrecord"
+    write_shard(path, records)
+    assert list(scan_records(path)) == records

@@ -1,0 +1,59 @@
+"""Tests for repro.util.clock."""
+
+import time
+
+import pytest
+
+from repro.util.clock import Clock, MonotonicClock, VirtualClock, WallClock
+
+
+def test_wall_clock_tracks_time():
+    c = WallClock()
+    t0 = c.now()
+    time.sleep(0.01)
+    assert c.now() > t0
+
+
+def test_monotonic_clock_never_goes_backwards():
+    c = MonotonicClock()
+    samples = [c.now() for _ in range(100)]
+    assert samples == sorted(samples)
+
+
+def test_virtual_clock_starts_at_given_time():
+    assert VirtualClock(42.0).now() == 42.0
+
+
+def test_virtual_clock_advance():
+    c = VirtualClock()
+    c.advance(1.5)
+    c.advance(0.5)
+    assert c.now() == 2.0
+
+
+def test_virtual_clock_advance_zero_is_allowed():
+    c = VirtualClock(5.0)
+    c.advance(0.0)
+    assert c.now() == 5.0
+
+
+def test_virtual_clock_rejects_negative_advance():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-0.1)
+
+
+def test_virtual_clock_set_forward():
+    c = VirtualClock(1.0)
+    c.set(3.0)
+    assert c.now() == 3.0
+
+
+def test_virtual_clock_set_backwards_rejected():
+    c = VirtualClock(10.0)
+    with pytest.raises(ValueError):
+        c.set(9.9)
+
+
+def test_clocks_satisfy_protocol():
+    for clock in (WallClock(), MonotonicClock(), VirtualClock()):
+        assert isinstance(clock, Clock)

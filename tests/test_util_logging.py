@@ -1,0 +1,85 @@
+"""Tests for repro.util.logging (TimestampLogger)."""
+
+import threading
+
+import pytest
+
+from repro.util.clock import VirtualClock
+from repro.util.logging import TimestampLogger
+
+
+def test_log_records_clock_time():
+    clock = VirtualClock(100.0)
+    logger = TimestampLogger(clock)
+    ev = logger.log("batch_send", batch=3)
+    assert ev.t == 100.0
+    assert ev.kind == "batch_send"
+    assert ev.fields["batch"] == 3
+
+
+def test_component_name_stamped_on_events():
+    logger = TimestampLogger(VirtualClock(), name="daemon0")
+    ev = logger.log("epoch_start")
+    assert ev.fields["component"] == "daemon0"
+
+
+def test_events_filter_by_kind():
+    logger = TimestampLogger(VirtualClock())
+    logger.log("a")
+    logger.log("b")
+    logger.log("a")
+    assert len(logger.events("a")) == 2
+    assert len(logger.events()) == 3
+
+
+def test_span_between_markers():
+    clock = VirtualClock()
+    logger = TimestampLogger(clock)
+    logger.log("epoch_start")
+    clock.advance(12.5)
+    logger.log("epoch_end")
+    assert logger.span("epoch_start", "epoch_end") == pytest.approx(12.5)
+
+
+def test_span_missing_marker_raises():
+    logger = TimestampLogger(VirtualClock())
+    logger.log("epoch_start")
+    with pytest.raises(ValueError):
+        logger.span("epoch_start", "epoch_end")
+
+
+def test_merge_is_time_sorted():
+    clock = VirtualClock()
+    a = TimestampLogger(clock, name="a")
+    b = TimestampLogger(clock, name="b")
+    a.log("x")
+    clock.advance(1)
+    b.log("y")
+    clock.advance(1)
+    a.log("z")
+    merged = a.merge(b)
+    assert [e.kind for e in merged] == ["x", "y", "z"]
+
+
+def test_thread_safety_no_lost_events():
+    logger = TimestampLogger()
+
+    def worker():
+        for _ in range(200):
+            logger.log("tick")
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(logger) == 1600
+
+
+def test_event_json_roundtrippable():
+    import json
+
+    logger = TimestampLogger(VirtualClock(7.0), name="recv")
+    ev = logger.log("batch_recv", nbytes=123)
+    obj = json.loads(ev.to_json())
+    assert obj == {"t": 7.0, "kind": "batch_recv", "nbytes": 123, "component": "recv"}

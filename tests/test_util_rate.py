@@ -1,0 +1,81 @@
+"""Tests for repro.util.rate (TokenBucket)."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+from repro.util.rate import TokenBucket
+
+
+def make_bucket(rate=1000.0, capacity=1000.0, start=0.0):
+    clock = VirtualClock(start)
+    return TokenBucket(rate, capacity, clock=clock), clock
+
+
+def test_full_bucket_passes_burst_without_delay():
+    bucket, _ = make_bucket()
+    assert bucket.reserve(1000) == 0.0
+
+
+def test_deficit_produces_proportional_delay():
+    bucket, _ = make_bucket(rate=100.0, capacity=100.0)
+    assert bucket.reserve(100) == 0.0  # drains the bucket
+    assert bucket.reserve(50) == pytest.approx(0.5)  # 50 tokens at 100/s
+
+
+def test_refill_over_time():
+    bucket, clock = make_bucket(rate=100.0, capacity=100.0)
+    bucket.reserve(100)
+    clock.advance(1.0)  # fully refilled
+    assert bucket.reserve(100) == 0.0
+
+
+def test_refill_caps_at_capacity():
+    bucket, clock = make_bucket(rate=100.0, capacity=100.0)
+    clock.advance(100.0)  # long idle must not accumulate beyond capacity
+    assert bucket.tokens == pytest.approx(100.0)
+
+
+def test_oversized_payload_takes_n_over_rate():
+    bucket, _ = make_bucket(rate=10.0, capacity=10.0)
+    bucket.reserve(10)
+    # A 100-token payload on a 10/s link: 10 s of serialization delay.
+    assert bucket.reserve(100) == pytest.approx(10.0)
+
+
+def test_would_delay_does_not_debit():
+    bucket, _ = make_bucket(rate=100.0, capacity=100.0)
+    d1 = bucket.would_delay(150)
+    d2 = bucket.would_delay(150)
+    assert d1 == d2 == pytest.approx(0.5)
+    assert bucket.tokens == pytest.approx(100.0)
+
+
+def test_infinite_rate_never_delays():
+    bucket = TokenBucket(float("inf"), capacity=1.0, clock=VirtualClock())
+    assert bucket.reserve(10**12) == 0.0
+
+
+def test_zero_reserve_is_free():
+    bucket, _ = make_bucket()
+    assert bucket.reserve(0) == 0.0
+
+
+def test_negative_reserve_rejected():
+    bucket, _ = make_bucket()
+    with pytest.raises(ValueError):
+        bucket.reserve(-1)
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        TokenBucket(0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(-5.0)
+
+
+def test_sequential_reserves_accumulate_delay():
+    bucket, _ = make_bucket(rate=100.0, capacity=100.0)
+    bucket.reserve(100)
+    d1 = bucket.reserve(100)
+    d2 = bucket.reserve(100)
+    assert d2 == pytest.approx(d1 + 1.0)
