@@ -11,6 +11,10 @@
   (``external_source``) → DALI-like pipeline with prefetch ``Q``.
 * :class:`~repro.core.service.EMLIOService` — single-call orchestration of
   daemon(s) + receiver over (emulated) TCP for examples and tests.
+* :mod:`~repro.core.recovery` — fault tolerance: persistent delivery
+  ledger, receiver dedup/reorder, reconnecting PUSH streams, and daemon
+  failover re-planning, giving exactly-once delivery over an
+  at-least-once transport.
 """
 
 from repro.core.config import EMLIOConfig
@@ -18,6 +22,14 @@ from repro.core.daemon import DaemonStats, EMLIODaemon
 from repro.core.planner import BatchAssignment, BatchPlan, Planner
 from repro.core.provider import BatchProvider
 from repro.core.receiver import EMLIOReceiver
+from repro.core.recovery import (
+    DaemonKilled,
+    DeliveryLedger,
+    EpochServeError,
+    FailoverCoordinator,
+    FailoverError,
+    RecoveryConfig,
+)
 from repro.core.service import EMLIOService
 
 __all__ = [
@@ -30,4 +42,10 @@ __all__ = [
     "BatchProvider",
     "EMLIOReceiver",
     "EMLIOService",
+    "DaemonKilled",
+    "DeliveryLedger",
+    "EpochServeError",
+    "FailoverCoordinator",
+    "FailoverError",
+    "RecoveryConfig",
 ]

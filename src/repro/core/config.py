@@ -34,6 +34,11 @@ class EMLIOConfig:
         literal "each node receives E x ceil(|D|/B) batches").
     seed:
         Shuffling seed (per-epoch shuffles derive from it).
+    reorder_window:
+        Receiver-side bounded reorder window: up to this many payloads are
+        buffered and emitted lowest-sequence-first, smoothing out-of-order
+        arrival (reconnect replays, failover overlap) with bounded memory.
+        0 (default) passes batches through in arrival order.
     """
 
     batch_size: int = 32
@@ -45,6 +50,7 @@ class EMLIOConfig:
     output_hw: tuple[int, int] = (64, 64)
     coverage: str = "partition"
     seed: int = 0
+    reorder_window: int = 0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -61,3 +67,5 @@ class EMLIOConfig:
             raise ValueError(f"prefetch must be >= 1, got {self.prefetch}")
         if self.coverage not in ("partition", "replicate"):
             raise ValueError(f"coverage must be 'partition' or 'replicate', got {self.coverage!r}")
+        if self.reorder_window < 0:
+            raise ValueError(f"reorder_window must be >= 0, got {self.reorder_window}")

@@ -8,11 +8,24 @@ split of the batch plan, and for every assignment:
    (:meth:`~repro.tfrecord.reader.TFRecordReader.read_range` — one
    contiguous traversal, no per-record syscalls);
 2. unpacks the examples and msgpack-serializes the whole batch into one
-   :class:`~repro.serialize.payload.BatchPayload`;
+   :class:`~repro.serialize.payload.BatchPayload`, stamped with the
+   per-(epoch, node) sequence number the receiver dedups on;
 3. PUSHes it — the socket's HWM provides the back-off (paper §4.5).
 
 Reading/serializing of batch *k+1* proceeds while batch *k* sits in the
 send pipeline: the network-pipeline concurrency of design principle (1).
+
+Recovery design (see :mod:`repro.core.recovery`): with a
+:class:`~repro.net.mq.ReconnectPolicy` the PUSH streams survive transient
+transport errors by reconnecting and replaying unacknowledged batches
+(at-least-once; the receiver dedups).  ``serve_epoch`` accepts a ``skip``
+set of already-delivered keys so a resumed or failover daemon sends only
+the residual, aggregates *all* worker errors into an
+:class:`~repro.core.recovery.EpochServeError` instead of dropping all but
+the first, and :meth:`EMLIODaemon.kill` lets a supervisor (or a chaos test)
+stop a daemon mid-epoch — workers abort with
+:class:`~repro.core.recovery.DaemonKilled` and in-flight messages are
+dropped, exactly like a crash.
 """
 
 from __future__ import annotations
@@ -20,17 +33,21 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Collection
 
 from repro.core.config import EMLIOConfig
 from repro.core.planner import BatchAssignment, BatchPlan
+from repro.core.recovery import DaemonKilled, EpochServeError
 from repro.energy.power_models import BusyWindowTracker
 from repro.net.emulation import NetworkProfile
-from repro.net.mq import PushSocket
+from repro.net.mq import PushSocket, ReconnectPolicy
 from repro.serialize.payload import BatchPayload, encode_batch
 from repro.tfrecord.reader import TFRecordReader
 from repro.tfrecord.sharder import unpack_example
 from repro.util.clock import MonotonicClock
 from repro.util.logging import TimestampLogger
+
+_KILL_POLL_S = 0.002  # back-off while a killable send waits for HWM room
 
 
 @dataclass
@@ -85,6 +102,13 @@ class EMLIODaemon:
         Egress shaping (storage → compute direction).
     cpu_tracker:
         Optional busy tracker feeding the storage node's power model.
+    reconnect:
+        PUSH-stream reconnect policy; ``None`` dies on the first transport
+        error (pre-recovery behaviour).
+    fault_injector:
+        Chaos hook called as ``fault_injector(assignment, push)`` before
+        each batch is sent — tests use it to drop connections or kill the
+        daemon at a deterministic point in the epoch.
     """
 
     def __init__(
@@ -97,6 +121,8 @@ class EMLIODaemon:
         cpu_tracker: BusyWindowTracker | None = None,
         logger: TimestampLogger | None = None,
         shard_filter: set[str] | None = None,
+        reconnect: ReconnectPolicy | None = None,
+        fault_injector: Callable[[BatchAssignment, PushSocket], None] | None = None,
     ) -> None:
         self.dataset_root = Path(dataset_root)
         self.plan = plan
@@ -106,13 +132,31 @@ class EMLIODaemon:
         self.cpu_tracker = cpu_tracker
         self.logger = logger or TimestampLogger(name="daemon")
         self.shard_filter = shard_filter
+        self.reconnect = reconnect
+        self.fault_injector = fault_injector
         self.stats = DaemonStats()
         self._clock = MonotonicClock()
+        self._killed = threading.Event()
         self._readers: dict[str, TFRecordReader] = {}
         self._readers_lock = threading.Lock()
         for node_id in {a.node_id for a in plan.assignments}:
             if node_id not in self.node_endpoints:
                 raise ValueError(f"plan targets node {node_id} with no endpoint")
+
+    @property
+    def killed(self) -> bool:
+        """Whether :meth:`kill` was invoked."""
+        return self._killed.is_set()
+
+    def kill(self) -> None:
+        """Declare this daemon dead, abruptly.
+
+        Send workers abort at their next batch (or mid-backpressure wait)
+        with :class:`DaemonKilled`; queued-but-unsent messages are dropped —
+        the transport-level signature of a crashed storage node.  Recovery
+        of the undelivered batches is the FailoverCoordinator's job.
+        """
+        self._killed.set()
 
     def _reader(self, shard_path: str) -> TFRecordReader:
         """One shared mmap reader per shard file."""
@@ -129,9 +173,27 @@ class EMLIODaemon:
             batches = [a for a in batches if a.shard in self.shard_filter]
         return batches
 
-    def _send_worker(self, assignments: list[BatchAssignment], push: PushSocket) -> None:
+    def _push(self, payload: bytes, push: PushSocket) -> None:
+        """HWM-backpressured send that stays killable while blocked."""
+        while not push.try_send(payload):
+            if self._killed.is_set():
+                raise DaemonKilled("daemon killed while waiting for send credit")
+            self._clock.sleep(_KILL_POLL_S)
+
+    def _send_worker(
+        self,
+        assignments: list[BatchAssignment],
+        push: PushSocket,
+        skip: Collection[tuple[int, int, int]] | None = None,
+    ) -> None:
         """The paper's SendWorker: mmap-slice, serialize, PUSH."""
         for a in assignments:
+            if self._killed.is_set():
+                raise DaemonKilled(f"daemon killed before batch (epoch={a.epoch}, index={a.batch_index})")
+            if skip is not None and (a.epoch, a.node_id, a.batch_index) in skip:
+                continue
+            if self.fault_injector is not None:
+                self.fault_injector(a, push)
             t0 = self._clock.now()
             reader = self._reader(a.shard_path)
             records = reader.read_range(a.offset, a.count)
@@ -155,10 +217,11 @@ class EMLIODaemon:
                     samples=samples,
                     labels=labels,
                     node_id=a.node_id,
+                    seq=a.batch_index,
                 )
             )
             t2 = self._clock.now()
-            push.send(payload)  # HWM backpressure applies here
+            self._push(payload, push)  # HWM backpressure applies here
             if self.cpu_tracker is not None:
                 self.cpu_tracker.add_busy(t2 - t0)
             self.stats.record(
@@ -173,12 +236,20 @@ class EMLIODaemon:
                 nbytes=len(payload),
             )
 
-    def serve_epoch(self, epoch: int) -> None:
+    def serve_epoch(
+        self, epoch: int, skip: Collection[tuple[int, int, int]] | None = None
+    ) -> None:
         """Send every assigned batch of one epoch to all compute nodes.
 
         Blocks until the epoch is fully pushed (and flushed).  Algorithm 2
         lines 6–8: per node, split into T thread work lists and run them on
         a thread pool.
+
+        ``skip`` holds ``(epoch, node_id, seq)`` delivery keys to omit —
+        the resume/failover path sends only what a ledger says is still
+        owed.  A single worker failure is re-raised as-is; multiple worker
+        failures are aggregated into one :class:`EpochServeError` so no
+        diagnosis is lost.
         """
         cfg = self.config
         self.logger.log("epoch_start", epoch=epoch)
@@ -196,13 +267,14 @@ class EMLIODaemon:
                     hwm=cfg.hwm,
                     profile=self.profile,
                     streams_per_endpoint=cfg.streams_per_node,
+                    reconnect=self.reconnect,
                 )
                 pushes.append(push)
                 splits = [assignments[t :: cfg.daemon_threads] for t in range(cfg.daemon_threads)]
 
                 def run(split=None, sock=push):
                     try:
-                        self._send_worker(split, sock)
+                        self._send_worker(split, sock, skip=skip)
                     except BaseException as err:  # noqa: BLE001 - propagate to caller
                         with err_lock:
                             errors.append(err)
@@ -216,10 +288,16 @@ class EMLIODaemon:
             for t in threads:
                 t.join()
         finally:
+            # A killed daemon crashes: drop in-flight instead of flushing.
+            flush_timeout = 0.0 if self._killed.is_set() else 30.0
             for push in pushes:
-                push.close()
-        if errors:
+                push.close(timeout=flush_timeout)
+        if len(errors) == 1:
             raise errors[0]
+        if errors:
+            raise EpochServeError(
+                f"{len(errors)} send workers failed in epoch {epoch}", errors
+            )
         self.logger.log("epoch_end", epoch=epoch)
 
     def serve(self) -> None:

@@ -21,6 +21,7 @@ Invariants (tested property-style):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Collection, Iterable
 
 import numpy as np
 
@@ -95,6 +96,50 @@ class BatchPlan:
 
     def samples_per_node(self, node_id: int, epoch: int) -> int:
         return sum(a.count for a in self.for_epoch_node(epoch, node_id))
+
+    def keys(self, epoch: int | None = None) -> set[tuple[int, int, int]]:
+        """Delivery keys ``(epoch, node_id, batch_index)`` of every batch.
+
+        ``batch_index`` doubles as the payload sequence number, so these are
+        exactly the keys a :class:`~repro.core.recovery.DeliveryLedger`
+        records.
+        """
+        return {
+            (a.epoch, a.node_id, a.batch_index)
+            for a in self.assignments
+            if epoch is None or a.epoch == epoch
+        }
+
+    def residual(
+        self,
+        delivered: Collection[tuple[int, int, int]],
+        epoch: int | None = None,
+        shards: Iterable[str] | None = None,
+    ) -> "BatchPlan":
+        """The sub-plan still owed after ``delivered`` keys have landed.
+
+        Used by failover/resume: assignments are reused verbatim from this
+        plan, so every planner invariant (contiguity, batch size, no record
+        assigned twice) carries over to the residual by construction.
+        ``epoch``/``shards`` optionally narrow the residual to one epoch or
+        one daemon's shard set.
+        """
+        delivered = set(delivered)
+        shard_set = None if shards is None else set(shards)
+        keep = tuple(
+            a
+            for a in self.assignments
+            if (a.epoch, a.node_id, a.batch_index) not in delivered
+            and (epoch is None or a.epoch == epoch)
+            and (shard_set is None or a.shard in shard_set)
+        )
+        return BatchPlan(
+            assignments=keep,
+            num_nodes=self.num_nodes,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            coverage=self.coverage,
+        )
 
 
 class Planner:

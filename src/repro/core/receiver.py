@@ -9,10 +9,20 @@ Per compute node:
    prefetch depth ``Q`` (line 3), warmed up with ``Q`` iterations (line 4);
 4. :meth:`epoch` iterates ``pipe.run()`` until the planned batch count is
    consumed (lines 5–9).
+
+Recovery design (see :mod:`repro.core.recovery`): given a
+:class:`~repro.core.recovery.DeliveryLedger`, the receiver records every
+batch it hands to the pipeline and, on restart, subtracts the ledger from
+the plan — a resumed epoch expects (and daemons resend) only the residual.
+``dedup=True`` absorbs the duplicates an at-least-once transport produces
+(reconnect replays, failover overlap); ``allow_partial=True`` turns a
+mid-epoch stall into a clean partial stop instead of an error, so callers
+can persist progress and resume later.
 """
 
 from __future__ import annotations
 
+import collections
 import queue
 import threading
 from typing import Iterator
@@ -22,6 +32,7 @@ import numpy as np
 from repro.core.config import EMLIOConfig
 from repro.core.planner import BatchPlan
 from repro.core.provider import BatchProvider
+from repro.core.recovery import DeliveryLedger
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.pipeline import EndOfData, Pipeline
 from repro.net.emulation import NetworkProfile
@@ -31,7 +42,17 @@ from repro.util.logging import TimestampLogger
 
 
 class EMLIOReceiver:
-    """One compute node's receive side."""
+    """One compute node's receive side.
+
+    Recovery parameters
+    -------------------
+    ledger:
+        Persistent delivery ledger; enables dedup and resume-after-restart.
+    dedup:
+        Tolerate duplicate payloads even without a ledger (implied by one).
+    reorder_window:
+        Overrides ``config.reorder_window`` when not ``None``.
+    """
 
     def __init__(
         self,
@@ -44,6 +65,9 @@ class EMLIOReceiver:
         gpu: SimulatedGPU | None = None,
         logger: TimestampLogger | None = None,
         stall_timeout: float = 60.0,
+        ledger: DeliveryLedger | None = None,
+        dedup: bool = False,
+        reorder_window: int | None = None,
     ) -> None:
         self.node_id = node_id
         self.plan = plan
@@ -51,9 +75,17 @@ class EMLIOReceiver:
         self.gpu = gpu or SimulatedGPU()
         self.logger = logger or TimestampLogger(name=f"receiver{node_id}")
         self.stall_timeout = stall_timeout
+        self.ledger = ledger
+        self.dedup = dedup or ledger is not None
+        self.reorder_window = (
+            config.reorder_window if reorder_window is None else reorder_window
+        )
         # Line 1: bind the PULL socket.
         self.pull = PullSocket(host=host, port=port, hwm=config.hwm, profile=profile)
         self._payload_q: queue.Queue = queue.Queue()
+        # Future-epoch payloads parked by one epoch's provider for the next
+        # (daemons may pipeline epoch e+1 while epoch e still drains).
+        self._holdover: collections.deque = collections.deque()
         self._stop = threading.Event()
         # Line 2: the zmq_receiver thread (deserializer).
         self._receiver_thread = threading.Thread(
@@ -61,6 +93,7 @@ class EMLIOReceiver:
         )
         self._receiver_thread.start()
         self.batches_received = 0
+        self.duplicates_dropped = 0  # cumulative across epochs
 
     @property
     def address(self) -> tuple[str, int]:
@@ -88,14 +121,43 @@ class EMLIOReceiver:
                 "batch_recv",
                 epoch=payload.epoch,
                 index=payload.batch_index,
+                seq=payload.seq,
                 nbytes=payload.nbytes,
             )
             self._payload_q.put(payload)
 
-    def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield preprocessed (tensors, labels) batches for one epoch."""
-        expected = self.plan.batches_per_node(self.node_id, epoch=epoch_index)
-        provider = BatchProvider(self._payload_q, expected, timeout=self.stall_timeout)
+    def _make_provider(self, epoch_index: int) -> BatchProvider:
+        """Build the epoch's provider, netting out ledgered deliveries."""
+        planned = self.plan.for_epoch_node(epoch_index, self.node_id)
+        already: set[tuple[int, int]] = set()
+        if self.ledger is not None:
+            planned_keys = {(a.epoch, a.node_id, a.batch_index) for a in planned}
+            already = {
+                (e, s)
+                for (e, n, s) in self.ledger.delivered(epoch=epoch_index, node=self.node_id)
+                if (e, n, s) in planned_keys
+            }
+        return BatchProvider(
+            self._payload_q,
+            expected_batches=len(planned) - len(already),
+            timeout=self.stall_timeout,
+            dedup=self.dedup,
+            already_delivered=already,
+            reorder_window=self.reorder_window,
+            epoch=epoch_index,
+            holdover=self._holdover,
+        )
+
+    def epoch(
+        self, epoch_index: int = 0, allow_partial: bool = False
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield preprocessed (tensors, labels) batches for one epoch.
+
+        With ``allow_partial=True`` a stalled stream ends the iteration
+        cleanly instead of raising — the delivery ledger then holds exactly
+        what landed, ready for a later resume.
+        """
+        provider = self._make_provider(epoch_index)
         # Line 3: build the pipeline over the provider.
         pipe = Pipeline(
             external_source=provider,
@@ -106,19 +168,37 @@ class EMLIOReceiver:
         )
         pipe.warmup()  # line 4
         self.logger.log("epoch_start", epoch=epoch_index)
+        stalled = False
+        consumed = 0
         try:
             while True:  # lines 6-9
                 try:
                     tensors, labels = pipe.run()
                 except EndOfData:
                     break
+                except RuntimeError as err:
+                    if allow_partial and "stalled" in str(err):
+                        stalled = True
+                        self.logger.log("epoch_partial", epoch=epoch_index)
+                        break
+                    raise
+                # Ledger at the consumption boundary, not pipeline handoff:
+                # batches prefetched but never consumed (crash, early close,
+                # teardown dropping buffers) must count as undelivered so a
+                # resume resends them.  The pipeline is FIFO, so the k-th
+                # run() output is the k-th provider emission.
+                if self.ledger is not None:
+                    self.ledger.record(*provider.emitted[consumed])
+                consumed += 1
                 yield tensors, labels
         finally:
             pipe.teardown()
+            self.duplicates_dropped += provider.duplicates
             self.logger.log("epoch_end", epoch=epoch_index)
-        if not provider.complete:
+        if not provider.complete and not (allow_partial and stalled):
             raise RuntimeError(
-                f"epoch {epoch_index} ended early: {provider.delivered}/{expected} batches"
+                f"epoch {epoch_index} ended early: "
+                f"{provider.delivered}/{provider.expected_batches} batches"
             )
 
     def close(self) -> None:

@@ -1,0 +1,292 @@
+"""Recovery subsystem — fault-tolerant, resumable streaming.
+
+EMLIO's push pipeline is fire-and-forget: the planner decides everything up
+front, daemons push, the receiver consumes.  This module adds the pieces that
+make a mid-epoch failure (dead daemon, dropped connection, restarted
+receiver) degrade throughput instead of killing the epoch:
+
+* :class:`DeliveryLedger` — a persistent append-only record of every batch
+  the receiver has handed to the pipeline, keyed by ``(epoch, node, seq)``.
+  Survives receiver restarts; the source of truth for "what is still owed".
+* :class:`FailoverCoordinator` — when a daemon is declared dead, re-plans
+  its *undelivered* assignments onto surviving storage roots that can reach
+  the shards (replicated storage or shared roots).  The residual plan is a
+  filtered view of the original :class:`~repro.core.planner.BatchPlan`, so
+  every planner invariant (contiguity, batch size, no double assignment)
+  holds by construction.
+* :class:`RecoveryConfig` — the policy knob bundle consumed by
+  :class:`~repro.core.service.EMLIOService` (``EMLIOService(recovery=...)``).
+* :class:`EpochServeError` / :class:`DaemonKilled` / :class:`FailoverError`
+  — the failure vocabulary shared by daemon, service and tests.
+
+Delivery semantics: daemons + reconnecting PUSH streams give *at-least-once*
+transport; the receiver's dedup window (:class:`~repro.core.provider
+.BatchProvider`) plus the ledger turn that into *exactly-once* delivery to
+the training pipeline.
+
+Follow-ons this design exposes (see ROADMAP "Open items"): receiver-side
+ledger compaction (per-epoch truncation once an epoch completes) and
+multi-receiver failover (re-planning a dead *compute* node's batches).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Collection, Iterable
+
+from repro.core.planner import BatchPlan
+from repro.net.mq import ReconnectPolicy
+from repro.util.logging import TimestampLogger
+
+#: A delivery key: (epoch, node_id, seq).  ``seq`` is the per-(epoch, node)
+#: sequence number stamped into each BatchPayload — the planner's
+#: ``batch_index`` dispatch order, unique within (epoch, node).
+DeliveryKey = tuple[int, int, int]
+
+
+class DaemonKilled(RuntimeError):
+    """A daemon was killed (chaos injection or operator action) mid-epoch."""
+
+
+class FailoverError(RuntimeError):
+    """A dead daemon's shards cannot all be re-planned onto survivors."""
+
+
+class EpochServeError(ExceptionGroup):
+    """All worker errors of one ``serve_epoch`` call, none dropped."""
+
+    def derive(self, excs):
+        return EpochServeError(self.message, excs)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Policy bundle for ``EMLIOService(recovery=...)``.
+
+    Attributes
+    ----------
+    ledger_path:
+        Where the delivery ledger persists.  ``None`` keeps it in memory —
+        dedup and failover still work, but a receiver restart starts blank.
+    dedup:
+        Receiver-side duplicate tolerance.  Required for at-least-once
+        transport (reconnect resends, failover overlap): turning it off
+        while reconnect is active is rejected at construction.
+    reorder_window:
+        Receiver-side bounded reorder window (batches buffered to emit in
+        roughly sequence order); ``None`` (default) inherits
+        ``EMLIOConfig.reorder_window``; 0 disables reordering.
+    failover:
+        Re-plan a dead daemon's undelivered batches onto survivors.
+    reconnect:
+        Backoff policy for daemon PUSH streams surviving transport errors.
+    """
+
+    ledger_path: str | Path | None = None
+    dedup: bool = True
+    reorder_window: int | None = None
+    failover: bool = True
+    reconnect: ReconnectPolicy = field(default_factory=ReconnectPolicy)
+
+    def __post_init__(self) -> None:
+        if self.reorder_window is not None and self.reorder_window < 0:
+            raise ValueError(f"reorder_window must be >= 0, got {self.reorder_window}")
+        if not self.dedup and self.reconnect.max_retries >= 1:
+            raise ValueError(
+                "dedup=False with an active ReconnectPolicy would turn every "
+                "reconnect replay into a fatal duplicate-delivery error; "
+                "enable dedup or disable reconnection (max_retries=0)"
+            )
+
+
+class DeliveryLedger:
+    """Persistent, thread-safe set of delivered ``(epoch, node, seq)`` keys.
+
+    Append-only text file, one ``epoch node seq`` line per delivered batch,
+    flushed on every record so a crash loses at most the in-flight write.
+    An *unterminated* final line (the crash interrupting that write) is
+    dropped and the file repaired on load — the batch simply counts as
+    undelivered and is resent (dedup absorbs it if it did land).  A
+    malformed but newline-terminated line — anywhere, tail included — is
+    not a torn append (each record is written whole); it means the file is
+    not a ledger, and loading fails loudly.
+    With ``path=None`` the ledger is memory-only (tests, ephemeral runs).
+    Compaction (dropping completed epochs) is a known follow-on; for now the
+    file and the in-memory set grow with delivered batches.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._keys: set[DeliveryKey] = set()
+        self._lock = threading.Lock()
+        self._fh = None
+        if self.path is not None:
+            if self.path.exists():
+                self._load(self.path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="ascii")
+
+    def _load(self, path: Path) -> None:
+        raw = path.read_text()
+        lines = raw.splitlines()
+        # No trailing newline ⇒ the final write was interrupted.  The line
+        # may still *parse* (truncated digits: '0 0 35\n' torn to '0 0 3'),
+        # so an unterminated tail is always dropped — the batch merely
+        # counts as undelivered and is resent (dedup absorbs a replay).
+        torn_tail = bool(raw) and not raw.endswith("\n")
+        for i, line in enumerate(lines):
+            if torn_tail and i == len(lines) - 1:
+                self._repair(path)
+                return
+            parts = line.split()
+            try:
+                key = (int(parts[0]), int(parts[1]), int(parts[2]))
+            except (IndexError, ValueError):
+                raise ValueError(f"corrupt ledger line: {line!r}") from None
+            if len(parts) != 3:
+                raise ValueError(f"corrupt ledger line: {line!r}")
+            self._keys.add(key)
+
+    def _repair(self, path: Path) -> None:
+        """Rewrite the file without the torn tail, clean for appends."""
+        path.write_text(
+            "".join(f"{e} {n} {s}\n" for (e, n, s) in sorted(self._keys))
+        )
+
+    def record(self, epoch: int, node_id: int, seq: int) -> bool:
+        """Mark one batch delivered; returns False when already recorded."""
+        key = (epoch, node_id, seq)
+        with self._lock:
+            if key in self._keys:
+                return False
+            self._keys.add(key)
+            if self._fh is not None:
+                self._fh.write(f"{epoch} {node_id} {seq}\n")
+                self._fh.flush()
+            return True
+
+    def delivered(self, epoch: int | None = None, node: int | None = None) -> set[DeliveryKey]:
+        """Snapshot of delivered keys, optionally filtered by epoch/node."""
+        with self._lock:
+            return {
+                k
+                for k in self._keys
+                if (epoch is None or k[0] == epoch) and (node is None or k[1] == node)
+            }
+
+    def __contains__(self, key: DeliveryKey) -> bool:
+        with self._lock:
+            return key in self._keys
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._keys)
+
+    def close(self) -> None:
+        """Release the backing file handle."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def _shard_file_exists(root: str, shard_path: str) -> bool:
+    return (Path(root) / shard_path).exists()
+
+
+class FailoverCoordinator:
+    """Re-plans a dead daemon's undelivered batches onto survivors.
+
+    Parameters
+    ----------
+    plan:
+        The original epoch plan (source of residual assignments).
+    ledger:
+        Delivery ledger consulted for what already arrived.
+    roots:
+        ``storage_root -> owned shard names`` for every daemon; ``None``
+        as a value means "all shards in the plan" (the single-daemon case).
+    reachable:
+        ``(root, shard_path) -> bool`` predicate deciding whether a
+        surviving root can serve a shard.  Defaults to a file-existence
+        check, which covers both replicated storage (every root holds every
+        shard) and shared roots (symlinked/NFS-mounted directories).
+    """
+
+    def __init__(
+        self,
+        plan: BatchPlan,
+        ledger: DeliveryLedger,
+        roots: dict[str, Collection[str] | None],
+        reachable: Callable[[str, str], bool] | None = None,
+        logger: TimestampLogger | None = None,
+    ) -> None:
+        self.plan = plan
+        self.ledger = ledger
+        self.roots = dict(roots)
+        self.reachable = reachable or _shard_file_exists
+        self.logger = logger or TimestampLogger(name="failover")
+
+    def shards_of(self, root: str) -> set[str]:
+        """Shard names the daemon at ``root`` was responsible for."""
+        owned = self.roots.get(root)
+        if owned is None:
+            return {a.shard for a in self.plan.assignments}
+        return set(owned)
+
+    def residual_plan(self, epoch: int, shards: Iterable[str] | None = None) -> BatchPlan:
+        """Sub-plan of not-yet-delivered assignments (optionally per shard set)."""
+        delivered = self.ledger.delivered(epoch=epoch)
+        return self.plan.residual(delivered, epoch=epoch, shards=shards)
+
+    def plan_failover(
+        self,
+        dead_root: str,
+        epoch: int,
+        survivors: Collection[str] | None = None,
+    ) -> dict[str, set[str]]:
+        """Decide which survivor takes over each of the dead root's shards.
+
+        Only shards with *undelivered* batches need a new home.  Shards are
+        placed least-loaded-first across reachable survivors.  Raises
+        :class:`FailoverError` if any needed shard is unreachable by every
+        survivor.
+
+        ``survivors`` overrides the default "every root but the dead one" —
+        the service passes the roots of daemons that are actually alive, so
+        a root stays a valid takeover target while any daemon on it lives
+        (e.g. a failover daemon died on a root whose original daemon is
+        still healthy).
+        """
+        residual = self.residual_plan(epoch, shards=self.shards_of(dead_root))
+        needed = {a.shard: a.shard_path for a in residual.assignments}
+        if survivors is None:
+            survivors = [r for r in self.roots if r != dead_root]
+        else:
+            survivors = list(survivors)
+        takeover: dict[str, set[str]] = {}
+        unreachable: list[str] = []
+        for shard in sorted(needed):
+            placed = False
+            for root in sorted(survivors, key=lambda r: len(takeover.get(r, ()))):
+                if self.reachable(root, needed[shard]):
+                    takeover.setdefault(root, set()).add(shard)
+                    placed = True
+                    break
+            if not placed:
+                unreachable.append(shard)
+        if unreachable:
+            raise FailoverError(
+                f"no surviving daemon can reach shards {unreachable[:3]} "
+                f"({len(unreachable)} total) of dead root {dead_root}"
+            )
+        self.logger.log(
+            "failover_planned",
+            dead_root=dead_root,
+            epoch=epoch,
+            residual_batches=len(residual.assignments),
+            takeover={r: sorted(s) for r, s in takeover.items()},
+        )
+        return takeover

@@ -7,11 +7,26 @@ latency emulation, serving the configured number of epochs.
 For multi-node experiments construct :class:`~repro.core.daemon.EMLIODaemon`
 and :class:`~repro.core.receiver.EMLIOReceiver` directly — the service is a
 convenience, not the only entry point.
+
+Recovery design (see :mod:`repro.core.recovery`): with
+``EMLIOService(recovery=RecoveryConfig(...))`` the service becomes
+survivable end-to-end.  The receiver records deliveries in a (optionally
+persistent) ledger and dedups the at-least-once transport; daemon PUSH
+streams reconnect through transient drops; and a watchdog thread observes
+daemon deaths mid-epoch, asks the
+:class:`~repro.core.recovery.FailoverCoordinator` to re-plan the dead
+daemon's undelivered batches onto surviving storage roots that can reach
+the shards, and spawns replacement daemons serving exactly the residual.
+Failover daemons are themselves watched, so cascading failures keep
+recovering while any reachable root survives.  A restarted service with the
+same config and ledger path resumes mid-epoch: daemons skip ledgered
+batches and the receiver expects only the remainder.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
@@ -21,11 +36,30 @@ from repro.core.config import EMLIOConfig
 from repro.core.daemon import EMLIODaemon
 from repro.core.planner import BatchPlan, Planner
 from repro.core.receiver import EMLIOReceiver
+from repro.core.recovery import (
+    DeliveryLedger,
+    FailoverCoordinator,
+    RecoveryConfig,
+)
 from repro.energy.power_models import BusyWindowTracker
 from repro.gpu.device import SimulatedGPU
 from repro.net.emulation import NetworkProfile
 from repro.tfrecord.sharder import ShardedDataset
 from repro.util.logging import TimestampLogger
+
+_WATCH_POLL_S = 0.02  # watchdog poll period for dead daemon detection
+
+
+@dataclass
+class _DaemonEntry:
+    """One serving daemon's runtime state within an epoch."""
+
+    daemon: EMLIODaemon
+    root: str
+    shards: set[str] | None  # None: all shards in the plan
+    thread: threading.Thread | None = None
+    error: BaseException | None = None
+    handled: bool = field(default=False)
 
 
 class EMLIOService:
@@ -43,7 +77,13 @@ class EMLIOService:
     storage_shards:
         Optional mapping ``root_dir -> set of shard names`` to run several
         daemons, each owning a disjoint subset of shards (the paper's
-        fully-sharded Scenario 2).
+        fully-sharded Scenario 2).  When roots are replicas or shared
+        mounts holding each other's shards, they double as failover
+        targets.
+    recovery:
+        Fault-tolerance policy (ledger, dedup, reconnect, failover); see
+        :class:`~repro.core.recovery.RecoveryConfig`.  ``None`` keeps the
+        original fail-fast behaviour.
     """
 
     def __init__(
@@ -55,12 +95,20 @@ class EMLIOService:
         storage_shards: dict[str, set[str]] | None = None,
         cpu_tracker: BusyWindowTracker | None = None,
         stall_timeout: float = 60.0,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
         self.config = config
         self.dataset = dataset
         self.profile = profile
+        self.recovery = recovery
         self.logger = TimestampLogger(name="emlio-service")
         self.plan: BatchPlan = Planner(dataset, num_nodes=1, config=config).plan()
+        self.ledger: DeliveryLedger | None = (
+            DeliveryLedger(recovery.ledger_path) if recovery is not None else None
+        )
+        self.failovers = 0  # successful mid-epoch daemon replacements
+        # None inherits EMLIOConfig.reorder_window (the receiver's fallback).
+        reorder = recovery.reorder_window if recovery is not None else None
         self.receiver = EMLIOReceiver(
             node_id=0,
             plan=self.plan,
@@ -68,20 +116,16 @@ class EMLIOService:
             profile=profile,
             gpu=gpu,
             stall_timeout=stall_timeout,
+            ledger=self.ledger,
+            dedup=recovery.dedup if recovery is not None else False,
+            reorder_window=reorder,
         )
-        endpoints = {0: ("127.0.0.1", self.receiver.port)}
+        self._endpoints = {0: ("127.0.0.1", self.receiver.port)}
+        self._reconnect = recovery.reconnect if recovery is not None else None
+        self._cpu_tracker = cpu_tracker
         self.daemons: list[EMLIODaemon] = []
         if storage_shards is None:
-            self.daemons.append(
-                EMLIODaemon(
-                    dataset_root=dataset.root,
-                    plan=self.plan,
-                    node_endpoints=endpoints,
-                    config=config,
-                    profile=profile,
-                    cpu_tracker=cpu_tracker,
-                )
-            )
+            self.daemons.append(self._make_daemon(str(dataset.root), None))
         else:
             claimed: set[str] = set()
             for root, shards in storage_shards.items():
@@ -89,47 +133,154 @@ class EMLIOService:
                 if overlap:
                     raise ValueError(f"shards owned by two daemons: {sorted(overlap)[:3]}")
                 claimed |= shards
-                self.daemons.append(
-                    EMLIODaemon(
-                        dataset_root=Path(root),
-                        plan=self.plan,
-                        node_endpoints=endpoints,
-                        config=config,
-                        profile=profile,
-                        cpu_tracker=cpu_tracker,
-                        shard_filter=set(shards),
-                    )
-                )
+                self.daemons.append(self._make_daemon(root, set(shards)))
             all_shards = {ix.shard for ix in dataset.indexes}
             if claimed != all_shards:
                 raise ValueError(f"unserved shards: {sorted(all_shards - claimed)[:3]}")
-        self._daemon_threads: list[threading.Thread] = []
-        self._daemon_errors: list[BaseException] = []
+        self._failover_daemons: list[EMLIODaemon] = []
+        self._recovery_errors: list[BaseException] = []
 
-    def _run_daemon(self, daemon: EMLIODaemon, epoch: int) -> None:
+    def _make_daemon(
+        self,
+        root: str,
+        shards: set[str] | None,
+        plan: BatchPlan | None = None,
+    ) -> EMLIODaemon:
+        return EMLIODaemon(
+            dataset_root=Path(root),
+            plan=plan if plan is not None else self.plan,
+            node_endpoints=self._endpoints,
+            config=self.config,
+            profile=self.profile,
+            cpu_tracker=self._cpu_tracker,
+            shard_filter=shards,
+            reconnect=self._reconnect,
+        )
+
+    def kill_daemon(self, index: int = 0) -> None:
+        """Chaos hook: abruptly kill one of the serving daemons."""
+        self.daemons[index].kill()
+
+    # -- epoch orchestration ---------------------------------------------------
+
+    def _run_daemon(self, entry: _DaemonEntry, epoch: int, skip) -> None:
         try:
-            daemon.serve_epoch(epoch)
+            entry.daemon.serve_epoch(epoch, skip=skip)
         except BaseException as err:  # noqa: BLE001 - surfaced in epoch()
-            self._daemon_errors.append(err)
+            entry.error = err
+
+    def _spawn(self, entry: _DaemonEntry, epoch: int, skip) -> None:
+        entry.thread = threading.Thread(
+            target=self._run_daemon, args=(entry, epoch, skip), daemon=True,
+            name="emlio-daemon",
+        )
+        entry.thread.start()
+
+    def _failover(self, epoch: int, dead: _DaemonEntry, entries: list[_DaemonEntry]) -> None:
+        """Re-plan a dead daemon's undelivered batches onto survivors."""
+        assert self.ledger is not None
+        live_roots = {
+            e.root: e.shards
+            for e in entries
+            if e is not dead and (e.thread is None or e.error is None)
+        }
+        # Dead entry last so its shard set wins if a survivor shares the root
+        # (a failover daemon dying on a root that still has a live daemon).
+        # Survivors are the roots of *live* daemons — which may include the
+        # dead entry's root when another daemon on it is still healthy.
+        coordinator = FailoverCoordinator(
+            self.plan,
+            self.ledger,
+            {**live_roots, dead.root: dead.shards},
+            logger=self.logger,
+        )
+        takeover = coordinator.plan_failover(dead.root, epoch, survivors=list(live_roots))
+        delivered = self.ledger.delivered(epoch=epoch)  # one snapshot for all roots
+        for root, shards in takeover.items():
+            residual = self.plan.residual(delivered, epoch=epoch, shards=shards)
+            daemon = self._make_daemon(root, shards, plan=residual)
+            self._failover_daemons.append(daemon)
+            entry = _DaemonEntry(daemon=daemon, root=root, shards=shards)
+            entries.append(entry)
+            self._spawn(entry, epoch, delivered)
+        self.failovers += 1
+        self.logger.log(
+            "failover",
+            epoch=epoch,
+            dead_root=dead.root,
+            replacements=len(takeover),
+        )
+
+    def _watchdog(self, epoch: int, entries: list[_DaemonEntry], stop: threading.Event) -> None:
+        """Declare daemons dead when their serve thread errors; fail over."""
+        while not stop.is_set():
+            for entry in list(entries):
+                if (
+                    entry.error is not None
+                    and not entry.handled
+                    and entry.thread is not None
+                    and not entry.thread.is_alive()
+                ):
+                    entry.handled = True
+                    try:
+                        self._failover(epoch, entry, entries)
+                    except BaseException as err:  # noqa: BLE001 - surfaced later
+                        self._recovery_errors.append(err)
+                        return
+            stop.wait(_WATCH_POLL_S)
 
     def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Serve and consume one epoch end-to-end."""
         self.logger.log("epoch_start", epoch=epoch_index)
-        threads = [
-            threading.Thread(
-                target=self._run_daemon, args=(d, epoch_index), daemon=True, name="emlio-daemon"
-            )
+        self._recovery_errors = []
+        skip = self.ledger.delivered(epoch=epoch_index) if self.ledger is not None else None
+        entries = [
+            _DaemonEntry(daemon=d, root=str(d.dataset_root), shards=d.shard_filter)
             for d in self.daemons
         ]
-        for t in threads:
-            t.start()
+        for entry in entries:
+            self._spawn(entry, epoch_index, skip)
+        stop = threading.Event()
+        watchdog: threading.Thread | None = None
+        if self.recovery is not None and self.recovery.failover:
+            watchdog = threading.Thread(
+                target=self._watchdog, args=(epoch_index, entries, stop), daemon=True,
+                name="emlio-watchdog",
+            )
+            watchdog.start()
         try:
             yield from self.receiver.epoch(epoch_index)
+        except Exception as err:
+            # A failed failover starves the receiver into a stall; surface
+            # the root cause (e.g. FailoverError) over the symptom.
+            if self._recovery_errors:
+                raise self._recovery_errors[0] from err
+            raise
         finally:
-            for t in threads:
-                t.join(timeout=30.0)
-        if self._daemon_errors:
-            raise self._daemon_errors[0]
+            stop.set()
+            if watchdog is not None:
+                watchdog.join(timeout=10.0)
+            # Entries may have grown (failover); join whatever exists now.
+            for entry in list(entries):
+                if entry.thread is not None:
+                    entry.thread.join(timeout=30.0)
+        if self._recovery_errors:
+            raise self._recovery_errors[0]
+        unhandled = [e.error for e in entries if e.error is not None and not e.handled]
+        if unhandled:
+            # A daemon may die in the last instants of an epoch, after the
+            # receiver already consumed everything — the watchdog never got
+            # a sweep in.  A fully-covered ledger proves the error is moot.
+            if self.ledger is not None and self.plan.keys(
+                epoch=epoch_index
+            ) <= self.ledger.delivered(epoch=epoch_index):
+                self.logger.log(
+                    "late_daemon_error_ignored",
+                    epoch=epoch_index,
+                    errors=[repr(err) for err in unhandled],
+                )
+            else:
+                raise unhandled[0]
         self.logger.log("epoch_end", epoch=epoch_index)
 
     def epochs(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
@@ -141,15 +292,22 @@ class EMLIOService:
     def stats(self) -> dict[str, dict]:
         return {
             "daemons": [d.stats.snapshot() for d in self.daemons],
+            "failover_daemons": [d.stats.snapshot() for d in self._failover_daemons],
             "gpu": self.receiver.gpu.snapshot(),
             "batches_received": self.receiver.batches_received,
+            "duplicates_dropped": self.receiver.duplicates_dropped,
+            "failovers": self.failovers,
         }
 
     def close(self) -> None:
         """Release resources."""
+        for d in self.daemons + self._failover_daemons:
+            d.kill()
         self.receiver.close()
-        for d in self.daemons:
+        for d in self.daemons + self._failover_daemons:
             d.close()
+        if self.ledger is not None:
+            self.ledger.close()
 
     def __enter__(self) -> "EMLIOService":
         return self

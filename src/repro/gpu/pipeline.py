@@ -124,6 +124,11 @@ class Pipeline:
             self._out.qsize() < self.prefetch
             and not self._stopped.is_set()
             and self._clock.now() < deadline
+            # Worker gone (EndOfData / source error already queued): no
+            # further batches are coming, waiting for Q of them would only
+            # burn the deadline.
+            and self._worker is not None
+            and self._worker.is_alive()
         ):
             self._clock.sleep(0.001)
 

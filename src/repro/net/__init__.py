@@ -24,7 +24,7 @@ from repro.net.emulation import (
     NetworkProfile,
 )
 from repro.net.framing import recv_frame, send_frame
-from repro.net.mq import PullSocket, PushSocket
+from repro.net.mq import PullSocket, PushSocket, ReconnectPolicy
 
 __all__ = [
     "Channel",
@@ -40,4 +40,5 @@ __all__ = [
     "send_frame",
     "PullSocket",
     "PushSocket",
+    "ReconnectPolicy",
 ]

@@ -17,13 +17,22 @@ application dequeues the message.  In-flight messages per stream are thus
 bounded by ``hwm`` end-to-end, deterministically.
 
 Wire format: 1 type byte (0x00 data / 0x01 credit) + payload.
+
+Fault tolerance: with a :class:`ReconnectPolicy`, a PUSH stream that hits a
+transport error reconnects with exponential backoff and resends every
+message it cannot prove was consumed (sent but not yet credited).  That
+makes the transport *at-least-once* — a resend can duplicate a message the
+receiver already dequeued — so receivers that care pair this with
+application-level dedup (see :class:`~repro.core.provider.BatchProvider`).
 """
 
 from __future__ import annotations
 
+import collections
 import queue
 import threading
 import time
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.net.channel import Channel, Listener, connect_channel
@@ -33,6 +42,50 @@ from repro.net.framing import ConnectionClosed
 _DATA = b"\x00"
 _CREDIT = b"\x01"
 _POLL_S = 0.02  # writer wake-up period for stop checks
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Backoff schedule for resurrecting a dead PUSH stream.
+
+    ``max_retries`` counts connection attempts per failure episode; delays
+    double from ``base_delay_s`` up to ``max_delay_s``.  ``max_retries=0``
+    disables reconnection (the stream dies on the first transport error, the
+    pre-recovery behaviour).
+    """
+
+    max_retries: int = 5
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"need 0 <= base_delay_s <= max_delay_s, got "
+                f"{self.base_delay_s}/{self.max_delay_s}"
+            )
+
+
+class _PushStream:
+    """One connection's worth of PUSH state (queue, credits, in-flight)."""
+
+    def __init__(self, host: str, port: int, profile: NetworkProfile | None, hwm: int) -> None:
+        self.host = host
+        self.port = port
+        self.profile = profile
+        self.chan = connect_channel(host, port, profile=profile)
+        self.queue: queue.Queue = queue.Queue(maxsize=hwm)
+        self.credits = threading.Semaphore(hwm)
+        # Sent but not yet credited, oldest first.  Credits arrive in send
+        # order (FIFO per TCP stream), so a credit always retires the head.
+        self.inflight: collections.deque[bytes] = collections.deque()
+        self.lock = threading.Lock()
+        self.generation = 0  # bumped on every reconnect
+        self.broken = threading.Event()  # credit reader saw the connection die
+        self.dead = False
+        self.retired_bytes = 0  # bytes_sent of replaced channels
 
 
 class PushSocket:
@@ -49,6 +102,7 @@ class PushSocket:
         hwm: int = 16,
         profile: NetworkProfile | None = None,
         streams_per_endpoint: int = 1,
+        reconnect: ReconnectPolicy | None = None,
     ) -> None:
         if hwm < 1:
             raise ValueError(f"hwm must be >= 1, got {hwm}")
@@ -58,9 +112,9 @@ class PushSocket:
         if not endpoints:
             raise ValueError("PushSocket needs at least one endpoint")
         self.hwm = hwm
-        self._channels: list[Channel] = []
-        self._queues: list[queue.Queue] = []
-        self._credits: list[threading.Semaphore] = []
+        self.reconnect = reconnect
+        self.reconnects = 0  # successful stream resurrections
+        self._streams: list[_PushStream] = []
         self._threads: list[threading.Thread] = []
         self._rr = 0
         self._lock = threading.Lock()
@@ -68,83 +122,218 @@ class PushSocket:
         self._stop_event = threading.Event()
         for host, port in endpoints:
             for _ in range(streams_per_endpoint):
-                chan = connect_channel(host, port, profile=profile)
-                q: queue.Queue = queue.Queue(maxsize=hwm)
-                credits = threading.Semaphore(hwm)
+                stream = _PushStream(host, port, profile, hwm)
                 writer = threading.Thread(
-                    target=self._writer, args=(chan, q, credits), daemon=True, name="push-writer"
+                    target=self._writer, args=(stream,), daemon=True, name="push-writer"
                 )
                 reader = threading.Thread(
-                    target=self._credit_reader, args=(chan, credits), daemon=True, name="push-credits"
+                    target=self._credit_reader,
+                    args=(stream, stream.chan, stream.generation),
+                    daemon=True,
+                    name="push-credits",
                 )
                 writer.start()
                 reader.start()
-                self._channels.append(chan)
-                self._queues.append(q)
-                self._credits.append(credits)
+                self._streams.append(stream)
                 self._threads.append(writer)
 
     @property
     def num_streams(self) -> int:
-        """Number of open PUSH streams."""
-        return len(self._channels)
+        """Number of PUSH streams (dead ones included)."""
+        return len(self._streams)
 
-    def _writer(self, chan: Channel, q: queue.Queue, credits: threading.Semaphore) -> None:
+    def _writer(self, stream: _PushStream) -> None:
         while True:
+            # The writer owns healing: a break noticed here (flagged by the
+            # credit reader, or hit directly on send) reconnects and replays
+            # in-flight messages even when no further sends are queued.
+            if stream.broken.is_set() and not self._resurrect(stream):
+                self._abandon(stream)
+                return
             try:
-                item = q.get(timeout=_POLL_S)
+                item = stream.queue.get(timeout=_POLL_S)
             except queue.Empty:
                 if self._stop_event.is_set():
                     return
                 continue
             # Blocking send: wait for receive-side room (a credit).  On
             # close, an undeliverable in-flight message is dropped.
-            while not credits.acquire(timeout=_POLL_S):
+            while not stream.credits.acquire(timeout=_POLL_S):
                 if self._stop_event.is_set():
                     return
+                if stream.broken.is_set() and not self._resurrect(stream):
+                    self._abandon(stream, carry=item)
+                    return
+            with stream.lock:
+                stream.inflight.append(item)
             try:
-                chan.send(_DATA + item)
+                stream.chan.send(_DATA + item)
             except (ConnectionError, OSError):
-                return
+                if not self._resurrect(stream):
+                    self._abandon(stream)
+                    return
 
-    def _credit_reader(self, chan: Channel, credits: threading.Semaphore) -> None:
+    def _abandon(self, stream: _PushStream, carry: bytes | None = None) -> None:
+        """Declare a stream dead and move its backlog to surviving streams.
+
+        Backlog = the carried item (if any), queued-but-unsent messages, and
+        unacknowledged in-flight messages.  With no survivor left the
+        backlog is dropped — send()/try_send() then raise ConnectionError,
+        so callers observe total failure instead of silent loss.
+        """
+        stream.dead = True
+        if carry is not None:
+            self._redistribute(carry)
+        while True:
+            try:
+                item = stream.queue.get_nowait()
+            except queue.Empty:
+                break
+            self._redistribute(item)
+        with stream.lock:
+            pending = list(stream.inflight)
+            stream.inflight.clear()
+        for item in pending:
+            self._redistribute(item)
+
+    def _redistribute(self, item: bytes) -> None:
+        """Re-queue one rescued message onto the least-loaded live stream."""
+        with self._lock:
+            streams = [s for s in self._streams if not s.dead]
+        if not streams:
+            return  # total failure: the caller-facing sockets raise instead
+        target = min(streams, key=lambda s: s.queue.qsize())
+        target.queue.put(item)
+        # The target may have died between selection and put: rescue again
+        # so the message is never stranded in a dead stream's queue.
+        if target.dead:
+            self._abandon(target)
+
+    def _credit_reader(self, stream: _PushStream, chan: Channel, gen: int) -> None:
         while True:
             try:
                 frame = chan.recv()
             except (ConnectionClosed, ConnectionError, OSError):
+                with stream.lock:
+                    if stream.generation == gen:
+                        stream.broken.set()
                 return
             if frame[:1] == _CREDIT:
-                credits.release()
+                with stream.lock:
+                    if stream.generation != gen:
+                        return  # stale reader of a replaced connection
+                    if stream.inflight:
+                        stream.inflight.popleft()
+                    stream.credits.release()
+
+    def _resurrect(self, stream: _PushStream) -> bool:
+        """Reconnect a failed stream and resend its unacknowledged messages.
+
+        Returns True once the backlog is back on the wire; False when the
+        policy is exhausted (or absent), leaving the stream dead.  Resent
+        messages may duplicate ones the receiver already consumed — the
+        at-least-once contract.
+        """
+        policy = self.reconnect
+        if policy is None or policy.max_retries < 1:
+            return False
+        delay = policy.base_delay_s
+        attempts = policy.max_retries
+        while attempts > 0:
+            attempts -= 1
+            if self._stop_event.is_set():
+                return False
+            time.sleep(delay)
+            delay = min(delay * 2 if delay > 0 else policy.base_delay_s, policy.max_delay_s)
+            try:
+                chan = connect_channel(stream.host, stream.port, profile=stream.profile)
+            except OSError:
+                continue
+            with stream.lock:
+                stream.generation += 1
+                gen = stream.generation
+                old = stream.chan
+                stream.retired_bytes += old.bytes_sent
+                stream.chan = chan
+                # Fresh connection, fresh credit window: the receiver holds
+                # nothing of ours, so the full HWM is available again.
+                stream.credits = threading.Semaphore(self.hwm)
+                stream.broken.clear()
+                pending = list(stream.inflight)
+            old.close()
+            threading.Thread(
+                target=self._credit_reader, args=(stream, chan, gen), daemon=True,
+                name="push-credits",
+            ).start()
+            replayed = True
+            for item in pending:
+                while not stream.credits.acquire(timeout=_POLL_S):
+                    if self._stop_event.is_set():
+                        return False
+                try:
+                    chan.send(_DATA + item)
+                except (ConnectionError, OSError):
+                    replayed = False
+                    break
+            if replayed:
+                self.reconnects += 1
+                return True
+        return False
+
+    def _alive_streams(self) -> list[_PushStream]:
+        alive = [s for s in self._streams if not s.dead]
+        if not alive:
+            raise ConnectionError("every PUSH stream is dead (reconnects exhausted)")
+        return alive
 
     def send(self, payload: bytes) -> None:
-        """Queue one message; blocks while every stream is at its HWM."""
+        """Queue one message; blocks while every live stream is at its HWM."""
         if self._closed:
             raise RuntimeError("send() on closed PushSocket")
         with self._lock:
-            sizes = [q.qsize() for q in self._queues]
+            streams = self._alive_streams()
+            sizes = [s.queue.qsize() for s in streams]
             best = min(range(len(sizes)), key=lambda i: (sizes[i], (i - self._rr) % len(sizes)))
             self._rr = (best + 1) % len(sizes)
-            target = self._queues[best]
-        target.put(payload)
+            chosen = streams[best]
+        chosen.queue.put(payload)
+        if chosen.dead:
+            # Died between selection and put: rescue what we just queued.
+            self._abandon(chosen)
 
     def try_send(self, payload: bytes) -> bool:
-        """Non-blocking send; False when every stream queue is at HWM."""
+        """Non-blocking send; False when every live stream queue is at HWM.
+
+        Raises ``ConnectionError`` when no live stream remains, so callers
+        polling in a retry loop fail instead of spinning forever.
+        """
         if self._closed:
             raise RuntimeError("try_send() on closed PushSocket")
         with self._lock:
-            order = sorted(range(len(self._queues)), key=lambda i: self._queues[i].qsize())
-        for i in order:
+            streams = sorted(self._alive_streams(), key=lambda s: s.queue.qsize())
+        for s in streams:
             try:
-                self._queues[i].put_nowait(payload)
-                return True
+                s.queue.put_nowait(payload)
             except queue.Full:
                 continue
+            if s.dead:
+                self._abandon(s)  # died between selection and put
+            return True
         return False
+
+    def drop_connection(self, index: int = 0) -> None:
+        """Chaos hook: force-close one stream's underlying channel.
+
+        The next send on that stream observes a transport error and, with a
+        :class:`ReconnectPolicy`, reconnects and replays — exactly what a
+        mid-epoch TCP reset looks like.
+        """
+        self._streams[index].chan.close()
 
     @property
     def bytes_sent(self) -> int:
-        """Total payload bytes sent."""
-        return sum(c.bytes_sent for c in self._channels)
+        """Total payload bytes sent (across reconnects)."""
+        return sum(s.chan.bytes_sent + s.retired_bytes for s in self._streams)
 
     def close(self, timeout: float = 30.0) -> None:
         """Flush queued messages (bounded by ``timeout``), then close streams.
@@ -156,13 +345,16 @@ class PushSocket:
             return
         self._closed = True
         end = time.monotonic() + timeout
-        while any(q.qsize() for q in self._queues) and time.monotonic() < end:
+        while (
+            any(s.queue.qsize() for s in self._streams if not s.dead)
+            and time.monotonic() < end
+        ):
             time.sleep(0.01)
         self._stop_event.set()
         for t in self._threads:
             t.join(timeout=5.0)
-        for c in self._channels:
-            c.close()
+        for s in self._streams:
+            s.chan.close()
 
 
 class PullSocket:

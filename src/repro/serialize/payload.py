@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 
 from repro.serialize.msgpack import packb, unpackb
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
+_COMPATIBLE_VERSIONS = (1, 2)  # v1 payloads predate the seq field
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,11 @@ class BatchPayload:
         Integer class labels, parallel to ``samples``.
     node_id:
         Target compute node the planner assigned this batch to.
+    seq:
+        Per-(epoch, node) sequence number, stable across resends — the
+        receiver's dedup/reorder key and the delivery-ledger key (see
+        :mod:`repro.core.recovery`).  Defaults to ``batch_index``, which the
+        planner already makes unique within (epoch, node).
     """
 
     epoch: int
@@ -41,12 +47,15 @@ class BatchPayload:
     labels: list[int]
     node_id: int = 0
     meta: dict = field(default_factory=dict)
+    seq: int = -1
 
     def __post_init__(self) -> None:
         if len(self.samples) != len(self.labels):
             raise ValueError(
                 f"samples/labels length mismatch: {len(self.samples)} != {len(self.labels)}"
             )
+        if self.seq < 0:
+            object.__setattr__(self, "seq", self.batch_index)
 
     @property
     def batch_size(self) -> int:
@@ -68,6 +77,7 @@ def encode_batch(payload: BatchPayload) -> bytes:
             "batch_index": payload.batch_index,
             "shard": payload.shard,
             "node_id": payload.node_id,
+            "seq": payload.seq,
             "samples": payload.samples,
             "labels": payload.labels,
             "meta": payload.meta,
@@ -81,7 +91,7 @@ def decode_batch(data: bytes | memoryview) -> BatchPayload:
     if not isinstance(obj, dict):
         raise ValueError(f"batch payload must decode to a map, got {type(obj).__name__}")
     version = obj.get("v")
-    if version != _SCHEMA_VERSION:
+    if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported batch payload version: {version!r}")
     return BatchPayload(
         epoch=obj["epoch"],
@@ -91,4 +101,5 @@ def decode_batch(data: bytes | memoryview) -> BatchPayload:
         labels=list(obj["labels"]),
         node_id=obj.get("node_id", 0),
         meta=obj.get("meta", {}),
+        seq=obj.get("seq", obj["batch_index"]),
     )

@@ -6,4 +6,6 @@ inspection.
   entry of a sharded dataset.
 * ``python -m repro.tools.planview`` — summarize a batch plan for a dataset
   and node count.
+* ``python -m repro.tools.resume`` — diff a delivery ledger against the
+  plan and emit the residual (undelivered) assignments for a resumed run.
 """

@@ -1,0 +1,103 @@
+"""Resume inspector — what does a delivery ledger still owe?
+
+Rebuilds the (deterministic) batch plan for a dataset, subtracts a
+:class:`~repro.core.recovery.DeliveryLedger`, and reports the residual:
+per-(epoch, node) delivered/planned counts and, with ``--json``, the exact
+undelivered assignments a resumed or failover daemon would serve.
+
+Usage: ``python -m repro.tools.resume <dataset-root> <ledger> [--nodes N]
+[--batch-size B] [--epochs E] [--seed S] [--coverage C] [--epoch K]
+[--json]``
+
+The plan-shaping flags must match the original run — the planner is seeded,
+so identical flags reproduce the identical plan the ledger was written
+against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import EMLIOConfig
+from repro.core.planner import Planner
+from repro.core.recovery import DeliveryLedger
+from repro.tfrecord.sharder import ShardedDataset
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.resume")
+    parser.add_argument("root")
+    parser.add_argument("ledger")
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--epochs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--coverage", choices=["partition", "replicate"], default="partition")
+    parser.add_argument("--epoch", type=int, default=None, help="inspect one epoch only")
+    parser.add_argument("--json", action="store_true", help="emit the residual plan as JSON")
+    args = parser.parse_args(argv)
+
+    if not Path(args.ledger).is_file():
+        print(f"error: ledger file not found: {args.ledger}", file=sys.stderr)
+        return 2
+    dataset = ShardedDataset.open(args.root)
+    config = EMLIOConfig(
+        batch_size=args.batch_size,
+        epochs=args.epochs,
+        seed=args.seed,
+        coverage=args.coverage,
+    )
+    plan = Planner(dataset, num_nodes=args.nodes, config=config).plan()
+    try:
+        ledger = DeliveryLedger(args.ledger)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    epochs = range(args.epochs) if args.epoch is None else [args.epoch]
+
+    residual_out = []
+    total_residual = 0
+    for epoch in epochs:
+        delivered = ledger.delivered(epoch=epoch)
+        stray = delivered - plan.keys(epoch=epoch)
+        residual = plan.residual(delivered, epoch=epoch)
+        total_residual += len(residual.assignments)
+        if not args.json:
+            for node in range(args.nodes):
+                planned_n = plan.batches_per_node(node, epoch=epoch)
+                residual_n = residual.batches_per_node(node, epoch=epoch)
+                print(
+                    f"epoch {epoch} node {node}: {planned_n - residual_n}/{planned_n} "
+                    f"batches delivered, {residual_n} residual"
+                )
+            if stray:
+                print(
+                    f"epoch {epoch}: WARNING {len(stray)} ledger entries match no "
+                    f"planned batch (wrong plan flags?)"
+                )
+        residual_out.extend(
+            {
+                "epoch": a.epoch,
+                "node_id": a.node_id,
+                "seq": a.batch_index,
+                "shard": a.shard,
+                "shard_path": a.shard_path,
+                "offset": a.offset,
+                "count": a.count,
+            }
+            for a in residual.assignments
+        )
+    if args.json:
+        print(json.dumps({"residual": residual_out}, indent=2))
+    else:
+        status = "epoch(s) complete" if total_residual == 0 else "resumable"
+        print(f"total residual: {total_residual} batches — {status}")
+    ledger.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -9,6 +9,14 @@ from repro.data.datasets import SyntheticImageNet, SyntheticRecords
 from repro.tfrecord.sharder import write_shards
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running end-to-end chaos scenarios (kill/drop/restart); "
+        'deselect with -m "not slow"',
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

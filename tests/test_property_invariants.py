@@ -1,8 +1,8 @@
 """Cross-cutting property tests on core invariants (hypothesis-driven).
 
-These hammer the DES resources, the energy accumulator, and the end-to-end
-record path with randomized operation sequences — the invariants here are
-what every higher-level result silently relies on.
+These hammer the DES resources, the energy accumulator, the end-to-end
+record path, and the failover re-plan with randomized operation sequences —
+the invariants here are what every higher-level result silently relies on.
 """
 
 import numpy as np
@@ -171,3 +171,135 @@ def test_record_path_roundtrip(tmp_path_factory, sizes, batch, seed):
     for r in readers.values():
         r.close()
     assert sorted(delivered) == sorted(samples)
+
+
+# -- failover re-plan: residual covers exactly the undelivered batches ---------
+
+
+def _synthetic_plan(shard_sizes, batch, nodes, epochs=1):
+    """A plan with the planner's shape (contiguous runs, round-robin shards)
+    built without touching disk — fast enough to hammer with hypothesis."""
+    from repro.core.planner import BatchAssignment, BatchPlan
+
+    rec_bytes = 64
+    assignments = []
+    for epoch in range(epochs):
+        next_index = {n: 0 for n in range(nodes)}
+        for si, nrec in enumerate(shard_sizes):
+            node = si % nodes
+            start = 0
+            while start < nrec:
+                count = min(batch, nrec - start)
+                assignments.append(
+                    BatchAssignment(
+                        epoch=epoch,
+                        node_id=node,
+                        batch_index=next_index[node],
+                        shard=f"shard_{si:05d}",
+                        shard_path=f"shard_{si:05d}.tfrecord",
+                        start_record=start,
+                        offset=start * rec_bytes,
+                        nbytes=count * rec_bytes,
+                        count=count,
+                        labels=tuple(0 for _ in range(count)),
+                    )
+                )
+                next_index[node] += 1
+                start += count
+    return BatchPlan(
+        assignments=tuple(assignments),
+        num_nodes=nodes,
+        epochs=epochs,
+        batch_size=batch,
+        coverage="partition",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shard_sizes=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=8),
+    batch=st.integers(min_value=1, max_value=6),
+    nodes=st.integers(min_value=1, max_value=3),
+    epochs=st.integers(min_value=1, max_value=2),
+    data=st.data(),
+)
+def test_residual_plan_covers_exactly_the_undelivered(shard_sizes, batch, nodes, epochs, data):
+    plan = _synthetic_plan(shard_sizes, batch, nodes, epochs=epochs)
+    keys = sorted(plan.keys())
+    delivered = set(data.draw(st.sets(st.sampled_from(keys)), label="delivered"))
+    residual = plan.residual(delivered)
+
+    # Covers exactly the undelivered batches — no more, no less.
+    assert residual.keys() == plan.keys() - delivered
+    # Batch-size and contiguity invariants survive the re-plan.
+    for a in residual.assignments:
+        assert 1 <= a.count <= plan.batch_size
+        assert a.count == len(a.labels)
+        assert a.offset == a.start_record * 64  # one contiguous run per shard
+    # Never double-assigns a record: per (epoch, shard), residual record
+    # ranges are pairwise disjoint.
+    by_shard: dict[tuple[int, str], list[tuple[int, int]]] = {}
+    for a in residual.assignments:
+        by_shard.setdefault((a.epoch, a.shard), []).append(
+            (a.start_record, a.start_record + a.count)
+        )
+    for runs in by_shard.values():
+        runs.sort()
+        for (_s0, e0), (s1, _e1) in zip(runs, runs[1:]):
+            assert e0 <= s1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shard_sizes=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=8),
+    batch=st.integers(min_value=1, max_value=6),
+    num_roots=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+)
+def test_failover_replan_places_each_needed_shard_exactly_once(
+    shard_sizes, batch, num_roots, data
+):
+    """plan_failover covers every shard with undelivered batches exactly
+    once on a reachable survivor, or refuses loudly when it can't."""
+    from repro.core.recovery import DeliveryLedger, FailoverCoordinator, FailoverError
+
+    plan = _synthetic_plan(shard_sizes, batch, nodes=1)
+    shards = sorted({a.shard for a in plan.assignments})
+    # Random disjoint ownership of shards across roots.
+    owner = {s: data.draw(st.integers(0, num_roots - 1), label=f"owner:{s}") for s in shards}
+    roots = {f"root{r}": {s for s in shards if owner[s] == r} for r in range(num_roots)}
+    dead_root = f"root{data.draw(st.integers(0, num_roots - 1), label='dead')}"
+    # Random replication: which (root, shard_path) pairs are reachable.
+    reach = {
+        (f"root{r}", a.shard_path)
+        for r in range(num_roots)
+        for a in plan.assignments
+        if data.draw(st.booleans(), label=f"reach:{r}:{a.shard}")
+    }
+    keys = sorted(plan.keys())
+    delivered = set(data.draw(st.sets(st.sampled_from(keys)), label="delivered"))
+
+    ledger = DeliveryLedger(None)
+    for key in delivered:
+        ledger.record(*key)
+    coord = FailoverCoordinator(
+        plan, ledger, roots, reachable=lambda root, path: (root, path) in reach
+    )
+    residual = plan.residual(delivered, epoch=0, shards=roots[dead_root])
+    needed = {a.shard: a.shard_path for a in residual.assignments}
+    survivors = [r for r in roots if r != dead_root]
+    coverable = all(
+        any((r, path) in reach for r in survivors) for path in needed.values()
+    )
+
+    if not coverable:
+        with pytest.raises(FailoverError):
+            coord.plan_failover(dead_root, 0)
+        return
+    takeover = coord.plan_failover(dead_root, 0)
+    placed = [s for shard_set in takeover.values() for s in shard_set]
+    assert sorted(placed) == sorted(needed)  # each needed shard exactly once
+    assert dead_root not in takeover
+    for root, shard_set in takeover.items():
+        for s in shard_set:
+            assert (root, needed[s]) in reach  # only reachable placements
