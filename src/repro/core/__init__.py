@@ -12,27 +12,41 @@
 * :class:`~repro.core.service.EMLIOService` — single-call orchestration of
   daemon(s) + receiver over (emulated) TCP for examples and tests.
 * :mod:`~repro.core.recovery` — fault tolerance: persistent delivery
-  ledger, receiver dedup/reorder, reconnecting PUSH streams, and daemon
-  failover re-planning, giving exactly-once delivery over an
-  at-least-once transport.
+  ledger (with per-epoch compaction), receiver dedup/reorder, reconnecting
+  PUSH streams, and daemon + receiver failover re-planning, giving
+  exactly-once delivery over an at-least-once transport.
+* :mod:`~repro.core.membership` — the control plane: heartbeat-fed
+  :class:`ClusterView` tracking every participant's liveness (crashed,
+  hung, partitioned) and emitting the events the service's failover
+  monitor consumes.
 """
 
-from repro.core.config import EMLIOConfig
+from repro.core.config import AUTO_REORDER, EMLIOConfig
 from repro.core.daemon import DaemonStats, EMLIODaemon
+from repro.core.membership import (
+    ClusterView,
+    Member,
+    MemberStatus,
+    MembershipConfig,
+    MembershipEvent,
+)
 from repro.core.planner import BatchAssignment, BatchPlan, Planner
 from repro.core.provider import BatchProvider
-from repro.core.receiver import EMLIOReceiver
+from repro.core.receiver import EMLIOReceiver, ReceiverKilled
 from repro.core.recovery import (
     DaemonKilled,
     DeliveryLedger,
     EpochServeError,
     FailoverCoordinator,
     FailoverError,
+    NodeUnreachable,
+    ReceiverReassignment,
     RecoveryConfig,
 )
 from repro.core.service import EMLIOService
 
 __all__ = [
+    "AUTO_REORDER",
     "EMLIOConfig",
     "DaemonStats",
     "EMLIODaemon",
@@ -40,6 +54,11 @@ __all__ = [
     "BatchPlan",
     "Planner",
     "BatchProvider",
+    "ClusterView",
+    "Member",
+    "MemberStatus",
+    "MembershipConfig",
+    "MembershipEvent",
     "EMLIOReceiver",
     "EMLIOService",
     "DaemonKilled",
@@ -47,5 +66,8 @@ __all__ = [
     "EpochServeError",
     "FailoverCoordinator",
     "FailoverError",
+    "NodeUnreachable",
+    "ReceiverKilled",
+    "ReceiverReassignment",
     "RecoveryConfig",
 ]

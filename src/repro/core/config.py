@@ -4,6 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Sentinel for ``reorder_window``: derive the window from the transport
+#: shape (``streams_per_node × hwm``) instead of manual tuning.  That product
+#: bounds how many payloads can be in flight ahead of the slowest stream —
+#: exactly the worst-case arrival skew a reorder window must absorb.
+AUTO_REORDER = -1
+
 
 @dataclass(frozen=True)
 class EMLIOConfig:
@@ -38,7 +44,9 @@ class EMLIOConfig:
         Receiver-side bounded reorder window: up to this many payloads are
         buffered and emitted lowest-sequence-first, smoothing out-of-order
         arrival (reconnect replays, failover overlap) with bounded memory.
-        0 (default) passes batches through in arrival order.
+        0 (default) passes batches through in arrival order;
+        :data:`AUTO_REORDER` (-1) derives the window from
+        ``streams_per_node × hwm`` (see :attr:`effective_reorder_window`).
     """
 
     batch_size: int = 32
@@ -67,5 +75,29 @@ class EMLIOConfig:
             raise ValueError(f"prefetch must be >= 1, got {self.prefetch}")
         if self.coverage not in ("partition", "replicate"):
             raise ValueError(f"coverage must be 'partition' or 'replicate', got {self.coverage!r}")
-        if self.reorder_window < 0:
-            raise ValueError(f"reorder_window must be >= 0, got {self.reorder_window}")
+        if self.reorder_window < AUTO_REORDER:
+            raise ValueError(
+                f"reorder_window must be >= 0 or AUTO_REORDER ({AUTO_REORDER}), "
+                f"got {self.reorder_window}"
+            )
+
+    def resolve_reorder_window(self, override: int | None = None) -> int:
+        """Resolve a reorder window against this config.
+
+        ``override=None`` inherits :attr:`reorder_window`;
+        :data:`AUTO_REORDER` (from either source) derives
+        ``streams_per_node × hwm``: with S parallel streams of HWM credits
+        each, at most ``S × hwm`` payloads can be in flight, so an arrival
+        can run at most that far ahead of the lowest outstanding sequence
+        number — a window of that size restores dispatch order without
+        ever stalling on a payload that cannot be outstanding.
+        """
+        value = self.reorder_window if override is None else override
+        if value == AUTO_REORDER:
+            return self.streams_per_node * self.hwm
+        return value
+
+    @property
+    def effective_reorder_window(self) -> int:
+        """The configured reorder window after resolving :data:`AUTO_REORDER`."""
+        return self.resolve_reorder_window()

@@ -37,7 +37,7 @@ from typing import Callable, Collection
 
 from repro.core.config import EMLIOConfig
 from repro.core.planner import BatchAssignment, BatchPlan
-from repro.core.recovery import DaemonKilled, EpochServeError
+from repro.core.recovery import DaemonKilled, EpochServeError, NodeUnreachable
 from repro.energy.power_models import BusyWindowTracker
 from repro.net.emulation import NetworkProfile
 from repro.net.mq import PushSocket, ReconnectPolicy
@@ -60,7 +60,16 @@ class DaemonStats:
     bytes_sent: int = 0
     read_s: float = 0.0
     serialize_s: float = 0.0
+    # Liveness ticks: bumped on every voluntary scheduling point (including
+    # HWM backpressure polls), so heartbeat progress keeps advancing while
+    # the daemon is merely throttled — only a truly stuck daemon freezes.
+    # Advisory counter: written without the lock (single writer per wait
+    # loop; torn reads are harmless).
+    ticks: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def tick(self) -> None:
+        self.ticks += 1
 
     def record(self, samples: int, bytes_read: int, bytes_sent: int, read_s: float, ser_s: float) -> None:
         with self._lock:
@@ -81,6 +90,7 @@ class DaemonStats:
                 "bytes_sent": self.bytes_sent,
                 "read_s": self.read_s,
                 "serialize_s": self.serialize_s,
+                "ticks": self.ticks,
             }
 
 
@@ -137,6 +147,8 @@ class EMLIODaemon:
         self.stats = DaemonStats()
         self._clock = MonotonicClock()
         self._killed = threading.Event()
+        self._hung = threading.Event()
+        self._dropped_nodes: set[int] = set()
         self._readers: dict[str, TFRecordReader] = {}
         self._readers_lock = threading.Lock()
         for node_id in {a.node_id for a in plan.assignments}:
@@ -158,6 +170,37 @@ class EMLIODaemon:
         """
         self._killed.set()
 
+    @property
+    def hung(self) -> bool:
+        """Whether :meth:`hang` was invoked (and not undone)."""
+        return self._hung.is_set()
+
+    def hang(self) -> None:
+        """Chaos hook: the daemon stops making progress *without* crashing.
+
+        Send workers spin in place — threads alive, no errors raised, no
+        batches sent.  Thread-state watchdogs are blind to this; heartbeat
+        progress tracking (see :mod:`repro.core.membership`) is not.
+        """
+        self._hung.set()
+
+    def unhang(self) -> None:
+        """Chaos hook: resume a hung daemon (partition heals, disk unsticks)."""
+        self._hung.clear()
+
+    def drop_node(self, node_id: int) -> None:
+        """Stop serving one compute node mid-epoch (it was declared dead).
+
+        Workers skip the node's remaining assignments, abandon sends stuck
+        waiting for its credits, and treat its transport errors as expected
+        — the control plane re-targets the node's undelivered batches, so
+        losing them here is not a failure of *this* daemon.
+        """
+        self._dropped_nodes.add(node_id)
+
+    def _is_dropped(self, node_id: int) -> bool:
+        return node_id in self._dropped_nodes
+
     def _reader(self, shard_path: str) -> TFRecordReader:
         """One shared mmap reader per shard file."""
         with self._readers_lock:
@@ -167,17 +210,68 @@ class EMLIODaemon:
                 self._readers[shard_path] = reader
             return reader
 
+    def _connect_push(self, host: str, port: int, node_id: int) -> PushSocket | None:
+        """Open the PUSH socket to one node, retrying refused connections.
+
+        A node mid-crash refuses connections before the control plane
+        declares it dead; retrying on the reconnect-policy schedule gives
+        the declaration time to land.  Returns ``None`` when the node is
+        dropped while retrying; raises :class:`NodeUnreachable` when the
+        policy is exhausted first (or :class:`DaemonKilled` when this
+        daemon dies mid-retry).
+        """
+        cfg = self.config
+        policy = self.reconnect
+        attempts = (policy.max_retries if policy is not None else 0) + 1
+        delay = policy.base_delay_s if policy is not None else 0.0
+        while True:
+            if self._killed.is_set():
+                raise DaemonKilled(f"daemon killed connecting to node {node_id}")
+            if self._is_dropped(node_id):
+                return None
+            try:
+                return PushSocket(
+                    [(host, port)],
+                    hwm=cfg.hwm,
+                    profile=self.profile,
+                    streams_per_endpoint=cfg.streams_per_node,
+                    reconnect=self.reconnect,
+                )
+            except OSError as err:
+                attempts -= 1
+                if attempts <= 0:
+                    raise NodeUnreachable(node_id, f"connect to node {node_id}: {err}") from err
+                self.stats.tick()
+                self._clock.sleep(delay)
+                delay = min(delay * 2 if delay > 0 else 0.02, policy.max_delay_s)
+
     def _my_assignments(self, epoch: int, node_id: int) -> list[BatchAssignment]:
         batches = self.plan.for_epoch_node(epoch, node_id)
         if self.shard_filter is not None:
             batches = [a for a in batches if a.shard in self.shard_filter]
         return batches
 
-    def _push(self, payload: bytes, push: PushSocket) -> None:
-        """HWM-backpressured send that stays killable while blocked."""
-        while not push.try_send(payload):
+    def _push(self, payload: bytes, push: PushSocket, node_id: int) -> bool:
+        """HWM-backpressured send that stays killable while blocked.
+
+        Returns False when the target node was dropped mid-wait (its batch
+        is abandoned for the control plane to re-target).  Raises
+        :class:`NodeUnreachable` when every stream to a still-wanted node
+        is dead.
+        """
+        while True:
+            try:
+                if push.try_send(payload):
+                    return True
+            except ConnectionError as err:
+                if self._is_dropped(node_id):
+                    return False
+                raise NodeUnreachable(node_id, f"node {node_id}: {err}") from err
             if self._killed.is_set():
                 raise DaemonKilled("daemon killed while waiting for send credit")
+            if self._is_dropped(node_id):
+                return False
+            self.stats.tick()  # throttled-but-alive, for heartbeat progress
             self._clock.sleep(_KILL_POLL_S)
 
     def _send_worker(
@@ -188,10 +282,16 @@ class EMLIODaemon:
     ) -> None:
         """The paper's SendWorker: mmap-slice, serialize, PUSH."""
         for a in assignments:
+            while self._hung.is_set():  # chaos: alive, beating, useless
+                if self._killed.is_set():
+                    raise DaemonKilled("daemon killed while hung")
+                self._clock.sleep(_KILL_POLL_S)
             if self._killed.is_set():
                 raise DaemonKilled(f"daemon killed before batch (epoch={a.epoch}, index={a.batch_index})")
             if skip is not None and (a.epoch, a.node_id, a.batch_index) in skip:
                 continue
+            if self._is_dropped(a.node_id):
+                continue  # the node is dead; its batches are re-targeted
             if self.fault_injector is not None:
                 self.fault_injector(a, push)
             t0 = self._clock.now()
@@ -221,7 +321,9 @@ class EMLIODaemon:
                 )
             )
             t2 = self._clock.now()
-            self._push(payload, push)  # HWM backpressure applies here
+            # HWM backpressure applies here; False = node dropped mid-wait.
+            if not self._push(payload, push, a.node_id):
+                continue
             if self.cpu_tracker is not None:
                 self.cpu_tracker.add_busy(t2 - t0)
             self.stats.record(
@@ -253,23 +355,26 @@ class EMLIODaemon:
         """
         cfg = self.config
         self.logger.log("epoch_start", epoch=epoch)
-        pushes: list[PushSocket] = []
+        pushes: list[tuple[int, PushSocket]] = []
         threads: list[threading.Thread] = []
         errors: list[BaseException] = []
         err_lock = threading.Lock()
         try:
             for node_id, (host, port) in self.node_endpoints.items():
+                if self._is_dropped(node_id):
+                    continue
                 assignments = self._my_assignments(epoch, node_id)
                 if not assignments:
                     continue
-                push = PushSocket(
-                    [(host, port)],
-                    hwm=cfg.hwm,
-                    profile=self.profile,
-                    streams_per_endpoint=cfg.streams_per_node,
-                    reconnect=self.reconnect,
-                )
-                pushes.append(push)
+                try:
+                    push = self._connect_push(host, port, node_id)
+                except NodeUnreachable as err:
+                    with err_lock:
+                        errors.append(err)
+                    continue
+                if push is None:  # node dropped (or daemon killed) meanwhile
+                    continue
+                pushes.append((node_id, push))
                 splits = [assignments[t :: cfg.daemon_threads] for t in range(cfg.daemon_threads)]
 
                 def run(split=None, sock=push):
@@ -288,10 +393,18 @@ class EMLIODaemon:
             for t in threads:
                 t.join()
         finally:
-            # A killed daemon crashes: drop in-flight instead of flushing.
-            flush_timeout = 0.0 if self._killed.is_set() else 30.0
-            for push in pushes:
-                push.close(timeout=flush_timeout)
+            # A killed daemon crashes: drop in-flight instead of flushing,
+            # and a dropped node's backlog is never flushable — don't wait.
+            for node_id, push in pushes:
+                crashed = self._killed.is_set() or self._is_dropped(node_id)
+                push.close(timeout=0.0 if crashed else 30.0)
+        # A dropped node's unreachability is expected, not a daemon fault
+        # (checked post-join: the drop may land after the error was raised).
+        errors = [
+            e
+            for e in errors
+            if not (isinstance(e, NodeUnreachable) and self._is_dropped(e.node_id))
+        ]
         if len(errors) == 1:
             raise errors[0]
         if errors:

@@ -29,6 +29,13 @@ from typing import Callable, Iterable
 from repro.gpu.pipeline import EndOfData
 from repro.serialize.payload import BatchPayload
 
+#: Queue sentinel abort() injects to unblock a provider waiting on payloads.
+_ABORT = object()
+
+
+class ProviderAborted(RuntimeError):
+    """The provider was aborted mid-epoch (receiver killed / torn down)."""
+
 
 class BatchProvider:
     """Pulls payloads from the receiver's shared queue for one epoch.
@@ -104,6 +111,11 @@ class BatchProvider:
         self._window: list[tuple[int, int, BatchPayload]] = []
         self._pushes = 0
         self._lock = threading.Lock()
+        # Guards the expected_batches/_ended pair so a concurrent extend()
+        # and the EndOfData decision serialize; never held while blocking.
+        self._count_lock = threading.Lock()
+        self._aborted = threading.Event()
+        self._ended = False  # EndOfData already signalled to the pipeline
 
     def _pop_holdover(self) -> BatchPayload | None:
         """Next parked payload belonging to this epoch, if any."""
@@ -124,6 +136,10 @@ class BatchProvider:
             len(self._window) < target
             and self.delivered + len(self._window) < self.expected_batches
         ):
+            if self._aborted.is_set():
+                raise ProviderAborted(
+                    f"provider aborted: {self.delivered}/{self.expected_batches} delivered"
+                )
             payload = self._pop_holdover()
             if payload is None:
                 block = not self._window
@@ -139,6 +155,10 @@ class BatchProvider:
                             f"batches after {self.timeout}s wait"
                         ) from None
                     return
+                if payload is _ABORT:
+                    raise ProviderAborted(
+                        f"provider aborted: {self.delivered}/{self.expected_batches} delivered"
+                    )
             if self.epoch is not None and payload.epoch > self.epoch:
                 # Daemons pipelining the next epoch: park it for the next
                 # epoch's provider rather than mislabeling it stale.
@@ -162,11 +182,42 @@ class BatchProvider:
             heapq.heappush(self._window, (payload.seq, self._pushes, payload))
             self._pushes += 1
 
+    def extend(self, extra: int) -> bool:
+        """Grow the epoch's expectation mid-flight (receiver failover adopt).
+
+        Returns False when the provider has already signalled EndOfData —
+        the epoch finished here and the batches must go to a receiver whose
+        epoch is still active.  Synchronizes on the counter lock only (the
+        caller is a control-plane thread while ``__call__`` may be blocked
+        on the payload queue holding the main provider lock), so a bump and
+        the EndOfData decision can never interleave: either the bump lands
+        first and is honoured, or extend() observes ``_ended`` and refuses.
+        """
+        if extra < 0:
+            raise ValueError(f"extend() needs extra >= 0, got {extra}")
+        with self._count_lock:
+            if self._ended or self._aborted.is_set():
+                return False
+            self.expected_batches += extra
+            return True
+
+    def abort(self) -> None:
+        """Unblock and fail the provider promptly (receiver kill path)."""
+        self._aborted.set()
+        self.source_queue.put(_ABORT)
+
+    @property
+    def active(self) -> bool:
+        """Whether this epoch can still accept adopted work."""
+        return not self._ended and not self._aborted.is_set()
+
     def __call__(self) -> tuple[list[bytes], list[int]]:
         """The external_source callback: next (samples, labels)."""
         with self._lock:
-            if self.delivered >= self.expected_batches:
-                raise EndOfData
+            with self._count_lock:
+                if self.delivered >= self.expected_batches:
+                    self._ended = True
+                    raise EndOfData
             self._fill_window()
             _seq, _n, payload = heapq.heappop(self._window)
             if self.on_deliver is not None:

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.config import EMLIOConfig
 from repro.core.planner import BatchPlan
-from repro.core.provider import BatchProvider
+from repro.core.provider import BatchProvider, ProviderAborted
 from repro.core.recovery import DeliveryLedger
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.pipeline import EndOfData, Pipeline
@@ -39,6 +39,11 @@ from repro.net.emulation import NetworkProfile
 from repro.net.mq import PullSocket
 from repro.serialize.payload import decode_batch
 from repro.util.logging import TimestampLogger
+
+
+class ReceiverKilled(RuntimeError):
+    """This compute node was killed (chaos injection or operator action)
+    mid-epoch; its undelivered batches are the FailoverCoordinator's job."""
 
 
 class EMLIOReceiver:
@@ -77,9 +82,9 @@ class EMLIOReceiver:
         self.stall_timeout = stall_timeout
         self.ledger = ledger
         self.dedup = dedup or ledger is not None
-        self.reorder_window = (
-            config.reorder_window if reorder_window is None else reorder_window
-        )
+        # None inherits the config; AUTO (here or in the config) derives
+        # the window from the transport shape instead of manual tuning.
+        self.reorder_window = config.resolve_reorder_window(reorder_window)
         # Line 1: bind the PULL socket.
         self.pull = PullSocket(host=host, port=port, hwm=config.hwm, profile=profile)
         self._payload_q: queue.Queue = queue.Queue()
@@ -87,13 +92,20 @@ class EMLIOReceiver:
         # (daemons may pipeline epoch e+1 while epoch e still drains).
         self._holdover: collections.deque = collections.deque()
         self._stop = threading.Event()
+        self.batches_received = 0
+        self.duplicates_dropped = 0  # cumulative across epochs
+        self._provider: BatchProvider | None = None  # the active epoch's
+        self._pending_adopt = 0  # adopted outside a provider's lifetime
+        self._adopt_lock = threading.Lock()  # adopt() vs. _make_provider()
+        self._killed = threading.Event()
+        # Liveness ticks for heartbeat progress: advance while the receive
+        # loop is scheduled (even idle), freeze when the node truly stops.
+        self.ticks = 0
         # Line 2: the zmq_receiver thread (deserializer).
         self._receiver_thread = threading.Thread(
             target=self._zmq_receiver, daemon=True, name=f"zmq-receiver{node_id}"
         )
         self._receiver_thread.start()
-        self.batches_received = 0
-        self.duplicates_dropped = 0  # cumulative across epochs
 
     @property
     def address(self) -> tuple[str, int]:
@@ -105,8 +117,59 @@ class EMLIOReceiver:
         """Bound TCP port."""
         return self.pull.port
 
+    @property
+    def killed(self) -> bool:
+        """Whether :meth:`kill` was invoked."""
+        return self._killed.is_set()
+
+    @property
+    def epoch_active(self) -> bool:
+        """Whether an epoch is mid-flight and can still adopt batches."""
+        provider = self._provider
+        return provider is not None and provider.active
+
+    @property
+    def pending_adopt(self) -> int:
+        """Adopted batches waiting for the next consume pass."""
+        return self._pending_adopt
+
+    def kill(self) -> None:
+        """Chaos hook: this compute node crashes, abruptly.
+
+        The PULL socket closes (peers see connection resets), the active
+        epoch's provider aborts instead of stalling out its timeout, and
+        in-flight batches are dropped — the transport-level signature of a
+        dead compute node.  Recovery of its undelivered batches is the
+        FailoverCoordinator's job.
+        """
+        if self._killed.is_set():
+            return
+        self._killed.set()
+        self._stop.set()
+        provider = self._provider
+        if provider is not None:
+            provider.abort()
+        self.pull.close()
+        self.logger.log("receiver_killed", node=self.node_id)
+
+    def adopt(self, extra: int) -> bool:
+        """Grow the epoch's expectation by ``extra`` re-targeted batches
+        (receiver failover).  An active provider absorbs them mid-flight;
+        otherwise (epoch not started, or it finished before the failover
+        settled) they defer into the next provider — the service drives
+        another consume pass to drain them.  False only for a dead node."""
+        if self._killed.is_set():
+            return False
+        with self._adopt_lock:
+            provider = self._provider
+            if provider is not None and provider.extend(extra):
+                return True
+            self._pending_adopt += extra
+            return True
+
     def _zmq_receiver(self) -> None:
         while not self._stop.is_set():
+            self.ticks += 1
             try:
                 raw = self.pull.recv(timeout=0.2)
             except queue.Empty:
@@ -131,15 +194,23 @@ class EMLIOReceiver:
         planned = self.plan.for_epoch_node(epoch_index, self.node_id)
         already: set[tuple[int, int]] = set()
         if self.ledger is not None:
-            planned_keys = {(a.epoch, a.node_id, a.batch_index) for a in planned}
-            already = {
-                (e, s)
-                for (e, n, s) in self.ledger.delivered(epoch=epoch_index, node=self.node_id)
-                if (e, n, s) in planned_keys
-            }
+            if self.ledger.epoch_complete(epoch_index):
+                # Compacted epoch: per-batch keys are gone, but the
+                # checkpoint vouches for every planned batch.
+                already = {(a.epoch, a.batch_index) for a in planned}
+            else:
+                # covered() also honours receiver-failover re-mappings: a
+                # batch delivered under its re-assigned key is not owed here.
+                already = {
+                    (a.epoch, a.batch_index)
+                    for a in planned
+                    if self.ledger.covered((a.epoch, a.node_id, a.batch_index))
+                }
+        with self._adopt_lock:
+            pending, self._pending_adopt = self._pending_adopt, 0
         return BatchProvider(
             self._payload_q,
-            expected_batches=len(planned) - len(already),
+            expected_batches=len(planned) - len(already) + pending,
             timeout=self.stall_timeout,
             dedup=self.dedup,
             already_delivered=already,
@@ -157,7 +228,10 @@ class EMLIOReceiver:
         cleanly instead of raising — the delivery ledger then holds exactly
         what landed, ready for a later resume.
         """
+        if self._killed.is_set():
+            raise ReceiverKilled(f"node {self.node_id} was killed")
         provider = self._make_provider(epoch_index)
+        self._provider = provider  # visible to kill()/adopt() mid-epoch
         # Line 3: build the pipeline over the provider.
         pipe = Pipeline(
             external_source=provider,
@@ -176,6 +250,11 @@ class EMLIOReceiver:
                     tensors, labels = pipe.run()
                 except EndOfData:
                     break
+                except ProviderAborted:
+                    raise ReceiverKilled(
+                        f"node {self.node_id} killed mid-epoch: "
+                        f"{provider.delivered}/{provider.expected_batches} batches"
+                    ) from None
                 except RuntimeError as err:
                     if allow_partial and "stalled" in str(err):
                         stalled = True
@@ -192,6 +271,7 @@ class EMLIOReceiver:
                 consumed += 1
                 yield tensors, labels
         finally:
+            self._provider = None
             pipe.teardown()
             self.duplicates_dropped += provider.duplicates
             self.logger.log("epoch_end", epoch=epoch_index)

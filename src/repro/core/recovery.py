@@ -2,47 +2,56 @@
 
 EMLIO's push pipeline is fire-and-forget: the planner decides everything up
 front, daemons push, the receiver consumes.  This module adds the pieces that
-make a mid-epoch failure (dead daemon, dropped connection, restarted
-receiver) degrade throughput instead of killing the epoch:
+make a mid-epoch failure (dead daemon, dead receiver, dropped connection,
+restarted receiver) degrade throughput instead of killing the epoch:
 
-* :class:`DeliveryLedger` — a persistent append-only record of every batch
-  the receiver has handed to the pipeline, keyed by ``(epoch, node, seq)``.
-  Survives receiver restarts; the source of truth for "what is still owed".
-* :class:`FailoverCoordinator` — when a daemon is declared dead, re-plans
-  its *undelivered* assignments onto surviving storage roots that can reach
-  the shards (replicated storage or shared roots).  The residual plan is a
-  filtered view of the original :class:`~repro.core.planner.BatchPlan`, so
-  every planner invariant (contiguity, batch size, no double assignment)
-  holds by construction.
+* :class:`DeliveryLedger` — a persistent record of every batch the receiver
+  has handed to the pipeline, keyed by ``(epoch, node, seq)``.  Survives
+  receiver restarts; the source of truth for "what is still owed".  Epochs
+  are compacted on completion (per-batch lines collapse into one
+  ``epoch-complete`` checkpoint line) so the file and the in-memory key set
+  stay bounded by the *live* epochs, not the run's lifetime.  Mid-epoch
+  receiver failovers persist their key re-mappings as ``reassign`` lines so
+  a restart never double-serves a re-owned batch.
+* :class:`FailoverCoordinator` — when a *daemon* is declared dead, re-plans
+  its undelivered assignments onto surviving storage roots that can reach
+  the shards; when a *receiver* (compute node) is declared dead,
+  :meth:`~FailoverCoordinator.plan_receiver_failover` re-targets its
+  undelivered batches onto surviving receivers with fresh sequence numbers
+  and picks a reachable root to serve each one.
 * :class:`RecoveryConfig` — the policy knob bundle consumed by
-  :class:`~repro.core.service.EMLIOService` (``EMLIOService(recovery=...)``).
+  :class:`~repro.core.service.EMLIOService` (``EMLIOService(recovery=...)``),
+  including the :class:`~repro.core.membership.MembershipConfig` thresholds
+  of the heartbeat failure detector.
 * :class:`EpochServeError` / :class:`DaemonKilled` / :class:`FailoverError`
-  — the failure vocabulary shared by daemon, service and tests.
+  / :class:`NodeUnreachable` — the failure vocabulary shared by daemon,
+  service and tests.
 
 Delivery semantics: daemons + reconnecting PUSH streams give *at-least-once*
 transport; the receiver's dedup window (:class:`~repro.core.provider
 .BatchProvider`) plus the ledger turn that into *exactly-once* delivery to
-the training pipeline.
-
-Follow-ons this design exposes (see ROADMAP "Open items"): receiver-side
-ledger compaction (per-epoch truncation once an epoch completes) and
-multi-receiver failover (re-planning a dead *compute* node's batches).
+the training pipeline.  Receiver failover preserves exactly-once end to end:
+an original key counts as covered when either it or its reassigned
+descendant is in the ledger.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Collection, Iterable
+from typing import Callable, Collection, Iterable, Mapping
 
-from repro.core.planner import BatchPlan
+from repro.core.membership import MembershipConfig
+from repro.core.planner import BatchAssignment, BatchPlan
 from repro.net.mq import ReconnectPolicy
 from repro.util.logging import TimestampLogger
 
 #: A delivery key: (epoch, node_id, seq).  ``seq`` is the per-(epoch, node)
 #: sequence number stamped into each BatchPayload — the planner's
-#: ``batch_index`` dispatch order, unique within (epoch, node).
+#: ``batch_index`` dispatch order, unique within (epoch, node), extended
+#: past the planned range by receiver-failover re-targeting.
 DeliveryKey = tuple[int, int, int]
 
 
@@ -51,7 +60,20 @@ class DaemonKilled(RuntimeError):
 
 
 class FailoverError(RuntimeError):
-    """A dead daemon's shards cannot all be re-planned onto survivors."""
+    """A dead member's residual work cannot be re-planned onto survivors."""
+
+
+class NodeUnreachable(ConnectionError):
+    """Every PUSH stream to one compute node is dead.
+
+    Raised by a send worker so the daemon can distinguish "this target node
+    is gone" (survivable once the control plane drops the node) from "my own
+    transport is broken" (fatal for the daemon).
+    """
+
+    def __init__(self, node_id: int, message: str = "") -> None:
+        super().__init__(message or f"compute node {node_id} unreachable")
+        self.node_id = node_id
 
 
 class EpochServeError(ExceptionGroup):
@@ -77,11 +99,19 @@ class RecoveryConfig:
     reorder_window:
         Receiver-side bounded reorder window (batches buffered to emit in
         roughly sequence order); ``None`` (default) inherits
-        ``EMLIOConfig.reorder_window``; 0 disables reordering.
+        ``EMLIOConfig.reorder_window``; 0 disables reordering;
+        ``AUTO_REORDER`` (-1) derives it from ``streams_per_node × hwm``.
     failover:
-        Re-plan a dead daemon's undelivered batches onto survivors.
+        Re-plan a dead member's undelivered batches onto survivors.
     reconnect:
         Backoff policy for daemon PUSH streams surviving transport errors.
+    membership:
+        Heartbeat failure-detector thresholds (interval, miss/dead
+        thresholds, hung-progress window); see
+        :class:`~repro.core.membership.MembershipConfig`.
+    compact_ledger:
+        Collapse an epoch's per-batch ledger lines into one checkpoint line
+        once the epoch completes.
     """
 
     ledger_path: str | Path | None = None
@@ -89,10 +119,15 @@ class RecoveryConfig:
     reorder_window: int | None = None
     failover: bool = True
     reconnect: ReconnectPolicy = field(default_factory=ReconnectPolicy)
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
+    compact_ledger: bool = True
 
     def __post_init__(self) -> None:
-        if self.reorder_window is not None and self.reorder_window < 0:
-            raise ValueError(f"reorder_window must be >= 0, got {self.reorder_window}")
+        if self.reorder_window is not None and self.reorder_window < -1:
+            raise ValueError(
+                f"reorder_window must be >= 0, AUTO_REORDER (-1) or None, "
+                f"got {self.reorder_window}"
+            )
         if not self.dedup and self.reconnect.max_retries >= 1:
             raise ValueError(
                 "dedup=False with an active ReconnectPolicy would turn every "
@@ -104,22 +139,32 @@ class RecoveryConfig:
 class DeliveryLedger:
     """Persistent, thread-safe set of delivered ``(epoch, node, seq)`` keys.
 
-    Append-only text file, one ``epoch node seq`` line per delivered batch,
-    flushed on every record so a crash loses at most the in-flight write.
-    An *unterminated* final line (the crash interrupting that write) is
+    Text file, flushed on every record so a crash loses at most the
+    in-flight write.  Three line forms (the first is the only one v2
+    ledgers contain, so old files load unchanged):
+
+    * ``epoch node seq`` — one delivered batch;
+    * ``epoch-complete <epoch> <count>`` — checkpoint written by
+      :meth:`complete_epoch`: the epoch's per-batch lines were compacted
+      away, ``count`` batches landed, the whole epoch counts as delivered;
+    * ``reassign <epoch> <dead_node> <old_seq> <new_node> <new_seq>`` —
+      a receiver failover re-owned one batch; the old key is covered iff
+      the new key (or a further reassignment of it) is.
+
+    An *unterminated* final line (a crash interrupting that write) is
     dropped and the file repaired on load — the batch simply counts as
     undelivered and is resent (dedup absorbs it if it did land).  A
     malformed but newline-terminated line — anywhere, tail included — is
     not a torn append (each record is written whole); it means the file is
     not a ledger, and loading fails loudly.
     With ``path=None`` the ledger is memory-only (tests, ephemeral runs).
-    Compaction (dropping completed epochs) is a known follow-on; for now the
-    file and the in-memory set grow with delivered batches.
     """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self._keys: set[DeliveryKey] = set()
+        self._completed: dict[int, int] = {}  # epoch -> delivered batch count
+        self._reassigned: dict[DeliveryKey, DeliveryKey] = {}
         self._lock = threading.Lock()
         self._fh = None
         if self.path is not None:
@@ -127,6 +172,27 @@ class DeliveryLedger:
                 self._load(self.path)
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="ascii")
+
+    def _parse_line(self, line: str) -> None:
+        parts = line.split()
+        try:
+            if parts[0] == "epoch-complete":
+                if len(parts) != 3:
+                    raise ValueError
+                self._completed[int(parts[1])] = int(parts[2])
+            elif parts[0] == "reassign":
+                if len(parts) != 6:
+                    raise ValueError
+                e = int(parts[1])
+                self._reassigned[(e, int(parts[2]), int(parts[3]))] = (
+                    e, int(parts[4]), int(parts[5]),
+                )
+            else:
+                if len(parts) != 3:
+                    raise ValueError
+                self._keys.add((int(parts[0]), int(parts[1]), int(parts[2])))
+        except (IndexError, ValueError):
+            raise ValueError(f"corrupt ledger line: {line!r}") from None
 
     def _load(self, path: Path) -> None:
         raw = path.read_text()
@@ -138,37 +204,118 @@ class DeliveryLedger:
         torn_tail = bool(raw) and not raw.endswith("\n")
         for i, line in enumerate(lines):
             if torn_tail and i == len(lines) - 1:
-                self._repair(path)
+                self._rewrite(path)
                 return
-            parts = line.split()
-            try:
-                key = (int(parts[0]), int(parts[1]), int(parts[2]))
-            except (IndexError, ValueError):
-                raise ValueError(f"corrupt ledger line: {line!r}") from None
-            if len(parts) != 3:
-                raise ValueError(f"corrupt ledger line: {line!r}")
-            self._keys.add(key)
+            self._parse_line(line)
 
-    def _repair(self, path: Path) -> None:
-        """Rewrite the file without the torn tail, clean for appends."""
-        path.write_text(
-            "".join(f"{e} {n} {s}\n" for (e, n, s) in sorted(self._keys))
+    def _lines(self) -> str:
+        """Serialize current state; summary/reassign lines lead for clarity."""
+        out = [f"epoch-complete {e} {c}\n" for e, c in sorted(self._completed.items())]
+        out.extend(
+            f"reassign {oe} {on} {os_} {ne[1]} {ne[2]}\n"
+            for (oe, on, os_), ne in sorted(self._reassigned.items())
         )
+        out.extend(f"{e} {n} {s}\n" for (e, n, s) in sorted(self._keys))
+        return "".join(out)
+
+    def _rewrite(self, path: Path) -> None:
+        """Atomically replace the file with current state, clean for appends."""
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(self._lines())
+        os.replace(tmp, path)
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = open(path, "a", encoding="ascii")
+
+    def _append(self, line: str) -> None:
+        if self._fh is not None:
+            self._fh.write(line)
+            self._fh.flush()
 
     def record(self, epoch: int, node_id: int, seq: int) -> bool:
         """Mark one batch delivered; returns False when already recorded."""
         key = (epoch, node_id, seq)
         with self._lock:
-            if key in self._keys:
+            if key in self._keys or epoch in self._completed:
                 return False
             self._keys.add(key)
-            if self._fh is not None:
-                self._fh.write(f"{epoch} {node_id} {seq}\n")
-                self._fh.flush()
+            self._append(f"{epoch} {node_id} {seq}\n")
             return True
 
+    def record_reassignment(self, old: DeliveryKey, new: DeliveryKey) -> None:
+        """Persist a receiver-failover key re-mapping (old → new owner)."""
+        if old[0] != new[0]:
+            raise ValueError(f"reassignment crosses epochs: {old} -> {new}")
+        with self._lock:
+            self._reassigned[old] = new
+            self._append(
+                f"reassign {old[0]} {old[1]} {old[2]} {new[1]} {new[2]}\n"
+            )
+
+    def reassignments(self, epoch: int | None = None) -> dict[DeliveryKey, DeliveryKey]:
+        """Snapshot of recorded key re-mappings."""
+        with self._lock:
+            return {
+                k: v
+                for k, v in self._reassigned.items()
+                if epoch is None or k[0] == epoch
+            }
+
+    def resolve(self, key: DeliveryKey) -> DeliveryKey:
+        """Follow reassignment chains to the key's current owner."""
+        with self._lock:
+            seen = set()
+            while key in self._reassigned and key not in seen:
+                seen.add(key)
+                key = self._reassigned[key]
+            return key
+
+    def covered(self, key: DeliveryKey) -> bool:
+        """Whether ``key`` (or its reassigned descendant) was delivered."""
+        with self._lock:
+            if key[0] in self._completed:
+                return True
+            seen = set()
+            while key not in self._keys and key in self._reassigned and key not in seen:
+                seen.add(key)
+                key = self._reassigned[key]
+            return key in self._keys
+
+    def complete_epoch(self, epoch: int) -> int:
+        """Compact one finished epoch to a single checkpoint line.
+
+        Drops the epoch's per-batch keys and reassignment entries from
+        memory and rewrites the file with only live epochs — the ROADMAP's
+        ledger-compaction item.  Returns the batch count checkpointed.
+        Idempotent; re-completing keeps the original count.
+        """
+        with self._lock:
+            if epoch in self._completed:
+                return self._completed[epoch]
+            epoch_keys = {k for k in self._keys if k[0] == epoch}
+            self._completed[epoch] = len(epoch_keys)
+            self._keys -= epoch_keys
+            self._reassigned = {
+                k: v for k, v in self._reassigned.items() if k[0] != epoch
+            }
+            # The atomic rewrite is the sole persistence step — its output
+            # already leads with the epoch-complete checkpoint line.
+            if self.path is not None:
+                self._rewrite(self.path)
+            return self._completed[epoch]
+
+    def epoch_complete(self, epoch: int) -> bool:
+        """Whether ``epoch`` was checkpointed by :meth:`complete_epoch`."""
+        with self._lock:
+            return epoch in self._completed
+
+    def completed_epochs(self) -> dict[int, int]:
+        """``epoch -> batch count`` of every checkpointed epoch."""
+        with self._lock:
+            return dict(self._completed)
+
     def delivered(self, epoch: int | None = None, node: int | None = None) -> set[DeliveryKey]:
-        """Snapshot of delivered keys, optionally filtered by epoch/node."""
+        """Snapshot of live (uncompacted) delivered keys, optionally filtered."""
         with self._lock:
             return {
                 k
@@ -178,7 +325,7 @@ class DeliveryLedger:
 
     def __contains__(self, key: DeliveryKey) -> bool:
         with self._lock:
-            return key in self._keys
+            return key in self._keys or key[0] in self._completed
 
     def __len__(self) -> int:
         with self._lock:
@@ -196,8 +343,35 @@ def _shard_file_exists(root: str, shard_path: str) -> bool:
     return (Path(root) / shard_path).exists()
 
 
+@dataclass(frozen=True)
+class ReceiverReassignment:
+    """The outcome of planning one dead receiver's failover.
+
+    Attributes
+    ----------
+    assignments:
+        Re-targeted copies of the dead node's undelivered assignments:
+        ``node_id`` points at a surviving receiver and ``batch_index`` (==
+        payload seq) is fresh, past anything that node has seen this epoch.
+    key_map:
+        ``old delivery key -> new delivery key`` for every re-target; the
+        supervisor persists these via
+        :meth:`DeliveryLedger.record_reassignment`.
+    by_root:
+        ``storage root -> assignments`` it should serve (every assignment
+        appears under exactly one reachable root).
+    extra_per_node:
+        ``surviving node -> batch count`` it must additionally consume.
+    """
+
+    assignments: tuple[BatchAssignment, ...]
+    key_map: dict[DeliveryKey, DeliveryKey]
+    by_root: dict[str, tuple[BatchAssignment, ...]]
+    extra_per_node: dict[int, int]
+
+
 class FailoverCoordinator:
-    """Re-plans a dead daemon's undelivered batches onto survivors.
+    """Re-plans a dead member's undelivered batches onto survivors.
 
     Parameters
     ----------
@@ -237,9 +411,55 @@ class FailoverCoordinator:
         return set(owned)
 
     def residual_plan(self, epoch: int, shards: Iterable[str] | None = None) -> BatchPlan:
-        """Sub-plan of not-yet-delivered assignments (optionally per shard set)."""
+        """Sub-plan of not-yet-delivered assignments (optionally per shard set).
+
+        Keys already re-owned by a receiver failover count as handled here —
+        their re-targeted copies live outside the original plan.
+        """
         delivered = self.ledger.delivered(epoch=epoch)
+        delivered |= set(self.ledger.reassignments(epoch=epoch))
         return self.plan.residual(delivered, epoch=epoch, shards=shards)
+
+    def _place_root(
+        self,
+        shard_path: str,
+        survivors: Collection[str],
+        load: dict[str, int],
+    ) -> str | None:
+        """Least-loaded reachable survivor root for one shard, or None."""
+        for root in sorted(survivors, key=lambda r: load.get(r, 0)):
+            if self.reachable(root, shard_path):
+                return root
+        return None
+
+    def place_assignments(
+        self,
+        assignments: Collection[BatchAssignment],
+        survivors: Collection[str],
+    ) -> dict[str, tuple[BatchAssignment, ...]]:
+        """Place loose assignments on reachable roots, least-loaded-first.
+
+        Used for re-targeted (receiver-failover) assignments, which live
+        outside the original plan and therefore outside any root's shard
+        ownership.  Raises :class:`FailoverError` when a shard is
+        unreachable by every survivor.
+        """
+        by_root: dict[str, list[BatchAssignment]] = {}
+        load: dict[str, int] = {}
+        unreachable: list[str] = []
+        for a in assignments:
+            root = self._place_root(a.shard_path, survivors, load)
+            if root is None:
+                unreachable.append(a.shard)
+                continue
+            by_root.setdefault(root, []).append(a)
+            load[root] = load.get(root, 0) + 1
+        if unreachable:
+            raise FailoverError(
+                f"no surviving root can reach shards {sorted(set(unreachable))[:3]} "
+                f"({len(unreachable)} assignments)"
+            )
+        return {r: tuple(v) for r, v in by_root.items()}
 
     def plan_failover(
         self,
@@ -257,8 +477,7 @@ class FailoverCoordinator:
         ``survivors`` overrides the default "every root but the dead one" —
         the service passes the roots of daemons that are actually alive, so
         a root stays a valid takeover target while any daemon on it lives
-        (e.g. a failover daemon died on a root whose original daemon is
-        still healthy).
+        (e.g. a failover daemon died on a root that still has a live daemon).
         """
         residual = self.residual_plan(epoch, shards=self.shards_of(dead_root))
         needed = {a.shard: a.shard_path for a in residual.assignments}
@@ -267,16 +486,15 @@ class FailoverCoordinator:
         else:
             survivors = list(survivors)
         takeover: dict[str, set[str]] = {}
+        load: dict[str, int] = {}
         unreachable: list[str] = []
         for shard in sorted(needed):
-            placed = False
-            for root in sorted(survivors, key=lambda r: len(takeover.get(r, ()))):
-                if self.reachable(root, needed[shard]):
-                    takeover.setdefault(root, set()).add(shard)
-                    placed = True
-                    break
-            if not placed:
+            root = self._place_root(needed[shard], survivors, load)
+            if root is None:
                 unreachable.append(shard)
+                continue
+            takeover.setdefault(root, set()).add(shard)
+            load[root] = load.get(root, 0) + 1
         if unreachable:
             raise FailoverError(
                 f"no surviving daemon can reach shards {unreachable[:3]} "
@@ -290,3 +508,84 @@ class FailoverCoordinator:
             takeover={r: sorted(s) for r, s in takeover.items()},
         )
         return takeover
+
+    def plan_receiver_failover(
+        self,
+        dead_node: int,
+        epoch: int,
+        surviving_nodes: Collection[int],
+        next_seq: Mapping[int, int],
+        survivor_roots: Collection[str] | None = None,
+        residual: Collection[BatchAssignment] | None = None,
+    ) -> ReceiverReassignment:
+        """Re-target a dead compute node's undelivered batches onto survivors.
+
+        Every undelivered assignment of ``dead_node`` is copied with
+        ``node_id`` pointing at a surviving receiver (balanced round-robin)
+        and a fresh ``batch_index``/seq starting at that node's ``next_seq``
+        — fresh so the re-target can never collide with a seq the survivor
+        has already seen (dedup would silently eat the batch).  Each
+        re-target is also placed on a reachable storage root
+        (least-loaded-first across ``survivor_roots``).
+
+        ``residual`` overrides the default ledger-diffed computation — the
+        supervisor passes it when earlier failovers created assignments
+        outside the original plan (a re-targeted batch whose *new* owner
+        died too).
+
+        Raises :class:`FailoverError` with no surviving receiver, or when a
+        needed shard is unreachable by every surviving root.
+        """
+        surviving_nodes = sorted(set(surviving_nodes) - {dead_node})
+        if residual is None:
+            base = self.residual_plan(epoch)
+            residual = [a for a in base.assignments if a.node_id == dead_node]
+        else:
+            residual = [a for a in residual if a.node_id == dead_node]
+        if not residual:
+            return ReceiverReassignment((), {}, {}, {})
+        if not surviving_nodes:
+            raise FailoverError(
+                f"no surviving receiver can adopt {len(residual)} undelivered "
+                f"batches of dead node {dead_node}"
+            )
+        if survivor_roots is None:
+            survivor_roots = list(self.roots)
+        seq = {n: int(next_seq.get(n, 0)) for n in surviving_nodes}
+        extra: dict[int, int] = {n: 0 for n in surviving_nodes}
+        key_map: dict[DeliveryKey, DeliveryKey] = {}
+        by_root: dict[str, list[BatchAssignment]] = {}
+        load: dict[str, int] = {}
+        unreachable: list[str] = []
+        for a in sorted(residual, key=lambda a: a.batch_index):
+            root = self._place_root(a.shard_path, survivor_roots, load)
+            if root is None:
+                unreachable.append(a.shard)
+                continue
+            node = min(surviving_nodes, key=lambda n: extra[n])
+            new_a = replace(a, node_id=node, batch_index=seq[node])
+            key_map[(epoch, dead_node, a.batch_index)] = (epoch, node, seq[node])
+            seq[node] += 1
+            extra[node] += 1
+            by_root.setdefault(root, []).append(new_a)
+            load[root] = load.get(root, 0) + 1
+        if unreachable:
+            raise FailoverError(
+                f"no surviving root can reach shards {sorted(set(unreachable))[:3]} "
+                f"({len(unreachable)} batches) of dead node {dead_node}"
+            )
+        result = ReceiverReassignment(
+            assignments=tuple(a for root in by_root.values() for a in root),
+            key_map=key_map,
+            by_root={r: tuple(v) for r, v in by_root.items()},
+            extra_per_node={n: c for n, c in extra.items() if c},
+        )
+        self.logger.log(
+            "receiver_failover_planned",
+            dead_node=dead_node,
+            epoch=epoch,
+            residual_batches=len(result.assignments),
+            adopted={str(n): c for n, c in result.extra_per_node.items()},
+            roots={r: len(v) for r, v in result.by_root.items()},
+        )
+        return result

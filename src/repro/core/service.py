@@ -1,30 +1,43 @@
-"""EMLIOService — one-call orchestration of planner + daemon(s) + receiver.
+"""EMLIOService — one-call orchestration of planner + daemon(s) + receiver(s).
 
-For examples, tests, and the live benchmarks: wires a single compute node
-(receiver) to one or more storage daemons over loopback TCP with optional
-latency emulation, serving the configured number of epochs.
+For examples, tests, and the live benchmarks: wires one or more compute
+nodes (receivers) to one or more storage daemons over loopback TCP with
+optional latency emulation, serving the configured number of epochs.
 
 For multi-node experiments construct :class:`~repro.core.daemon.EMLIODaemon`
 and :class:`~repro.core.receiver.EMLIOReceiver` directly — the service is a
 convenience, not the only entry point.
 
-Recovery design (see :mod:`repro.core.recovery`): with
-``EMLIOService(recovery=RecoveryConfig(...))`` the service becomes
-survivable end-to-end.  The receiver records deliveries in a (optionally
-persistent) ledger and dedups the at-least-once transport; daemon PUSH
-streams reconnect through transient drops; and a watchdog thread observes
-daemon deaths mid-epoch, asks the
-:class:`~repro.core.recovery.FailoverCoordinator` to re-plan the dead
-daemon's undelivered batches onto surviving storage roots that can reach
-the shards, and spawns replacement daemons serving exactly the residual.
-Failover daemons are themselves watched, so cascading failures keep
-recovering while any reachable root survives.  A restarted service with the
-same config and ledger path resumes mid-epoch: daemons skip ledgered
-batches and the receiver expects only the remainder.
+Control plane (see :mod:`repro.core.membership`): with
+``EMLIOService(recovery=RecoveryConfig(...))`` every participant publishes
+heartbeats to an in-service :class:`~repro.net.heartbeat.HeartbeatListener`
+and a :class:`~repro.core.membership.ClusterView` turns beats into
+membership events.  The service's monitor thread consumes those events —
+**liveness is never inferred from thread state**:
+
+* a crashed daemon announces itself (``failed`` beat) or falls silent;
+  either way the monitor sees a ``dead`` event and asks the
+  :class:`~repro.core.recovery.FailoverCoordinator` to re-plan the dead
+  daemon's undelivered batches onto surviving storage roots;
+* a *hung* daemon — thread alive, no error, no progress — keeps beating
+  with a frozen progress counter and is declared dead just the same;
+* a dead *receiver* (compute node) triggers receiver failover: its
+  undelivered batches (diffed against the
+  :class:`~repro.core.recovery.DeliveryLedger`) are re-targeted onto
+  surviving receivers with fresh sequence numbers, daemons drop the dead
+  endpoint mid-epoch, and the key re-mapping is persisted so restarts stay
+  exactly-once.
+
+Failover daemons are themselves members, so cascading failures keep
+recovering while any reachable root and any live receiver survive.  A
+restarted service with the same config and ledger path resumes mid-epoch;
+completed epochs are compacted to one checkpoint line each.
 """
 
 from __future__ import annotations
 
+import itertools
+import queue
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,20 +47,27 @@ import numpy as np
 
 from repro.core.config import EMLIOConfig
 from repro.core.daemon import EMLIODaemon
-from repro.core.planner import BatchPlan, Planner
-from repro.core.receiver import EMLIOReceiver
+from repro.core.membership import ClusterView, MembershipEvent
+from repro.core.planner import BatchAssignment, BatchPlan, Planner
+from repro.core.receiver import EMLIOReceiver, ReceiverKilled
 from repro.core.recovery import (
+    DeliveryKey,
     DeliveryLedger,
     FailoverCoordinator,
+    FailoverError,
     RecoveryConfig,
 )
 from repro.energy.power_models import BusyWindowTracker
 from repro.gpu.device import SimulatedGPU
 from repro.net.emulation import NetworkProfile
+from repro.net.heartbeat import (
+    STATE_IDLE,
+    STATE_SERVING,
+    HeartbeatListener,
+    HeartbeatPublisher,
+)
 from repro.tfrecord.sharder import ShardedDataset
 from repro.util.logging import TimestampLogger
-
-_WATCH_POLL_S = 0.02  # watchdog poll period for dead daemon detection
 
 
 @dataclass
@@ -60,10 +80,16 @@ class _DaemonEntry:
     thread: threading.Thread | None = None
     error: BaseException | None = None
     handled: bool = field(default=False)
+    member_id: str = ""
+    publisher: HeartbeatPublisher | None = None
+    # Re-targeted (receiver-failover) assignments this daemon serves, which
+    # live outside the original plan and need explicit re-placement should
+    # this daemon die too.
+    extra: tuple[BatchAssignment, ...] = ()
 
 
 class EMLIOService:
-    """Single-node EMLIO deployment over (optionally shaped) loopback TCP.
+    """EMLIO deployment over (optionally shaped) loopback TCP.
 
     Parameters
     ----------
@@ -73,7 +99,7 @@ class EMLIOService:
         A sharded TFRecord dataset.  With ``storage_roots`` unset, one
         daemon serves all shards from ``dataset.root``.
     profile:
-        Link emulation between daemon(s) and the receiver.
+        Link emulation between daemon(s) and the receiver(s).
     storage_shards:
         Optional mapping ``root_dir -> set of shard names`` to run several
         daemons, each owning a disjoint subset of shards (the paper's
@@ -81,9 +107,14 @@ class EMLIOService:
         mounts holding each other's shards, they double as failover
         targets.
     recovery:
-        Fault-tolerance policy (ledger, dedup, reconnect, failover); see
+        Fault-tolerance policy (ledger, dedup, reconnect, failover,
+        membership thresholds); see
         :class:`~repro.core.recovery.RecoveryConfig`.  ``None`` keeps the
         original fail-fast behaviour.
+    num_nodes:
+        Compute nodes (receivers).  With more than one, :meth:`epoch`
+        merges every node's batches into one stream and a dead node's
+        undelivered batches fail over to the survivors.
     """
 
     def __init__(
@@ -96,31 +127,40 @@ class EMLIOService:
         cpu_tracker: BusyWindowTracker | None = None,
         stall_timeout: float = 60.0,
         recovery: RecoveryConfig | None = None,
+        num_nodes: int = 1,
     ) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
         self.config = config
         self.dataset = dataset
         self.profile = profile
         self.recovery = recovery
+        self.num_nodes = num_nodes
+        self.stall_timeout = stall_timeout
         self.logger = TimestampLogger(name="emlio-service")
-        self.plan: BatchPlan = Planner(dataset, num_nodes=1, config=config).plan()
+        self.plan: BatchPlan = Planner(dataset, num_nodes=num_nodes, config=config).plan()
         self.ledger: DeliveryLedger | None = (
             DeliveryLedger(recovery.ledger_path) if recovery is not None else None
         )
         self.failovers = 0  # successful mid-epoch daemon replacements
+        self.receiver_failovers = 0  # successful mid-epoch receiver re-plans
         # None inherits EMLIOConfig.reorder_window (the receiver's fallback).
         reorder = recovery.reorder_window if recovery is not None else None
-        self.receiver = EMLIOReceiver(
-            node_id=0,
-            plan=self.plan,
-            config=config,
-            profile=profile,
-            gpu=gpu,
-            stall_timeout=stall_timeout,
-            ledger=self.ledger,
-            dedup=recovery.dedup if recovery is not None else False,
-            reorder_window=reorder,
-        )
-        self._endpoints = {0: ("127.0.0.1", self.receiver.port)}
+        self.receivers: list[EMLIOReceiver] = [
+            EMLIOReceiver(
+                node_id=i,
+                plan=self.plan,
+                config=config,
+                profile=profile,
+                gpu=gpu if i == 0 else None,
+                stall_timeout=stall_timeout,
+                ledger=self.ledger,
+                dedup=recovery.dedup if recovery is not None else False,
+                reorder_window=reorder,
+            )
+            for i in range(num_nodes)
+        ]
+        self._endpoints = {i: ("127.0.0.1", r.port) for i, r in enumerate(self.receivers)}
         self._reconnect = recovery.reconnect if recovery is not None else None
         self._cpu_tracker = cpu_tracker
         self.daemons: list[EMLIODaemon] = []
@@ -139,6 +179,46 @@ class EMLIOService:
                 raise ValueError(f"unserved shards: {sorted(all_shards - claimed)[:3]}")
         self._failover_daemons: list[EMLIODaemon] = []
         self._recovery_errors: list[BaseException] = []
+        # Receiver-failover state.  ``_reassigned`` (old key -> new key) is
+        # seeded from the ledger so a restarted service keeps honouring
+        # re-ownership decisions made before the crash.
+        self._dead_nodes: set[int] = set()
+        self._extra_assignments: list[BatchAssignment] = []
+        self._reassigned: dict[DeliveryKey, DeliveryKey] = (
+            self.ledger.reassignments() if self.ledger is not None else {}
+        )
+        # Control plane: heartbeat listener + cluster view + event stream.
+        self._events: "queue.Queue[MembershipEvent]" = queue.Queue()
+        self._member_ids = itertools.count()
+        # Daemon members are per-epoch; the previous epoch's are forgotten
+        # when the next one starts so the view stays bounded by live
+        # membership (kept one epoch for post-mortem status inspection).
+        self._retired_members: list[str] = []
+        self.view: ClusterView | None = None
+        self._hb_listener: HeartbeatListener | None = None
+        self._receiver_pubs: list[HeartbeatPublisher] = []
+        if recovery is not None:
+            self.view = ClusterView(recovery.membership, on_event=self._events.put)
+            self._hb_listener = HeartbeatListener(self.view.observe)
+            for i, r in enumerate(self.receivers):
+                # Expected up front: a node that dies before its first beat
+                # must still be detected (the miss clock starts now).
+                self.view.expect(f"receiver:{i}", "receiver")
+                pub = HeartbeatPublisher(
+                    member_id=f"receiver:{i}",
+                    role="receiver",
+                    endpoint=self._hb_listener.address,
+                    interval_s=recovery.membership.interval_s,
+                    progress_fn=lambda r=r: r.batches_received + r.ticks,
+                    state_fn=lambda r=r: STATE_SERVING if r.epoch_active else STATE_IDLE,
+                )
+                pub.start()
+                self._receiver_pubs.append(pub)
+
+    @property
+    def receiver(self) -> EMLIOReceiver:
+        """Node 0's receiver (single-node convenience / back-compat)."""
+        return self.receivers[0]
 
     def _make_daemon(
         self,
@@ -153,13 +233,65 @@ class EMLIOService:
             config=self.config,
             profile=self.profile,
             cpu_tracker=self._cpu_tracker,
-            shard_filter=shards,
+            # An explicit plan is already exactly the work list (it may
+            # contain re-targeted assignments from shards outside any
+            # original ownership set) — a shard filter would drop them.
+            shard_filter=None if plan is not None else shards,
             reconnect=self._reconnect,
         )
+
+    # -- chaos hooks -----------------------------------------------------------
 
     def kill_daemon(self, index: int = 0) -> None:
         """Chaos hook: abruptly kill one of the serving daemons."""
         self.daemons[index].kill()
+
+    def hang_daemon(self, index: int = 0) -> None:
+        """Chaos hook: one daemon stops progressing without crashing."""
+        self.daemons[index].hang()
+
+    def kill_receiver(self, index: int) -> None:
+        """Chaos hook: abruptly kill one compute node (socket + beats)."""
+        self.receivers[index].kill()
+        if index < len(self._receiver_pubs):
+            self._receiver_pubs[index].kill()  # crash: silence, no goodbye
+
+    # -- ledger coverage -------------------------------------------------------
+
+    def _covered(self, epoch: int) -> set[DeliveryKey]:
+        """Planned keys delivered directly or through a re-targeted copy."""
+        assert self.ledger is not None
+        return {k for k in self.plan.keys(epoch=epoch) if self.ledger.covered(k)}
+
+    def _epoch_covered(self, epoch: int) -> bool:
+        """Whether every planned batch of ``epoch`` landed (incl. re-owned)."""
+        if self.ledger is None:
+            return False
+        if self.ledger.epoch_complete(epoch):
+            return True
+        return all(self.ledger.covered(k) for k in self.plan.keys(epoch=epoch))
+
+    def _excluded(self, epoch: int) -> set[DeliveryKey]:
+        """Keys no daemon should serve: delivered, or re-owned elsewhere."""
+        assert self.ledger is not None
+        return self.ledger.delivered(epoch=epoch) | {
+            k for k in self._reassigned if k[0] == epoch
+        }
+
+    def _next_seq_map(self, epoch: int) -> dict[int, int]:
+        """First unused payload seq per node for ``epoch`` (re-targets get
+        fresh seqs past anything planned or previously re-assigned)."""
+        top = {n: -1 for n in range(self.num_nodes)}
+        for a in self.plan.assignments:
+            if a.epoch == epoch and a.batch_index > top[a.node_id]:
+                top[a.node_id] = a.batch_index
+        for a in self._extra_assignments:
+            if a.epoch == epoch and a.batch_index > top.get(a.node_id, -1):
+                top[a.node_id] = a.batch_index
+        for (e, _dn, _ds), (_e, nn, ns) in self._reassigned.items():
+            if e == epoch and ns > top.get(nn, -1):
+                top[nn] = ns
+        return {n: t + 1 for n, t in top.items()}
 
     # -- epoch orchestration ---------------------------------------------------
 
@@ -168,26 +300,49 @@ class EMLIOService:
             entry.daemon.serve_epoch(epoch, skip=skip)
         except BaseException as err:  # noqa: BLE001 - surfaced in epoch()
             entry.error = err
+            if entry.publisher is not None:
+                entry.publisher.fail(repr(err))  # fast-path death notice
+        else:
+            if entry.publisher is not None:
+                entry.publisher.stop()  # clean departure, not a death
 
     def _spawn(self, entry: _DaemonEntry, epoch: int, skip) -> None:
+        if entry.publisher is None and self._hb_listener is not None:
+            daemon = entry.daemon
+            entry.member_id = f"daemon:{next(self._member_ids)}@{entry.root}"
+            self.view.expect(entry.member_id, "daemon")
+            entry.publisher = HeartbeatPublisher(
+                member_id=entry.member_id,
+                role="daemon",
+                endpoint=self._hb_listener.address,
+                interval_s=self.recovery.membership.interval_s,
+                # Ticks advance through HWM backpressure waits too, so a
+                # daemon throttled by a slow receiver is busy, not hung.
+                progress_fn=lambda d=daemon: d.stats.batches_sent + d.stats.ticks,
+            )
+            entry.publisher.start()
         entry.thread = threading.Thread(
             target=self._run_daemon, args=(entry, epoch, skip), daemon=True,
             name="emlio-daemon",
         )
         entry.thread.start()
 
+    def _live_roots(self, entries: list[_DaemonEntry], exclude: _DaemonEntry | None = None) -> dict[str, set[str] | None]:
+        """Roots of daemons still considered alive, with their shard sets."""
+        live: dict[str, set[str] | None] = {}
+        for e in entries:
+            if e is exclude or e.handled or e.error is not None or e.daemon.killed:
+                continue
+            live.setdefault(e.root, e.shards)
+        return live
+
     def _failover(self, epoch: int, dead: _DaemonEntry, entries: list[_DaemonEntry]) -> None:
         """Re-plan a dead daemon's undelivered batches onto survivors."""
         assert self.ledger is not None
-        live_roots = {
-            e.root: e.shards
-            for e in entries
-            if e is not dead and (e.thread is None or e.error is None)
-        }
+        live_roots = self._live_roots(entries, exclude=dead)
+        excluded = self._excluded(epoch)
         # Dead entry last so its shard set wins if a survivor shares the root
         # (a failover daemon dying on a root that still has a live daemon).
-        # Survivors are the roots of *live* daemons — which may include the
-        # dead entry's root when another daemon on it is still healthy.
         coordinator = FailoverCoordinator(
             self.plan,
             self.ledger,
@@ -195,85 +350,345 @@ class EMLIOService:
             logger=self.logger,
         )
         takeover = coordinator.plan_failover(dead.root, epoch, survivors=list(live_roots))
-        delivered = self.ledger.delivered(epoch=epoch)  # one snapshot for all roots
-        for root, shards in takeover.items():
-            residual = self.plan.residual(delivered, epoch=epoch, shards=shards)
-            daemon = self._make_daemon(root, shards, plan=residual)
+        # Re-targeted assignments the dead daemon carried live outside the
+        # original plan: re-place each on a reachable surviving root.
+        extra_residual = [
+            a
+            for a in dead.extra
+            if a.epoch == epoch
+            and (a.epoch, a.node_id, a.batch_index) not in self.ledger
+            and (a.epoch, a.node_id, a.batch_index) not in self._reassigned
+            and a.node_id not in self._dead_nodes
+        ]
+        extra_by_root = coordinator.place_assignments(extra_residual, list(live_roots))
+        for root in sorted(set(takeover) | set(extra_by_root)):
+            shards = takeover.get(root, set())
+            residual = (
+                self.plan.residual(excluded, epoch=epoch, shards=shards)
+                if shards
+                else self.plan.residual(excluded, epoch=epoch, shards=())
+            )
+            assignments = residual.assignments + tuple(extra_by_root.get(root, ()))
+            if not assignments:
+                continue
+            sub_plan = BatchPlan(
+                assignments=assignments,
+                num_nodes=self.plan.num_nodes,
+                epochs=self.plan.epochs,
+                batch_size=self.plan.batch_size,
+                coverage=self.plan.coverage,
+            )
+            daemon = self._make_daemon(root, shards or None, plan=sub_plan)
+            for node in self._dead_nodes:
+                daemon.drop_node(node)
             self._failover_daemons.append(daemon)
-            entry = _DaemonEntry(daemon=daemon, root=root, shards=shards)
+            entry = _DaemonEntry(
+                daemon=daemon, root=root, shards=shards,
+                extra=tuple(extra_by_root.get(root, ())),
+            )
             entries.append(entry)
-            self._spawn(entry, epoch, delivered)
+            self._spawn(entry, epoch, self._excluded(epoch))
         self.failovers += 1
         self.logger.log(
             "failover",
             epoch=epoch,
             dead_root=dead.root,
-            replacements=len(takeover),
+            replacements=len(set(takeover) | set(extra_by_root)),
         )
 
-    def _watchdog(self, epoch: int, entries: list[_DaemonEntry], stop: threading.Event) -> None:
-        """Declare daemons dead when their serve thread errors; fail over."""
+    def _failover_receiver(self, epoch: int, dead_node: int, entries: list[_DaemonEntry]) -> None:
+        """Re-target a dead compute node's undelivered batches onto survivors.
+
+        Sequence matters: silence the corpse (kill socket + beats), stop
+        daemons pushing at it, grow the survivors' expectations, and only
+        then spawn the daemons that serve the re-targets — adopting after
+        spawning could let a survivor finish its epoch early and tear down
+        while re-targeted payloads are in flight.
+        """
+        assert self.ledger is not None
+        receiver = self.receivers[dead_node]
+        receiver.kill()
+        if dead_node < len(self._receiver_pubs):
+            self._receiver_pubs[dead_node].kill()
+        self._dead_nodes.add(dead_node)
+        self._endpoints.pop(dead_node, None)
+        for d in self.daemons + self._failover_daemons:
+            d.drop_node(dead_node)
+        # Residual: planned-but-undelivered batches of the dead node, plus
+        # any re-targets pointed at it by an earlier receiver failover.
+        excluded = self._excluded(epoch)
+        base = self.plan.residual(excluded, epoch=epoch)
+        residual = [a for a in base.assignments if a.node_id == dead_node]
+        residual += [
+            a
+            for a in self._extra_assignments
+            if a.epoch == epoch
+            and a.node_id == dead_node
+            and (a.epoch, a.node_id, a.batch_index) not in self.ledger
+            and (a.epoch, a.node_id, a.batch_index) not in self._reassigned
+        ]
+        if not residual:
+            self.logger.log("receiver_dead_nothing_owed", epoch=epoch, node=dead_node)
+            return
+        survivors = [
+            i
+            for i in range(self.num_nodes)
+            if i not in self._dead_nodes and not self.receivers[i].killed
+        ]
+        live_roots = self._live_roots(entries)
+        coordinator = FailoverCoordinator(
+            self.plan, self.ledger, live_roots, logger=self.logger
+        )
+        plan = coordinator.plan_receiver_failover(
+            dead_node,
+            epoch,
+            surviving_nodes=survivors,
+            next_seq=self._next_seq_map(epoch),
+            survivor_roots=list(live_roots),
+            residual=residual,
+        )
+        for old, new in plan.key_map.items():
+            self.ledger.record_reassignment(old, new)
+            self._reassigned[old] = new
+        self._extra_assignments.extend(plan.assignments)
+        for node, extra in plan.extra_per_node.items():
+            if not self.receivers[node].adopt(extra):
+                raise FailoverError(
+                    f"receiver {node} finished epoch {epoch} before adopting "
+                    f"{extra} re-targeted batches of dead node {dead_node}"
+                )
+        for root, assignments in plan.by_root.items():
+            sub_plan = BatchPlan(
+                assignments=assignments,
+                num_nodes=self.plan.num_nodes,
+                epochs=self.plan.epochs,
+                batch_size=self.plan.batch_size,
+                coverage=self.plan.coverage,
+            )
+            daemon = self._make_daemon(root, None, plan=sub_plan)
+            for node in self._dead_nodes:
+                daemon.drop_node(node)
+            self._failover_daemons.append(daemon)
+            entry = _DaemonEntry(
+                daemon=daemon, root=root, shards=set(), extra=assignments
+            )
+            entries.append(entry)
+            self._spawn(entry, epoch, None)
+        self.receiver_failovers += 1
+        self.logger.log(
+            "receiver_failover",
+            epoch=epoch,
+            dead_node=dead_node,
+            re_targeted=len(plan.assignments),
+            adopted={str(n): c for n, c in plan.extra_per_node.items()},
+        )
+
+    def _handle_event(self, ev: MembershipEvent, epoch: int, entries: list[_DaemonEntry]) -> None:
+        if ev.kind != "dead":
+            self.logger.log(
+                "membership_event", event=ev.kind, member=ev.member_id, reason=ev.reason
+            )
+            return
+        self.logger.log(
+            "member_dead", member=ev.member_id, role=ev.role, reason=ev.reason, epoch=epoch
+        )
+        if ev.role == "receiver":
+            node = int(ev.member_id.split(":", 1)[1])
+            if node in self._dead_nodes:
+                return  # already failed over (e.g. at epoch start)
+            self._failover_receiver(epoch, node, entries)
+            return
+        entry = next((e for e in entries if e.member_id == ev.member_id), None)
+        if entry is None or entry.handled:
+            return  # stale event (previous epoch) or already failed over
+        entry.handled = True
+        # A hung daemon is alive and might wake mid-failover: kill it so the
+        # re-plan is the only writer (its replays would dedup anyway, but a
+        # corpse has no business holding send credits).
+        entry.daemon.kill()
+        if entry.publisher is not None:
+            entry.publisher.kill()
+        self._failover(epoch, entry, entries)
+
+    def _monitor(self, epoch: int, entries: list[_DaemonEntry], stop: threading.Event) -> None:
+        """Consume membership events; drive failover.  Replaces the old
+        thread-state watchdog — liveness comes from the ClusterView only."""
+        assert self.view is not None
+        poll_s = max(0.005, self.recovery.membership.interval_s / 2)
         while not stop.is_set():
-            for entry in list(entries):
-                if (
-                    entry.error is not None
-                    and not entry.handled
-                    and entry.thread is not None
-                    and not entry.thread.is_alive()
-                ):
-                    entry.handled = True
-                    try:
-                        self._failover(epoch, entry, entries)
-                    except BaseException as err:  # noqa: BLE001 - surfaced later
-                        self._recovery_errors.append(err)
-                        return
-            stop.wait(_WATCH_POLL_S)
+            self.view.poll()  # timeout/hang sweeps feed self._events
+            try:
+                ev = self._events.get(timeout=poll_s)
+            except queue.Empty:
+                continue
+            try:
+                self._handle_event(ev, epoch, entries)
+            except BaseException as err:  # noqa: BLE001 - surfaced in epoch()
+                self._recovery_errors.append(err)
+                return
+
+    def _consume_pass(
+        self, epoch_index: int, receivers: list[EMLIOReceiver]
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """One concurrent drain of the given receivers' epoch streams."""
+        out: queue.Queue = queue.Queue()
+        done = object()
+        errors: list[BaseException] = []
+        err_lock = threading.Lock()
+
+        def consume(r: EMLIOReceiver) -> None:
+            try:
+                for item in r.epoch(epoch_index):
+                    out.put(item)
+            except BaseException as err:  # noqa: BLE001 - surfaced below
+                # A killed node's torn epoch is expected — its batches are
+                # re-owned; anything else is a real consumer failure.
+                if not (isinstance(err, ReceiverKilled) or r.killed):
+                    with err_lock:
+                        errors.append(err)
+            finally:
+                out.put(done)
+
+        threads = [
+            threading.Thread(target=consume, args=(r,), daemon=True, name=f"emlio-consume{r.node_id}")
+            for r in receivers
+        ]
+        for t in threads:
+            t.start()
+        remaining = len(threads)
+        while remaining:
+            item = out.get()
+            if item is done:
+                remaining -= 1
+                continue
+            yield item
+        for t in threads:
+            t.join(timeout=10.0)
+        if errors:
+            if self._recovery_errors:
+                raise self._recovery_errors[0] from errors[0]
+            raise errors[0]
+
+    def _merge_receivers(self, epoch_index: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Drive every receiver's epoch, merged — a cluster-wide barrier.
+
+        The epoch ends when every planned batch is *covered*, not when the
+        survivors drain their own partitions: a node can die after the
+        others already finished consuming, in which case the failure
+        detector fires between passes and the re-targeted batches (adopted
+        as ``pending_adopt``) are drained by a further pass.  Gives up when
+        the control plane stops making progress for ``stall_timeout``.
+        """
+        import time as _time
+
+        failover_on = (
+            self.recovery is not None and self.recovery.failover and self.view is not None
+        )
+        deadline = _time.monotonic() + self.stall_timeout
+        while True:
+            alive = [r for r in self.receivers if not r.killed]
+            if not alive:
+                raise FailoverError(f"every receiver is dead in epoch {epoch_index}")
+            for item in self._consume_pass(epoch_index, alive):
+                deadline = _time.monotonic() + self.stall_timeout
+                yield item
+            if self.ledger is None or not failover_on:
+                return
+            # Wait (bounded) for the control plane: either the epoch turns
+            # covered, a failover adopts batches for another pass, or the
+            # deadline expires (incompleteness surfaced by the caller).
+            while True:
+                if self._recovery_errors or self._epoch_covered(epoch_index):
+                    return
+                if any(r.pending_adopt > 0 for r in self.receivers if not r.killed):
+                    break  # drain the adopted re-targets in another pass
+                if _time.monotonic() > deadline:
+                    return
+                _time.sleep(0.01)  # detection/re-plan still in flight
 
     def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Serve and consume one epoch end-to-end."""
         self.logger.log("epoch_start", epoch=epoch_index)
         self._recovery_errors = []
-        skip = self.ledger.delivered(epoch=epoch_index) if self.ledger is not None else None
+        if self.ledger is not None and self.ledger.epoch_complete(epoch_index):
+            # Compacted checkpoint: everything landed in a previous run.
+            self.logger.log("epoch_already_complete", epoch=epoch_index)
+            self.logger.log("epoch_end", epoch=epoch_index)
+            return
+        if self.view is not None and self._retired_members:
+            for member_id in self._retired_members:
+                self.view.forget(member_id)
+            self._retired_members.clear()
+        skip = self._covered(epoch_index) if self.ledger is not None else None
         entries = [
             _DaemonEntry(daemon=d, root=str(d.dataset_root), shards=d.shard_filter)
             for d in self.daemons
         ]
-        for entry in entries:
-            self._spawn(entry, epoch_index, skip)
         stop = threading.Event()
-        watchdog: threading.Thread | None = None
-        if self.recovery is not None and self.recovery.failover:
-            watchdog = threading.Thread(
-                target=self._watchdog, args=(epoch_index, entries, stop), daemon=True,
-                name="emlio-watchdog",
+        monitor: threading.Thread | None = None
+        failover_on = (
+            self.recovery is not None and self.recovery.failover and self.view is not None
+        )
+        if failover_on:
+            # Deaths observed between epochs are queued; settle receiver
+            # deaths *before* daemons connect to a corpse's endpoint.
+            while True:
+                try:
+                    ev = self._events.get_nowait()
+                except queue.Empty:
+                    break
+                if ev.kind == "dead" and ev.role == "receiver":
+                    node = int(ev.member_id.split(":", 1)[1])
+                    self.receivers[node].kill()
+                    if node < len(self._receiver_pubs):
+                        self._receiver_pubs[node].kill()
+                    self._dead_nodes.add(node)
+                    self._endpoints.pop(node, None)
+            monitor = threading.Thread(
+                target=self._monitor, args=(epoch_index, entries, stop), daemon=True,
+                name="emlio-monitor",
             )
-            watchdog.start()
+            monitor.start()
+            # A node that died in an earlier epoch owes this epoch its
+            # partition too: re-target before any daemon serves.
+            for node in sorted(self._dead_nodes):
+                try:
+                    self._failover_receiver(epoch_index, node, entries)
+                except BaseException as err:  # noqa: BLE001 - surfaced below
+                    self._recovery_errors.append(err)
+        for entry in entries:
+            if entry.thread is None:
+                self._spawn(entry, epoch_index, skip)
         try:
-            yield from self.receiver.epoch(epoch_index)
-        except Exception as err:
-            # A failed failover starves the receiver into a stall; surface
-            # the root cause (e.g. FailoverError) over the symptom.
-            if self._recovery_errors:
-                raise self._recovery_errors[0] from err
-            raise
+            if self.num_nodes == 1:
+                try:
+                    yield from self.receivers[0].epoch(epoch_index)
+                except Exception as err:
+                    # A failed failover starves the receiver into a stall;
+                    # surface the root cause (e.g. FailoverError) over the
+                    # symptom.
+                    if self._recovery_errors:
+                        raise self._recovery_errors[0] from err
+                    raise
+            else:
+                yield from self._merge_receivers(epoch_index)
         finally:
             stop.set()
-            if watchdog is not None:
-                watchdog.join(timeout=10.0)
+            if monitor is not None:
+                monitor.join(timeout=10.0)
             # Entries may have grown (failover); join whatever exists now.
             for entry in list(entries):
                 if entry.thread is not None:
                     entry.thread.join(timeout=30.0)
+            self._retired_members.extend(e.member_id for e in entries if e.member_id)
         if self._recovery_errors:
             raise self._recovery_errors[0]
         unhandled = [e.error for e in entries if e.error is not None and not e.handled]
         if unhandled:
             # A daemon may die in the last instants of an epoch, after the
-            # receiver already consumed everything — the watchdog never got
+            # receivers already consumed everything — the monitor never got
             # a sweep in.  A fully-covered ledger proves the error is moot.
-            if self.ledger is not None and self.plan.keys(
-                epoch=epoch_index
-            ) <= self.ledger.delivered(epoch=epoch_index):
+            if self._epoch_covered(epoch_index):
                 self.logger.log(
                     "late_daemon_error_ignored",
                     epoch=epoch_index,
@@ -281,6 +696,25 @@ class EMLIOService:
                 )
             else:
                 raise unhandled[0]
+        if self.num_nodes > 1 and self.ledger is not None and not self._epoch_covered(epoch_index):
+            # Single-node epochs surface incompleteness from the receiver
+            # itself; merged consumption needs the ledger-level check.
+            missing = [
+                k for k in sorted(self.plan.keys(epoch=epoch_index))
+                if not self.ledger.covered(k)
+            ]
+            raise RuntimeError(
+                f"epoch {epoch_index} incomplete after merge: "
+                f"{len(missing)} planned batches undelivered (first: {missing[:3]})"
+            )
+        if (
+            self.ledger is not None
+            and self.recovery is not None
+            and self.recovery.compact_ledger
+            and self._epoch_covered(epoch_index)
+        ):
+            count = self.ledger.complete_epoch(epoch_index)
+            self.logger.log("ledger_compacted", epoch=epoch_index, batches=count)
         self.logger.log("epoch_end", epoch=epoch_index)
 
     def epochs(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
@@ -293,19 +727,43 @@ class EMLIOService:
         return {
             "daemons": [d.stats.snapshot() for d in self.daemons],
             "failover_daemons": [d.stats.snapshot() for d in self._failover_daemons],
-            "gpu": self.receiver.gpu.snapshot(),
-            "batches_received": self.receiver.batches_received,
-            "duplicates_dropped": self.receiver.duplicates_dropped,
+            "gpu": self.receivers[0].gpu.snapshot(),
+            "batches_received": sum(r.batches_received for r in self.receivers),
+            "duplicates_dropped": sum(r.duplicates_dropped for r in self.receivers),
             "failovers": self.failovers,
+            "receiver_failovers": self.receiver_failovers,
+        }
+
+    def cluster_status(self) -> dict:
+        """JSON-able control-plane snapshot (``repro.tools.cluster`` input)."""
+        return {
+            "membership": self.view.snapshot() if self.view is not None else None,
+            "num_nodes": self.num_nodes,
+            "dead_nodes": sorted(self._dead_nodes),
+            "endpoints": {str(n): list(ep) for n, ep in self._endpoints.items()},
+            "ownership": {
+                str(d.dataset_root): sorted(d.shard_filter)
+                if d.shard_filter is not None
+                else "all"
+                for d in self.daemons
+            },
+            "failovers": self.failovers,
+            "receiver_failovers": self.receiver_failovers,
+            "reassigned_batches": len(self._reassigned),
         }
 
     def close(self) -> None:
         """Release resources."""
+        for pub in self._receiver_pubs:
+            pub.stop()
         for d in self.daemons + self._failover_daemons:
             d.kill()
-        self.receiver.close()
+        for r in self.receivers:
+            r.close()
         for d in self.daemons + self._failover_daemons:
             d.close()
+        if self._hb_listener is not None:
+            self._hb_listener.close()
         if self.ledger is not None:
             self.ledger.close()
 

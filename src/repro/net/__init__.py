@@ -12,9 +12,19 @@ that stack from scratch on real TCP sockets:
 * :mod:`~repro.net.mq` — PUSH/PULL message sockets with high-water-mark
   backpressure and blocking send, the ZeroMQ behaviours EMLIO relies on
   (§4.5: "HWM to 16 and blocking send to infinity").
+* :mod:`~repro.net.heartbeat` — the control plane's liveness substrate:
+  per-member heartbeat publishers and the listener feeding
+  :class:`~repro.core.membership.ClusterView`.
 """
 
 from repro.net.channel import Channel, Listener, connect_channel
+from repro.net.heartbeat import (
+    Heartbeat,
+    HeartbeatListener,
+    HeartbeatPublisher,
+    decode_heartbeat,
+    encode_heartbeat,
+)
 from repro.net.emulation import (
     LAN_0_1MS,
     LAN_1MS,
@@ -38,6 +48,11 @@ __all__ = [
     "WAN_30MS",
     "recv_frame",
     "send_frame",
+    "Heartbeat",
+    "HeartbeatListener",
+    "HeartbeatPublisher",
+    "decode_heartbeat",
+    "encode_heartbeat",
     "PullSocket",
     "PushSocket",
     "ReconnectPolicy",

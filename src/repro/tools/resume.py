@@ -61,8 +61,19 @@ def main(argv: list[str]) -> int:
     residual_out = []
     total_residual = 0
     for epoch in epochs:
-        delivered = ledger.delivered(epoch=epoch)
-        stray = delivered - plan.keys(epoch=epoch)
+        planned_keys = plan.keys(epoch=epoch)
+        if ledger.epoch_complete(epoch):
+            # Compacted: per-batch lines are gone, the checkpoint vouches
+            # for the whole epoch.
+            delivered = set(planned_keys)
+        else:
+            # covered() also honours receiver-failover re-mappings — a
+            # batch delivered under its re-assigned key is not residual.
+            delivered = {k for k in planned_keys if ledger.covered(k)}
+        # Keys outside the plan are fine when a receiver failover re-owned
+        # them (the reassign records name the expected new keys).
+        expected_extra = set(ledger.reassignments(epoch=epoch).values())
+        stray = ledger.delivered(epoch=epoch) - planned_keys - expected_extra
         residual = plan.residual(delivered, epoch=epoch)
         total_residual += len(residual.assignments)
         if not args.json:

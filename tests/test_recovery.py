@@ -562,7 +562,10 @@ def test_chaos_kill_daemon_mid_epoch_fails_over(
         assert svc.failovers == 1
         assert sorted(labels) == _expected_labels(small_imagenet)
         planned = svc.plan.keys(epoch=0)
-        assert svc.ledger.delivered(epoch=0) == planned  # all landed, once
+        # All landed, once — and the completed epoch was compacted down to
+        # a single checkpoint recording exactly the planned batch count.
+        assert svc.ledger.completed_epochs() == {0: len(planned)}
+        assert svc.ledger.delivered(epoch=0) == set()
 
 
 @pytest.mark.slow
@@ -591,7 +594,7 @@ def test_chaos_connection_drop_is_retried_silently(
         assert dropped.is_set()
         assert svc.failovers == 0  # no daemon died — transport healed itself
         assert sorted(labels) == _expected_labels(small_imagenet)
-        assert svc.ledger.delivered(epoch=0) == svc.plan.keys(epoch=0)
+        assert svc.ledger.completed_epochs() == {0: len(svc.plan.keys(epoch=0))}
 
 
 @pytest.mark.slow
@@ -600,8 +603,11 @@ def test_chaos_receiver_restart_resumes_from_ledger(small_imagenet, tmp_path):
     same ledger serves only the residual and the union is exactly-once."""
     cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
     ledger_path = tmp_path / "ledger.txt"
+    # compact_ledger=False: this test audits raw per-batch keys across runs
+    # (compaction behaviour gets its own tests).
     recovery = RecoveryConfig(
-        ledger_path=ledger_path, failover=False, reconnect=FAST_RECONNECT
+        ledger_path=ledger_path, failover=False, reconnect=FAST_RECONNECT,
+        compact_ledger=False,
     )
     planned = None
 
@@ -668,7 +674,7 @@ def test_chaos_replicated_coverage_failover(small_imagenet, shared_roots, tmp_pa
         labels = _collect_labels(svc.epoch(0))
         assert svc.failovers == 1
         assert sorted(labels) == _expected_labels(small_imagenet)
-        assert svc.ledger.delivered(epoch=0) == svc.plan.keys(epoch=0)
+        assert svc.ledger.completed_epochs() == {0: len(svc.plan.keys(epoch=0))}
 
 
 # -- resume CLI ----------------------------------------------------------------
@@ -730,3 +736,384 @@ def test_resume_cli_complete_ledger(small_imagenet, tmp_path, capsys):
     rc = resume_main([str(small_imagenet.root), str(ledger_path), "--batch-size", "4"])
     assert rc == 0
     assert "complete" in capsys.readouterr().out
+
+
+# -- ledger compaction (epoch checkpoints) -------------------------------------
+
+
+def test_ledger_compaction_truncates_completed_epoch(tmp_path):
+    """complete_epoch() collapses an epoch's per-batch lines into one
+    checkpoint, shrinking the file and the in-memory key set (ROADMAP)."""
+    path = tmp_path / "ledger.txt"
+    ledger = DeliveryLedger(path)
+    for seq in range(50):
+        ledger.record(0, 0, seq)
+    ledger.record(1, 0, 0)  # a live epoch that must survive compaction
+    size_before = path.stat().st_size
+    assert ledger.complete_epoch(0) == 50
+    assert path.stat().st_size < size_before
+    assert ledger.epoch_complete(0)
+    assert ledger.completed_epochs() == {0: 50}
+    assert len(ledger) == 1  # only the live epoch's key remains in memory
+    assert ledger.delivered(epoch=0) == set()
+    assert ledger.delivered(epoch=1) == {(1, 0, 0)}
+    # The checkpoint still vouches for every batch of the epoch.
+    assert (0, 0, 7) in ledger and ledger.covered((0, 0, 7))
+    assert not ledger.record(0, 0, 99)  # completed epochs reject appends
+    assert ledger.complete_epoch(0) == 50  # idempotent, count preserved
+    ledger.close()
+
+    reloaded = DeliveryLedger(path)  # checkpoint line round-trips
+    assert reloaded.completed_epochs() == {0: 50}
+    assert reloaded.delivered(epoch=1) == {(1, 0, 0)}
+    assert "epoch-complete 0 50" in path.read_text()
+    reloaded.close()
+
+
+def test_ledger_v2_format_still_decodes(tmp_path):
+    """A pre-compaction (v2) ledger — bare triplet lines — loads unchanged."""
+    path = tmp_path / "ledger.txt"
+    path.write_text("0 0 1\n0 0 2\n1 3 4\n")
+    ledger = DeliveryLedger(path)
+    assert ledger.delivered() == {(0, 0, 1), (0, 0, 2), (1, 3, 4)}
+    assert ledger.completed_epochs() == {}
+    ledger.close()
+
+
+def test_ledger_rejects_corrupt_checkpoint_and_reassign_lines(tmp_path):
+    for bad in ("epoch-complete 0\n", "epoch-complete a b\n", "reassign 0 1 2\n"):
+        path = tmp_path / "ledger.txt"
+        path.write_text("0 0 1\n" + bad)
+        with pytest.raises(ValueError, match="corrupt"):
+            DeliveryLedger(path)
+        path.unlink()
+
+
+def test_ledger_torn_tail_repair_keeps_checkpoints(tmp_path):
+    path = tmp_path / "ledger.txt"
+    path.write_text("epoch-complete 0 12\nreassign 1 0 5 1 9\n1 1 9\n1 1 1")  # torn
+    ledger = DeliveryLedger(path)
+    assert ledger.completed_epochs() == {0: 12}
+    assert ledger.delivered() == {(1, 1, 9)}  # torn key dropped
+    assert ledger.reassignments() == {(1, 0, 5): (1, 1, 9)}
+    ledger.close()
+    raw = path.read_text()
+    assert raw.endswith("\n") and "1 1 1" not in raw.replace("1 1 9", "")
+
+
+def test_ledger_reassignment_covered_follows_chain(tmp_path):
+    path = tmp_path / "ledger.txt"
+    ledger = DeliveryLedger(path)
+    ledger.record_reassignment((0, 1, 4), (0, 0, 10))  # node 1 died
+    ledger.record_reassignment((0, 0, 10), (0, 2, 3))  # then node 0 died too
+    assert not ledger.covered((0, 1, 4))
+    ledger.record(0, 2, 3)  # final owner delivers
+    assert ledger.covered((0, 1, 4)) and ledger.covered((0, 0, 10))
+    assert ledger.resolve((0, 1, 4)) == (0, 2, 3)
+    ledger.close()
+
+    reloaded = DeliveryLedger(path)  # reassign lines persist
+    assert reloaded.covered((0, 1, 4))
+    assert reloaded.reassignments(epoch=0) == {
+        (0, 1, 4): (0, 0, 10), (0, 0, 10): (0, 2, 3),
+    }
+    reloaded.close()
+
+
+def test_ledger_reassignment_rejects_cross_epoch():
+    ledger = DeliveryLedger(None)
+    with pytest.raises(ValueError, match="crosses epochs"):
+        ledger.record_reassignment((0, 1, 4), (1, 0, 10))
+    ledger.close()
+
+
+def test_ledger_compaction_drops_reassignments_of_completed_epoch(tmp_path):
+    path = tmp_path / "ledger.txt"
+    ledger = DeliveryLedger(path)
+    ledger.record_reassignment((0, 1, 0), (0, 0, 5))
+    ledger.record(0, 0, 5)
+    ledger.record_reassignment((1, 1, 0), (1, 0, 5))
+    ledger.complete_epoch(0)
+    assert ledger.reassignments() == {(1, 1, 0): (1, 0, 5)}
+    assert ledger.covered((0, 1, 0))  # via the epoch checkpoint now
+    ledger.close()
+
+
+# -- control-plane chaos: receiver failover, hung daemons, overlapping faults --
+
+from repro.core.membership import MemberStatus, MembershipConfig  # noqa: E402
+
+#: Detection thresholds tuned for chaos tests: ~100 ms to declare a silent
+#: member dead, hang detection effectively off unless a test opts in.
+FAST_MEMBERSHIP = MembershipConfig(
+    interval_s=0.02, miss_threshold=2, dead_threshold=5, hung_after_s=30.0
+)
+
+
+@pytest.mark.slow
+def test_chaos_kill_receiver_mid_epoch_fails_over(small_imagenet, shared_roots, tmp_path):
+    """ACCEPTANCE: a receiver (compute node) dies mid-epoch; its undelivered
+    batches are re-targeted onto the survivor and the epoch completes with
+    exactly-once delivery of every planned sample."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=FAST_MEMBERSHIP,
+    )
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery, num_nodes=2,
+    ) as svc:
+        svc.kill_receiver(1)  # crashes before consuming anything: full
+        # partition must move — deterministic, no race with consumption
+        labels = _collect_labels(svc.epoch(0))
+        assert svc.receiver_failovers == 1
+        assert sorted(labels) == _expected_labels(small_imagenet)
+        planned = svc.plan.keys(epoch=0)
+        # Exactly-once: every planned batch delivered under exactly one key
+        # (original or re-targeted), then compacted into the checkpoint.
+        assert svc.ledger.completed_epochs() == {0: len(planned)}
+        assert svc.view.status_of("receiver:1") is MemberStatus.DEAD
+        assert svc.view.status_of("receiver:0") is MemberStatus.ALIVE
+
+
+@pytest.mark.slow
+def test_chaos_kill_receiver_after_partial_consumption(small_imagenet, shared_roots, tmp_path):
+    """Receiver dies after consuming part of its partition: only the
+    *undelivered* remainder moves (ledger-diffed), nothing is delivered
+    twice and nothing is lost."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=FAST_MEMBERSHIP,
+    )
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery, num_nodes=2,
+    ) as svc:
+        labels = []
+        killed = False
+        for _tensors, batch_labels in svc.epoch(0):
+            labels.extend(int(l) for l in batch_labels)
+            if not killed:
+                killed = True
+                svc.kill_receiver(1)
+        assert sorted(labels) == _expected_labels(small_imagenet)
+        assert svc.ledger.completed_epochs() == {0: len(svc.plan.keys(epoch=0))}
+
+
+@pytest.mark.slow
+def test_chaos_dead_receiver_partition_moves_in_later_epochs(
+    small_imagenet, shared_roots, tmp_path
+):
+    """A node dead since epoch 0 owes nothing in epoch 1: its partition is
+    re-targeted at epoch start (re-planning, not mid-epoch rescue)."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16), epochs=2)
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=FAST_MEMBERSHIP,
+    )
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery, num_nodes=2,
+    ) as svc:
+        svc.kill_receiver(1)
+        labels0 = _collect_labels(svc.epoch(0))
+        assert sorted(labels0) == _expected_labels(small_imagenet)
+        labels1 = _collect_labels(svc.epoch(1))  # epoch-start re-target path
+        assert sorted(labels1) == _expected_labels(small_imagenet)
+        assert svc.receiver_failovers == 2
+        assert svc.ledger.completed_epochs() == {
+            0: len(svc.plan.keys(epoch=0)), 1: len(svc.plan.keys(epoch=1)),
+        }
+
+
+@pytest.mark.slow
+def test_chaos_hung_daemon_detected_via_heartbeats(small_imagenet, shared_roots, tmp_path):
+    """ACCEPTANCE: a *hung* daemon — thread alive, no error raised, zero
+    progress — is detected via frozen heartbeat progress and failed over.
+    Thread-state watchdogs are structurally blind to this failure."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=MembershipConfig(
+            interval_s=0.05, miss_threshold=3, dead_threshold=6, hung_after_s=0.4
+        ),
+    )
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery,
+    ) as svc:
+        victim = svc.daemons[0]
+        svc.hang_daemon(0)
+        labels = _collect_labels(svc.epoch(0))
+        assert svc.failovers == 1
+        assert sorted(labels) == _expected_labels(small_imagenet)
+        # The victim never crashed on its own: it hung, the control plane
+        # declared it dead from frozen progress, and the service killed it.
+        assert victim.killed and victim.hung
+        dead = svc.logger.events("member_dead")
+        assert any("hung" in e.fields.get("reason", "") for e in dead)
+        assert svc.ledger.completed_epochs() == {0: len(svc.plan.keys(epoch=0))}
+
+
+@pytest.mark.slow
+def test_chaos_kill_during_failover(small_imagenet, shared_roots, tmp_path):
+    """Overlapping faults: the replacement daemon spawned by the first
+    failover is killed on its first batch — the control plane must fail
+    over the failover, and the epoch still completes exactly-once."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=FAST_MEMBERSHIP,
+    )
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery,
+    ) as svc:
+        orig_make = svc._make_daemon
+        armed = {"first_failover_daemon": True}
+
+        def make(root, shards, plan=None):
+            daemon = orig_make(root, shards, plan=plan)
+            if plan is not None and armed["first_failover_daemon"]:
+                armed["first_failover_daemon"] = False
+
+                def injector(assignment, push, daemon=daemon):
+                    daemon.kill()
+                    raise DaemonKilled("chaos: replacement killed mid-failover")
+
+                daemon.fault_injector = injector
+            return daemon
+
+        svc._make_daemon = make
+        calls = itertools.count()
+        victim = svc.daemons[0]
+
+        def injector(assignment, push):
+            if next(calls) == 1:
+                victim.kill()
+                raise DaemonKilled("chaos: daemon killed mid-epoch")
+
+        victim.fault_injector = injector
+        labels = _collect_labels(svc.epoch(0))
+        assert svc.failovers == 2  # the failover itself failed over
+        assert sorted(labels) == _expected_labels(small_imagenet)
+        assert svc.ledger.completed_epochs() == {0: len(svc.plan.keys(epoch=0))}
+
+
+@pytest.mark.slow
+def test_chaos_drop_during_resume(small_imagenet, tmp_path):
+    """Overlapping faults: a run crashes mid-epoch; the resumed run takes a
+    TCP reset while serving the residual.  Reconnect + dedup absorb it and
+    the union of both runs is exactly-once."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16), streams_per_node=2)
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", failover=False,
+        reconnect=FAST_RECONNECT,
+    )
+    with EMLIOService(
+        cfg, small_imagenet, stall_timeout=1.0, recovery=recovery
+    ) as svc1:
+        planned = svc1.plan.keys(epoch=0)
+        calls = itertools.count()
+        victim = svc1.daemons[0]
+
+        def injector(assignment, push):
+            if next(calls) == 2:
+                victim.kill()
+                raise DaemonKilled("chaos: storage node lost")
+
+        victim.fault_injector = injector
+        labels1 = []
+        with pytest.raises(Exception):
+            for _tensors, batch_labels in svc1.epoch(0):
+                labels1.extend(int(l) for l in batch_labels)
+        run1_keys = svc1.ledger.delivered(epoch=0)
+    assert 0 < len(run1_keys) < len(planned)
+
+    with EMLIOService(
+        cfg, small_imagenet, stall_timeout=30.0, recovery=recovery
+    ) as svc2:
+        dropped = threading.Event()
+
+        def injector2(assignment, push):
+            if not dropped.is_set():
+                dropped.set()
+                push.drop_connection(0)  # reset during the resume stream
+
+        svc2.daemons[0].fault_injector = injector2
+        labels2 = []
+        for _tensors, batch_labels in svc2.epoch(0):
+            labels2.extend(int(l) for l in batch_labels)
+        assert dropped.is_set()
+        assert sorted(labels1 + labels2) == _expected_labels(small_imagenet)
+        assert svc2.ledger.completed_epochs() == {0: len(planned)}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [7, 23])
+def test_chaos_multi_fault_soak(small_imagenet, shared_roots, tmp_path, seed):
+    """Randomized multi-fault soak: every epoch takes one fault (daemon
+    kill, receiver kill, TCP reset) at a random point, in a random order.
+    Every epoch must still deliver the full dataset exactly once."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    epochs = 3
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16), epochs=epochs)
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=FAST_MEMBERSHIP,
+    )
+    faults = [str(f) for f in rng.permutation(["kill_daemon", "kill_receiver", "drop"])]
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery, num_nodes=2,
+    ) as svc:
+
+        def inject(fault: str) -> None:
+            if fault == "kill_daemon":
+                live = [i for i, d in enumerate(svc.daemons) if not d.killed]
+                if len(live) >= 2:  # keep one original root serving
+                    svc.kill_daemon(int(rng.choice(live)))
+                    return
+                fault = "drop"
+            if fault == "kill_receiver":
+                live = [i for i in range(svc.num_nodes) if not svc.receivers[i].killed]
+                if len(live) >= 2:
+                    svc.kill_receiver(int(rng.choice(live)))
+                    return
+                fault = "drop"
+            # TCP reset: arm a one-shot injector on a live daemon.
+            armed = threading.Event()
+
+            def injector(assignment, push):
+                if not armed.is_set():
+                    armed.set()
+                    push.drop_connection(0)
+
+            for d in svc.daemons:
+                if not d.killed:
+                    d.fault_injector = injector
+                    break
+
+        expected = _expected_labels(small_imagenet)
+        for epoch in range(epochs):
+            fault = faults[epoch]
+            inject_at = int(rng.integers(0, 2))  # batches consumed first
+            labels = []
+            injected = False
+            consumed = 0
+            for _tensors, batch_labels in svc.epoch(epoch):
+                labels.extend(int(l) for l in batch_labels)
+                consumed += 1
+                if not injected and consumed > inject_at:
+                    injected = True
+                    inject(fault)
+            if not injected:  # tiny epoch consumed before the trigger point
+                inject(fault)
+            assert sorted(labels) == expected, f"epoch {epoch} fault {fault}"
+        assert svc.ledger.completed_epochs() == {
+            e: len(svc.plan.keys(epoch=e)) for e in range(epochs)
+        }

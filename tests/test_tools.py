@@ -101,3 +101,82 @@ def test_planview_cli(small_imagenet, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "coverage" in out and "OK" in out
+
+
+# -- cluster status CLI --------------------------------------------------------
+
+
+def test_cluster_cli_snapshot_renders_members_and_ownership(
+    small_imagenet, tmp_path, capsys
+):
+    import json
+
+    from repro.core.config import EMLIOConfig
+    from repro.core.recovery import RecoveryConfig
+    from repro.core.service import EMLIOService
+    from repro.tools.cluster import main as cluster_main
+
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    with EMLIOService(
+        cfg, small_imagenet, stall_timeout=30.0,
+        recovery=RecoveryConfig(ledger_path=tmp_path / "ledger.txt"),
+    ) as svc:
+        for _ in svc.epoch(0):
+            pass
+        snap_path = tmp_path / "status.json"
+        snap_path.write_text(json.dumps(svc.cluster_status()))
+
+    rc = cluster_main(["--snapshot", str(snap_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "receiver:0" in out and "alive" in out
+    assert "storage ownership" in out and "all shards" in out
+    assert "failovers: 0 daemon, 0 receiver" in out
+
+
+def test_cluster_cli_snapshot_missing_file(capsys):
+    from repro.tools.cluster import main as cluster_main
+
+    assert cluster_main(["--snapshot", "/nonexistent/status.json"]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cluster_cli_watch_observes_live_publishers(capsys):
+    import json
+    import threading
+
+    import time
+
+    from repro.net.heartbeat import HeartbeatPublisher
+    from repro.tools.cluster import main as cluster_main
+
+    # Let the CLI bind port 0 itself (no pre-pick race) and learn the real
+    # port from its stderr banner, polled through capsys mid-run.
+    result: dict = {}
+    t = threading.Thread(
+        target=lambda: result.update(
+            rc=cluster_main(["--watch", "1.5", "--interval", "0.05",
+                             "--port", "0", "--json"])
+        ),
+        daemon=True,
+    )
+    t.start()
+    out_acc = err_acc = ""
+    deadline = time.monotonic() + 5.0
+    while "listening on 127.0.0.1:" not in err_acc and time.monotonic() < deadline:
+        captured = capsys.readouterr()
+        out_acc += captured.out
+        err_acc += captured.err
+        time.sleep(0.02)
+    port = int(err_acc.split("listening on 127.0.0.1:")[1].split()[0])
+    pub = HeartbeatPublisher(
+        "daemon:demo", "daemon", ("127.0.0.1", port), interval_s=0.05,
+        progress_fn=lambda: 17,
+    ).start()
+    t.join(timeout=10.0)
+    pub.kill()
+    assert result["rc"] == 0
+    snap = json.loads(out_acc + capsys.readouterr().out)
+    members = {m["member_id"]: m for m in snap["members"]}
+    assert members["daemon:demo"]["status"] == "alive"
+    assert members["daemon:demo"]["progress"] == 17
