@@ -1,16 +1,16 @@
-"""Live end-to-end bench: the real EMLIO service vs the real baselines over
-loopback TCP with emulated RTT (scaled-down dataset).
+"""Live end-to-end bench: the real EMLIO deployment vs the real baselines
+over loopback TCP with emulated RTT (scaled-down dataset).
 
 This is the non-DES counterpart of Figure 5: actual sockets, actual
 TFRecord mmap slicing, actual msgpack, actual decode — at 96 samples so a
 round stays in seconds.  The qualitative claim checked here is the same:
-per-sample loaders feel the RTT; EMLIO does not.
+per-sample loaders feel the RTT; EMLIO does not.  The EMLIO side deploys
+through the declarative API from the shared ``bench-loopback`` preset.
 """
 
 from conftest import run_once, show
 
-from repro.core.config import EMLIOConfig
-from repro.core.service import EMLIOService
+from repro.api import EMLIO
 from repro.loaders.pytorch_loader import PyTorchStyleLoader
 from repro.net.emulation import NetworkProfile
 from repro.storage.nfs import NFSMount
@@ -19,7 +19,7 @@ from repro.storage.server import StorageServer
 RTT_S = 0.008  # 8 ms emulated
 
 
-def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds):
+def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_bench_spec):
     profile = NetworkProfile("bench-8ms", rtt_s=RTT_S)
 
     def run_both():
@@ -37,11 +37,10 @@ def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds):
         mount.close()
         srv.close()
 
-        # EMLIO over the same emulated link.
-        cfg = EMLIOConfig(batch_size=8, output_hw=(16, 16), hwm=16, streams_per_node=2)
-        with EMLIOService(cfg, small_imagenet_ds, profile=profile) as svc:
+        # EMLIO over the same emulated link, deployed from the spec.
+        with EMLIO.deploy(loopback_bench_spec, dataset=small_imagenet_ds) as dep:
             t0 = time.monotonic()
-            em_samples = sum(len(l) for _t, l in svc.epoch(0))
+            em_samples = sum(len(l) for _t, l in dep.epoch(0))
             em_s = time.monotonic() - t0
         return {"pytorch_s": pt_s, "emlio_s": em_s, "pt_n": pt_samples, "em_n": em_samples}
 

@@ -31,3 +31,13 @@ def small_imagenet_ds(tmp_path):
     return build_dataset(
         "imagenet", 96, tmp_path / "ds", seed=1, records_per_shard=16, image_hw=(32, 32)
     )
+
+
+@pytest.fixture
+def loopback_bench_spec():
+    """The canonical live-loopback topology (8 ms emulated RTT), shared
+    with ``repro.api.presets.BENCH_LOOPBACK`` so the bench and the preset
+    CI check exercise one spec."""
+    from repro.api import preset
+
+    return preset("bench-loopback")

@@ -7,12 +7,17 @@ interpolated energy tuples into one central TSDB, then NTP-style interval
 queries across nodes — including a sampler that drops ticks to show the
 interpolation path.
 
+Finishes by deploying a tiny cluster through ``EMLIO.deploy`` with
+``energy.enabled`` — the same monitor wired automatically by the
+deployment facade, power models resolved from the registry by name.
+
 Run: ``python examples/energy_monitor_demo.py``
 """
 
 import tempfile
 import time
 
+from repro.api import ClusterSpec, DatasetSpec, EMLIO, EnergySpec, PipelineSpec
 from repro.energy import EnergyMonitor
 from repro.energy.monitor import query_node
 from repro.energy.power_models import CpuSpec, GpuSpec
@@ -60,6 +65,27 @@ def main() -> None:
     with tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False) as fh:
         n = central.save(fh.name)
         print(f"\nPersisted {n} points to {fh.name} (InfluxDB-style line store)")
+
+    # The same monitor, wired by the deployment facade: declare
+    # energy.enabled and EMLIO.deploy attaches one (power models resolved
+    # from the registry), feeding the pipeline's busy-time into its gauges.
+    spec = ClusterSpec(
+        name="energy-demo",
+        dataset=DatasetSpec(kind="imagenet", n=32, records_per_shard=8, image_hw=(32, 32)),
+        pipeline=PipelineSpec(batch_size=8, output_hw=(16, 16)),
+        energy=EnergySpec(enabled=True, cpu_model="xeon-gold-6126",
+                          gpu_model="quadro-rtx-6000", interval_s=0.05),
+    )
+    with EMLIO.deploy(spec) as deployment:
+        for _tensors, _labels in deployment.epoch(0):
+            pass
+        time.sleep(0.15)  # a few sampler ticks past the epoch
+    energy = deployment.status()["energy"]  # totals land when the monitor stops
+    print(
+        f"Deployed epoch energy (via EMLIO.deploy): CPU {energy['cpu_j']:.1f} J, "
+        f"DRAM {energy['dram_j']:.1f} J, GPU {energy['gpu_j']:.1f} J "
+        f"over {energy['samples']} samples"
+    )
 
 
 if __name__ == "__main__":

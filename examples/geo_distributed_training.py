@@ -1,18 +1,22 @@
 #!/usr/bin/env python
 """Geo-distributed training: EMLIO vs a per-sample loader as RTT grows.
 
-The paper's core claim, live and scaled down: run the *real* EMLIO service
-and the *real* PyTorch-style baseline over loopback TCP with emulated RTTs
-(0, 4, 8 ms), with the EnergyMonitor attached, and watch the baseline's
-epoch time balloon while EMLIO stays flat.
+The paper's core claim, live and scaled down: run the *real* EMLIO
+deployment and the *real* PyTorch-style baseline over loopback TCP with
+emulated RTTs (0, 4, 8 ms), with the EnergyMonitor attached, and watch the
+baseline's epoch time balloon while EMLIO stays flat.  The EMLIO side is
+one base :class:`ClusterSpec` re-parameterized per regime with
+``dataclasses.replace`` — exactly how scenario sweeps are meant to be
+declared.
 
 Run: ``python examples/geo_distributed_training.py``
 """
 
+import dataclasses
 import tempfile
 import time
 
-from repro.core import EMLIOConfig, EMLIOService
+from repro.api import ClusterSpec, DatasetSpec, EMLIO, NetworkSpec, PipelineSpec
 from repro.data import build_dataset
 from repro.energy import EnergyMonitor
 from repro.energy.power_models import CpuSpec, GpuSpec
@@ -34,11 +38,22 @@ def run_baseline(dataset, profile) -> float:
     return elapsed
 
 
-def run_emlio(dataset, profile) -> float:
-    config = EMLIOConfig(batch_size=8, hwm=16, streams_per_node=2, output_hw=(16, 16))
-    with EMLIOService(config, dataset, profile=profile) as service:
+BASE_SPEC = ClusterSpec(
+    name="geo",
+    dataset=DatasetSpec(kind="existing", root="overridden-below"),
+    pipeline=PipelineSpec(batch_size=8, hwm=16, streams_per_node=2, output_hw=(16, 16)),
+)
+
+
+def run_emlio(dataset, rtt_ms: float) -> float:
+    spec = dataclasses.replace(
+        BASE_SPEC,
+        name=f"geo-{rtt_ms:g}ms",
+        network=NetworkSpec(rtt_ms=rtt_ms) if rtt_ms else NetworkSpec(),
+    )
+    with EMLIO.deploy(spec, dataset=dataset) as deployment:
         t0 = time.monotonic()
-        for _tensors, _labels in service.epoch(0):
+        for _tensors, _labels in deployment.epoch(0):
             pass
         return time.monotonic() - t0
 
@@ -58,7 +73,7 @@ def main() -> None:
                     NetworkProfile(f"emu-{rtt_ms}ms", rtt_s=rtt_ms / 1e3) if rtt_ms else None
                 )
                 baseline_s = run_baseline(dataset, profile)
-                emlio_s = run_emlio(dataset, profile)
+                emlio_s = run_emlio(dataset, rtt_ms)
                 print(
                     f"{rtt_ms:>4.0f}ms  {baseline_s:>13.2f}s  {emlio_s:>7.2f}s  "
                     f"{baseline_s / emlio_s:>7.1f}x"

@@ -1,64 +1,47 @@
 #!/usr/bin/env python
 """LLM text loading (paper §6 extension): token records through EMLIO.
 
-Builds a synthetic token-sequence dataset (Zipf-distributed ids packed to a
-fixed context length), shards it into TFRecords, streams it through the
-real EMLIO daemon/receiver path, and decodes token batches on the compute
-side — the "text for LLM training" format the paper lists as future work.
+Declares a token-sequence dataset (Zipf-distributed ids packed to a fixed
+context length) and the ``tokens`` codec in a :class:`ClusterSpec`, then
+streams it through the real EMLIO daemon/receiver deployment.  The codec
+registry routes the receiver pipeline to framed-token decode — batches
+arrive as ``(B, context_len)`` int64 arrays, no image resize anywhere —
+the "text for LLM training" format the paper lists as future work.
 
 Run: ``python examples/llm_text_loading.py``
 """
 
-import queue
-import tempfile
-import threading
 import time
 
-from repro.core import EMLIOConfig, EMLIODaemon, Planner
-from repro.data.text import SyntheticTokenDataset
-from repro.gpu.ops import decode_tokens_batch
-from repro.net.mq import PullSocket
-from repro.serialize.payload import decode_batch
-from repro.tfrecord.sharder import write_shards
+from repro.api import ClusterSpec, DatasetSpec, EMLIO, PipelineSpec
 
 
 def main() -> None:
-    with tempfile.TemporaryDirectory() as root:
-        gen = SyntheticTokenDataset(n=64, context_len=512, vocab_size=32_000, seed=0)
-        dataset = write_shards(iter(gen), root, records_per_shard=16)
-        print(
-            f"Sharded {dataset.num_samples} token sequences "
-            f"({gen.context_len} tokens each, {dataset.nbytes / 1e6:.1f} MB)"
-        )
+    spec = ClusterSpec(
+        name="llm-tokens",
+        dataset=DatasetSpec(kind="tokens", n=64, context_len=512,
+                            vocab_size=32_000, records_per_shard=16),
+        pipeline=PipelineSpec(batch_size=8, hwm=16, codec="tokens"),
+    )
+    plan = EMLIO.plan(spec)
+    print(f"Deploying: {plan.summary()}")
 
-        config = EMLIOConfig(batch_size=8, hwm=16)
-        plan = Planner(dataset, num_nodes=1, config=config).plan()
-        pull = PullSocket(hwm=config.hwm)
-        daemon = EMLIODaemon(dataset.root, plan, {0: ("127.0.0.1", pull.port)}, config)
-
+    with EMLIO.deploy(spec) as deployment:
         t0 = time.monotonic()
-        server = threading.Thread(target=daemon.serve_epoch, args=(0,), daemon=True)
-        server.start()
-
         tokens_seen = 0
         batches = 0
-        expected = len(plan.assignments)
-        while batches < expected:
-            payload = decode_batch(pull.recv(timeout=10))
-            batch = decode_tokens_batch(payload.samples)  # (B, context_len) int64
-            tokens_seen += batch.size
+        for token_batch, targets in deployment.epoch(0):
+            tokens_seen += token_batch.size
             batches += 1
             if batches == 1:
-                print(f"  first batch: {batch.shape}, targets {payload.labels[:4]}...")
-        server.join(timeout=10)
+                print(f"  first batch: {token_batch.shape} {token_batch.dtype}, "
+                      f"targets {targets[:4]}...")
         elapsed = time.monotonic() - t0
-        pull.close()
-        daemon.close()
 
-        print(
-            f"Streamed {batches} batches / {tokens_seen:,} tokens in {elapsed:.2f}s "
-            f"({tokens_seen / elapsed / 1e6:.1f} Mtok/s)"
-        )
+    print(
+        f"Streamed {batches} batches / {tokens_seen:,} tokens in {elapsed:.2f}s "
+        f"({tokens_seen / elapsed / 1e6:.1f} Mtok/s)"
+    )
 
 
 if __name__ == "__main__":

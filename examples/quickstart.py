@@ -1,50 +1,47 @@
 #!/usr/bin/env python
-"""Quickstart: build a dataset, serve it with EMLIO, consume batches.
+"""Quickstart: declare a cluster, deploy it, consume batches.
 
-Covers the full public API surface in ~40 lines:
+Covers the stable public API in ~30 lines:
 
-1. generate a synthetic ImageNet-like dataset and shard it into TFRecords;
-2. start an EMLIO deployment (planner + storage daemon + receiver) over
-   loopback TCP;
+1. describe the deployment as a :class:`ClusterSpec` — dataset, pipeline
+   tunables, topology (here: everything defaulted to one daemon -> one
+   node over loopback TCP);
+2. ``EMLIO.deploy(spec)`` materializes the dataset, wires planner +
+   storage daemon + receiver, and returns a :class:`Deployment`;
 3. iterate one epoch of GPU-preprocessed training batches.
+
+The same spec serializes to a file (``spec.to_file("quickstart.toml")``)
+and runs from the CLI: ``python -m repro.tools.deploy quickstart.toml``.
 
 Run: ``python examples/quickstart.py``
 """
 
-import tempfile
 import time
 
-from repro.core import EMLIOConfig, EMLIOService
-from repro.data import build_dataset
+from repro.api import ClusterSpec, DatasetSpec, EMLIO, PipelineSpec
 
 
 def main() -> None:
-    with tempfile.TemporaryDirectory() as root:
-        print("Generating a 64-sample synthetic ImageNet-like dataset ...")
-        dataset = build_dataset(
-            "imagenet", n=64, root=root, seed=0, records_per_shard=16, image_hw=(32, 32)
-        )
-        print(
-            f"  {dataset.num_samples} samples in {dataset.num_shards} TFRecord shards "
-            f"({dataset.nbytes / 1e6:.1f} MB)"
-        )
+    spec = ClusterSpec(
+        name="quickstart",
+        dataset=DatasetSpec(kind="imagenet", n=64, records_per_shard=16, image_hw=(32, 32)),
+        pipeline=PipelineSpec(batch_size=8, epochs=1, hwm=16, prefetch=2, output_hw=(32, 32)),
+    )
+    print(f"Deploying '{spec.name}': {EMLIO.plan(spec).summary()}")
+    with EMLIO.deploy(spec) as deployment:
+        t0 = time.monotonic()
+        n_batches = n_samples = 0
+        for tensors, labels in deployment.epoch(0):
+            n_batches += 1
+            n_samples += len(labels)
+            if n_batches == 1:
+                print(f"  first batch: tensors {tensors.shape} {tensors.dtype}, labels {labels[:4]}...")
+        elapsed = time.monotonic() - t0
+        stats = deployment.stats()
 
-        config = EMLIOConfig(batch_size=8, epochs=1, hwm=16, prefetch=2, output_hw=(32, 32))
-        print("Starting EMLIO (daemon + receiver over loopback TCP) ...")
-        with EMLIOService(config, dataset) as service:
-            t0 = time.monotonic()
-            n_batches = n_samples = 0
-            for tensors, labels in service.epoch(0):
-                n_batches += 1
-                n_samples += len(labels)
-                if n_batches == 1:
-                    print(f"  first batch: tensors {tensors.shape} {tensors.dtype}, labels {labels[:4]}...")
-            elapsed = time.monotonic() - t0
-            stats = service.stats()
-
-        print(f"Epoch complete: {n_batches} batches / {n_samples} samples in {elapsed:.2f}s")
-        print(f"  daemon sent {stats['daemons'][0]['bytes_sent'] / 1e6:.1f} MB")
-        print(f"  GPU ran {stats['gpu']['kernels_run']:.0f} preprocessing kernels")
+    print(f"Epoch complete: {n_batches} batches / {n_samples} samples in {elapsed:.2f}s")
+    print(f"  daemon sent {stats['daemons'][0]['bytes_sent'] / 1e6:.1f} MB")
+    print(f"  GPU ran {stats['gpu']['kernels_run']:.0f} preprocessing kernels")
 
 
 if __name__ == "__main__":

@@ -1,51 +1,47 @@
 #!/usr/bin/env python
 """Scenario 2 (paper §5.2): fully sharded data across storage daemons.
 
-The dataset's shards are split between two EMLIO daemons (as if half the
-data lived on each of two storage nodes); a single compute node consumes
-the merged stream, then trains a real numpy MLP on the delivered batches
-to show the full loop (load → preprocess → train → loss).
+``storage.num_daemons = 2`` splits the dataset's shards between two EMLIO
+daemons at deploy time (as if half the data lived on each of two storage
+nodes); a single compute node consumes the merged stream, then trains a
+real numpy MLP on the delivered batches to show the full loop
+(load → preprocess → train → loss).
 
 Run: ``python examples/sharded_cluster.py``
 """
 
-import tempfile
 import time
 
-from repro.core import EMLIOConfig, EMLIOService
-from repro.data import build_dataset
+from repro.api import ClusterSpec, DatasetSpec, EMLIO, PipelineSpec, StorageSpec
 from repro.train import RESNET50_PROFILE, MLPClassifier, Trainer
 
 
 def main() -> None:
-    with tempfile.TemporaryDirectory() as root:
-        dataset = build_dataset(
-            "imagenet", n=96, root=root, seed=2, records_per_shard=16,
-            image_hw=(32, 32), num_classes=8, class_conditional=True,
-        )
-        shards = [ix.shard for ix in dataset.indexes]
-        half = len(shards) // 2
-        split = {
-            str(dataset.root): set(shards[:half]),
-            str(dataset.root) + "/.": set(shards[half:]),
-        }
-        print(f"Sharding {len(shards)} shards across 2 daemons: {half} + {len(shards) - half}")
+    spec = ClusterSpec(
+        name="sharded-cluster",
+        dataset=DatasetSpec(
+            kind="imagenet", n=96, seed=2, records_per_shard=16,
+            image_hw=(32, 32), num_classes=8,
+        ),
+        pipeline=PipelineSpec(batch_size=8, hwm=16, output_hw=(32, 32)),
+        storage=StorageSpec(num_daemons=2),
+    )
+    print(f"Deploying: {EMLIO.plan(spec).summary()}")
 
-        config = EMLIOConfig(batch_size=8, hwm=16, output_hw=(32, 32))
-        model = MLPClassifier(input_dim=3 * 32 * 32, num_classes=8, hidden=64, seed=0)
-        trainer = Trainer(model, RESNET50_PROFILE, lr=0.05)
+    model = MLPClassifier(input_dim=3 * 32 * 32, num_classes=8, hidden=64, seed=0)
+    trainer = Trainer(model, RESNET50_PROFILE, lr=0.05)
 
-        with EMLIOService(config, dataset, storage_shards=split) as service:
-            t0 = time.monotonic()
-            log = trainer.run_epoch(service.epoch(0), epoch=0)
-            elapsed = time.monotonic() - t0
-            per_daemon = [d.stats.snapshot()["batches_sent"] for d in service.daemons]
+    with EMLIO.deploy(spec) as deployment:
+        t0 = time.monotonic()
+        log = trainer.run_epoch(deployment.epoch(0), epoch=0)
+        elapsed = time.monotonic() - t0
+        per_daemon = [d.stats.snapshot()["batches_sent"] for d in deployment.service.daemons]
 
-        print(f"Epoch: {log.batches} batches / {log.samples} samples in {elapsed:.2f}s")
-        print(f"  batches per daemon: {per_daemon}")
-        ma = log.moving_average(10)
-        print(f"  loss: {ma[0]:.3f} -> {ma[-1]:.3f} (10-step moving average)")
-        print(f"  data wait {log.data_wait_s:.2f}s vs train {log.train_s:.2f}s")
+    print(f"Epoch: {log.batches} batches / {log.samples} samples in {elapsed:.2f}s")
+    print(f"  batches per daemon: {per_daemon}")
+    ma = log.moving_average(10)
+    print(f"  loss: {ma[0]:.3f} -> {ma[-1]:.3f} (10-step moving average)")
+    print(f"  data wait {log.data_wait_s:.2f}s vs train {log.train_s:.2f}s")
 
 
 if __name__ == "__main__":

@@ -14,18 +14,26 @@ latency and I/O energy for large-scale AI training.  This package contains:
   (:mod:`repro.train`);
 * the baseline loaders the paper compares against (:mod:`repro.loaders`);
 * a discrete-event simulation testbed (:mod:`repro.sim`,
-  :mod:`repro.modelsim`) that regenerates every figure at paper scale; and
-* the experiment harness (:mod:`repro.harness`).
+  :mod:`repro.modelsim`) that regenerates every figure at paper scale;
+* the experiment harness (:mod:`repro.harness`); and
+* the declarative deployment API (:mod:`repro.api`): serializable
+  :class:`~repro.api.spec.ClusterSpec` topologies, component registries,
+  and the stable ``EMLIO.deploy`` facade.
 
 Quickstart::
 
-    from repro.data import build_dataset
-    from repro.core import EMLIOService, EMLIOConfig
+    from repro.api import ClusterSpec, DatasetSpec, PipelineSpec, EMLIO
 
-    ds = build_dataset("imagenet", n=256, root="/tmp/ds")
-    svc = EMLIOService(EMLIOConfig(batch_size=32), ds)
-    for batch in svc.epoch():
-        ...  # decoded numpy images + labels
+    spec = ClusterSpec(
+        dataset=DatasetSpec(kind="imagenet", n=256),
+        pipeline=PipelineSpec(batch_size=32),
+    )
+    with EMLIO.deploy(spec) as deployment:
+        for tensors, labels in deployment.epoch(0):
+            ...  # decoded numpy images + labels
+
+(or hand-wire :class:`~repro.core.service.EMLIOService` directly — the
+facade is sugar, not a wall).
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,437 @@
+"""EMLIO.deploy — the stable consumer facade over the service internals.
+
+``EMLIO.deploy(spec)`` turns a :class:`~repro.api.spec.ClusterSpec` into a
+running :class:`Deployment`: dataset materialized, component names resolved
+through the registries, daemons + receivers wired over (optionally shaped)
+loopback TCP.  The deployment exposes the consumption surface
+(:meth:`~Deployment.epoch` / :meth:`~Deployment.epochs`), lifecycle
+callbacks (``on_epoch_start``, ``on_failover``, ``on_member_event``), a
+JSON-able :meth:`~Deployment.status`, and context-manager shutdown.
+
+``EMLIO.deploy(spec, dry_run=True)`` (or :meth:`EMLIO.plan`) stops after
+planning: the spec is validated, every component name resolved, the
+dataset materialized, and the batch plan computed — but no socket is bound
+and no daemon spawned.  CI uses this to prove every shipped scenario file
+still deploys.
+
+The facade is a layer *on top of* :class:`~repro.core.service.EMLIOService`
+— construct the service (or daemons/receivers) directly when you need
+something the spec vocabulary does not say yet.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.api.registry import CODECS, NETWORK_PROFILES, POWER_MODELS, STORAGE_BACKENDS
+from repro.api.spec import ClusterSpec, SpecError
+from repro.core.planner import Planner
+from repro.core.service import EMLIOService
+from repro.net.emulation import NetworkProfile
+from repro.tfrecord.sharder import ShardedDataset, write_shards
+
+
+def _materialize_dataset(
+    spec: ClusterSpec, dataset: ShardedDataset | None
+) -> tuple[ShardedDataset, tempfile.TemporaryDirectory | None]:
+    """The dataset to serve, plus the tempdir owning it (when generated)."""
+    if dataset is not None:
+        return dataset, None
+    ds = spec.dataset
+    if ds.kind == "existing":
+        root = Path(ds.root)
+        if not root.is_dir():
+            raise SpecError(f"dataset.root does not exist: {root}")
+        return ShardedDataset.open(root), None
+    owned: tempfile.TemporaryDirectory | None = None
+    if ds.root is not None:
+        root = Path(ds.root)
+    else:
+        owned = tempfile.TemporaryDirectory(prefix=f"emlio-{spec.name}-")
+        root = Path(owned.name) / "dataset"
+    if ds.kind == "tokens":
+        from repro.data.text import SyntheticTokenDataset
+
+        gen = iter(
+            SyntheticTokenDataset(
+                ds.n, context_len=ds.context_len, vocab_size=ds.vocab_size, seed=ds.seed
+            )
+        )
+        return write_shards(gen, root, records_per_shard=ds.records_per_shard), owned
+    from repro.data.datasets import build_dataset
+
+    kwargs: dict = {}
+    if ds.kind in ("imagenet", "coco"):
+        kwargs = {"image_hw": ds.image_hw, "num_classes": ds.num_classes}
+    elif ds.kind == "synthetic":
+        kwargs = {"sample_bytes": ds.sample_bytes}
+    return (
+        build_dataset(
+            ds.kind, ds.n, root, seed=ds.seed,
+            records_per_shard=ds.records_per_shard, **kwargs,
+        ),
+        owned,
+    )
+
+
+def _resolve_profile(spec: ClusterSpec) -> NetworkProfile | None:
+    net = spec.network
+    if net.profile is not None:
+        return NETWORK_PROFILES.get(net.profile)
+    if net.rtt_ms is None:
+        return None
+    bandwidth = (
+        net.bandwidth_gbps * 1e9 / 8 if net.bandwidth_gbps is not None else float("inf")
+    )
+    return NetworkProfile(
+        f"inline-{net.rtt_ms:g}ms", rtt_s=net.rtt_ms / 1e3, bandwidth_bps=bandwidth
+    )
+
+
+def _resolve_storage_shards(
+    spec: ClusterSpec, dataset: ShardedDataset
+) -> dict[str, set[str]] | None:
+    """Map the storage spec onto the service's ``storage_shards`` argument."""
+    storage = spec.storage
+    STORAGE_BACKENDS.get(storage.backend)  # fail fast on unknown backends
+    all_shards = [ix.shard for ix in dataset.indexes]
+    if storage.daemons:
+        if len(storage.daemons) == 1 and storage.daemons[0].shards is None:
+            d = storage.daemons[0]
+            if Path(d.root).resolve() == Path(dataset.root).resolve():
+                return None  # the plain single-daemon service path
+            return {d.root: set(all_shards)}
+        return {d.root: set(d.shards or all_shards) for d in storage.daemons}
+    n = storage.num_daemons
+    if n == 1:
+        return None
+    if n > len(all_shards):
+        raise SpecError(
+            f"storage.num_daemons={n} exceeds the dataset's {len(all_shards)} shards"
+        )
+    # Distinct root strings over one directory: "<root>", "<root>/.", ... —
+    # each daemon owns a contiguous slice of the shard list.
+    split: dict[str, set[str]] = {}
+    for i in range(n):
+        root = str(dataset.root) + "/." * i
+        split[root] = set(all_shards[i::n])
+    return split
+
+
+def _resolve_preprocess(spec: ClusterSpec) -> Callable | None:
+    codec = CODECS.get(spec.pipeline.codec)
+    if spec.pipeline.codec == "auto":
+        return None  # the pipeline's built-in magic-dispatch path
+    return codec.batch_preprocess
+
+
+def _resolve_power(spec: ClusterSpec):
+    """Resolve + type-check the energy section's power-model names.
+
+    POWER_MODELS holds CPU and GPU parameter sets in one namespace; a spec
+    naming a GPU model as ``cpu_model`` must fail here (dry-run included),
+    not as an AttributeError inside a sampler thread mid-run.
+    """
+    from repro.energy.power_models import CpuSpec, GpuSpec
+
+    cpu = POWER_MODELS.get(spec.energy.cpu_model)
+    if not isinstance(cpu, CpuSpec):
+        raise SpecError(
+            f"energy.cpu_model {spec.energy.cpu_model!r} is not a CPU power "
+            f"model (got {type(cpu).__name__})"
+        )
+    gpu = None
+    if spec.energy.gpu_model is not None:
+        gpu = POWER_MODELS.get(spec.energy.gpu_model)
+        if not isinstance(gpu, GpuSpec):
+            raise SpecError(
+                f"energy.gpu_model {spec.energy.gpu_model!r} is not a GPU "
+                f"power model (got {type(gpu).__name__})"
+            )
+    return cpu, gpu
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """What a dry-run deploy resolved — no sockets, no daemons."""
+
+    name: str
+    dataset_samples: int
+    dataset_shards: int
+    daemon_roots: tuple[str, ...]
+    num_nodes: int
+    epochs: int
+    batches_per_epoch: int
+    total_batches: int
+    profile: str | None
+    codec: str
+    recovery_enabled: bool
+    energy_enabled: bool
+
+    def summary(self) -> str:
+        profile = self.profile or "loopback (no emulation)"
+        return (
+            f"{self.name}: {self.dataset_samples} samples / {self.dataset_shards} shards, "
+            f"{len(self.daemon_roots)} daemon(s) -> {self.num_nodes} node(s), "
+            f"{self.epochs} epoch(s) x {self.batches_per_epoch} batches, "
+            f"codec={self.codec}, link={profile}, "
+            f"recovery={'on' if self.recovery_enabled else 'off'}, "
+            f"energy={'on' if self.energy_enabled else 'off'}"
+        )
+
+
+class Deployment:
+    """A running EMLIO cluster deployed from a spec.
+
+    Not constructed directly — use :meth:`EMLIO.deploy`.  Thin by design:
+    consumption iterates the underlying service; callbacks observe the
+    control plane; :attr:`service` stays available for anything the facade
+    does not wrap.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        service: EMLIOService,
+        dataset: ShardedDataset,
+        monitor=None,
+        owned_dir: tempfile.TemporaryDirectory | None = None,
+    ) -> None:
+        self.spec = spec
+        self.service = service
+        self.dataset = dataset
+        self.monitor = monitor
+        self._owned_dir = owned_dir
+        self._closed = False
+        self._epoch_start_cbs: list[Callable[[int], None]] = []
+        self._failover_cbs: list[Callable[[str, dict], None]] = []
+        self._member_cbs: list[Callable[[dict], None]] = []
+        service.add_observer(self._dispatch)
+
+    # -- lifecycle callbacks ---------------------------------------------------
+
+    def on_epoch_start(self, fn: Callable[[int], None]) -> "Deployment":
+        """Call ``fn(epoch_index)`` when an epoch starts serving."""
+        self._epoch_start_cbs.append(fn)
+        return self
+
+    def on_failover(self, fn: Callable[[str, dict], None]) -> "Deployment":
+        """Call ``fn(kind, info)`` after a failover re-plan lands.
+
+        ``kind`` is ``"daemon"`` or ``"receiver"``; ``info`` carries the
+        epoch plus what was re-planned.
+        """
+        self._failover_cbs.append(fn)
+        return self
+
+    def on_member_event(self, fn: Callable[[dict], None]) -> "Deployment":
+        """Call ``fn(event)`` for every membership event the control plane
+        consumes (``joined``/``suspect``/``dead``/``recovered``/``left``).
+        Requires ``recovery.enabled``; fires from the monitor thread."""
+        self._member_cbs.append(fn)
+        return self
+
+    def _dispatch(self, kind: str, info: dict) -> None:
+        if kind == "epoch_start":
+            for fn in self._epoch_start_cbs:
+                fn(info["epoch"])
+        elif kind in ("failover", "receiver_failover"):
+            short = "daemon" if kind == "failover" else "receiver"
+            for fn in self._failover_cbs:
+                fn(short, info)
+        elif kind == "member_event":
+            for fn in self._member_cbs:
+                fn(info)
+
+    # -- consumption -----------------------------------------------------------
+
+    def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Serve and consume one epoch of preprocessed batches."""
+        return self.service.epoch(epoch_index)
+
+    def epochs(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Every planned epoch: yields ``(epoch, tensors, labels)``."""
+        return self.service.epochs()
+
+    # -- observation -----------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-able deployment snapshot: cluster + pipeline + energy.
+
+        Energy totals follow Algorithm 1's batch writer: samples merge
+        into the TSDB when the monitor stops, so the ``energy`` section
+        is complete after :meth:`close` (mid-run it reads as zero).
+        """
+        energy = None
+        if self.monitor is not None:
+            report = self.monitor.query()
+            energy = {
+                "cpu_j": report.cpu_j,
+                "dram_j": report.dram_j,
+                "gpu_j": report.gpu_j,
+                "samples": report.samples,
+            }
+        return {
+            "spec": self.spec.name,
+            "cluster": self.service.cluster_status(),
+            "pipeline": self.service.stats(),
+            "energy": energy,
+        }
+
+    def stats(self) -> dict:
+        """The underlying service's counter snapshot."""
+        return self.service.stats()
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the service (and energy monitor / generated dataset)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.service.close()
+        finally:
+            if self.monitor is not None:
+                self.monitor.stop()
+            if self._owned_dir is not None:
+                self._owned_dir.cleanup()
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EMLIO:
+    """The stable entry point: ``EMLIO.deploy(spec)``."""
+
+    @staticmethod
+    def _coerce(spec: ClusterSpec | dict | str | Path) -> ClusterSpec:
+        if isinstance(spec, ClusterSpec):
+            return spec
+        if isinstance(spec, dict):
+            return ClusterSpec.from_dict(spec)
+        if isinstance(spec, (str, Path)):
+            return ClusterSpec.from_file(spec)
+        raise SpecError(f"cannot deploy a {type(spec).__name__}; "
+                        f"pass a ClusterSpec, dict, or spec-file path")
+
+    @staticmethod
+    def plan(
+        spec: ClusterSpec | dict | str | Path,
+        dataset: ShardedDataset | None = None,
+    ) -> DeploymentPlan:
+        """Dry-run: validate + resolve + plan, touching no sockets.
+
+        Synthetic datasets are still materialized (the planner works from
+        real shard indexes) — into a temporary directory that is removed
+        before returning, unless ``dataset.root`` pins a location.
+        """
+        spec = EMLIO._coerce(spec)
+        config = spec.pipeline.to_config()
+        profile = _resolve_profile(spec)
+        _resolve_preprocess(spec)
+        if spec.recovery.enabled:
+            spec.recovery.to_config()
+        if spec.energy.enabled:
+            _resolve_power(spec)
+        ds, owned = _materialize_dataset(spec, dataset)
+        try:
+            shards = _resolve_storage_shards(spec, ds)
+            roots = tuple(sorted(shards)) if shards else (str(ds.root),)
+            plan = Planner(ds, num_nodes=spec.receivers.num_nodes, config=config).plan()
+            per_epoch = len(plan.keys(epoch=0))
+            return DeploymentPlan(
+                name=spec.name,
+                dataset_samples=ds.num_samples,
+                dataset_shards=ds.num_shards,
+                daemon_roots=roots,
+                num_nodes=spec.receivers.num_nodes,
+                epochs=config.epochs,
+                batches_per_epoch=per_epoch,
+                total_batches=len(plan.assignments),
+                profile=profile.name if profile is not None else None,
+                codec=spec.pipeline.codec,
+                recovery_enabled=spec.recovery.enabled,
+                energy_enabled=spec.energy.enabled,
+            )
+        finally:
+            if owned is not None:
+                owned.cleanup()
+
+    @staticmethod
+    def deploy(
+        spec: ClusterSpec | dict | str | Path,
+        dataset: ShardedDataset | None = None,
+        *,
+        dry_run: bool = False,
+        on_epoch_start: Callable[[int], None] | None = None,
+        on_failover: Callable[[str, dict], None] | None = None,
+        on_member_event: Callable[[dict], None] | None = None,
+    ) -> "Deployment | DeploymentPlan":
+        """Deploy a cluster from a spec (object, dict, or file path).
+
+        ``dataset`` overrides the spec's dataset section with an
+        already-built :class:`ShardedDataset` (tests and benchmarks reuse
+        fixtures this way).  With ``dry_run=True`` this is :meth:`plan`.
+        """
+        spec = EMLIO._coerce(spec)
+        if dry_run:
+            return EMLIO.plan(spec, dataset)
+        config = spec.pipeline.to_config()
+        profile = _resolve_profile(spec)
+        preprocess = _resolve_preprocess(spec)
+        ds, owned = _materialize_dataset(spec, dataset)
+        try:
+            storage_shards = _resolve_storage_shards(spec, ds)
+            recovery = spec.recovery.to_config() if spec.recovery.enabled else None
+            monitor = None
+            if spec.energy.enabled:
+                from repro.energy.monitor import EnergyMonitor
+
+                cpu_spec, gpu_spec = _resolve_power(spec)
+                monitor = EnergyMonitor(
+                    node_id=spec.name,
+                    cpu_spec=cpu_spec,
+                    gpu_spec=gpu_spec,
+                    interval=spec.energy.interval_s,
+                )
+                monitor.start()
+            try:
+                service = EMLIOService(
+                    config,
+                    ds,
+                    profile=profile,
+                    storage_shards=storage_shards,
+                    cpu_tracker=monitor.cpu_tracker if monitor is not None else None,
+                    stall_timeout=spec.receivers.stall_timeout_s,
+                    recovery=recovery,
+                    num_nodes=spec.receivers.num_nodes,
+                    preprocess_fn=preprocess,
+                )
+            except BaseException:
+                if monitor is not None:
+                    monitor.stop()
+                raise
+        except BaseException:
+            if owned is not None:
+                owned.cleanup()
+            raise
+        deployment = Deployment(spec, service, ds, monitor=monitor, owned_dir=owned)
+        if on_epoch_start is not None:
+            deployment.on_epoch_start(on_epoch_start)
+        if on_failover is not None:
+            deployment.on_failover(on_failover)
+        if on_member_event is not None:
+            deployment.on_member_event(on_member_event)
+        return deployment
+
+
+__all__ = ["Deployment", "DeploymentPlan", "EMLIO"]

@@ -1,0 +1,110 @@
+"""Canonical deployment presets — one per shipped topology.
+
+Every example and live benchmark topology has a named spec here, so CI can
+dry-run-deploy all of them and scenario files can start from a known-good
+base (``preset("quickstart")`` then ``dataclasses.replace``).  Specs are
+frozen, so sharing the instances is safe.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import Registry
+from repro.api.spec import (
+    ClusterSpec,
+    DatasetSpec,
+    EnergySpec,
+    NetworkSpec,
+    PipelineSpec,
+    ReceiverSpec,
+    RecoverySpec,
+    StorageSpec,
+)
+
+#: examples/quickstart.py — one daemon, one node, tiny synthetic ImageNet.
+QUICKSTART = ClusterSpec(
+    name="quickstart",
+    dataset=DatasetSpec(kind="imagenet", n=64, records_per_shard=16, image_hw=(32, 32)),
+    pipeline=PipelineSpec(batch_size=8, epochs=1, hwm=16, prefetch=2, output_hw=(32, 32)),
+)
+
+#: examples/sharded_cluster.py — paper §5.2 Scenario 2: shards split across
+#: two storage daemons, one compute node consuming the merged stream.
+SHARDED_CLUSTER = ClusterSpec(
+    name="sharded-cluster",
+    dataset=DatasetSpec(
+        kind="imagenet", n=96, seed=2, records_per_shard=16,
+        image_hw=(32, 32), num_classes=8,
+    ),
+    pipeline=PipelineSpec(batch_size=8, hwm=16, output_hw=(32, 32)),
+    storage=StorageSpec(num_daemons=2),
+)
+
+#: examples/geo_distributed_training.py — the WAN regime, with the energy
+#: monitor attached (paper §5.1's emulated-RTT setup).
+GEO_WAN = ClusterSpec(
+    name="geo-wan",
+    dataset=DatasetSpec(kind="imagenet", n=64, records_per_shard=16, image_hw=(32, 32)),
+    pipeline=PipelineSpec(batch_size=8, streams_per_node=2, output_hw=(16, 16)),
+    network=NetworkSpec(profile="wan-30ms"),
+    energy=EnergySpec(enabled=True, interval_s=0.05),
+)
+
+#: examples/llm_text_loading.py — token records through the real pipeline,
+#: decoded by the "tokens" codec instead of the image path.
+LLM_TOKENS = ClusterSpec(
+    name="llm-tokens",
+    dataset=DatasetSpec(kind="tokens", n=64, context_len=512, records_per_shard=16),
+    pipeline=PipelineSpec(batch_size=8, hwm=16, codec="tokens"),
+)
+
+#: The chaos suite's shape: two compute nodes, fault tolerance on, an
+#: aggressive failure detector — mid-epoch kills fail over to survivors.
+RECOVERY_DRILL = ClusterSpec(
+    name="recovery-drill",
+    dataset=DatasetSpec(kind="imagenet", n=96, records_per_shard=8, image_hw=(32, 32)),
+    pipeline=PipelineSpec(batch_size=8, epochs=2, output_hw=(16, 16)),
+    receivers=ReceiverSpec(num_nodes=2, stall_timeout_s=20.0),
+    recovery=RecoverySpec(
+        enabled=True,
+        heartbeat_interval_s=0.05,
+        miss_threshold=2,
+        dead_threshold=5,
+        hung_after_s=2.0,
+    ),
+)
+
+#: benchmarks/bench_e2e_loopback.py — the live 8 ms-RTT loopback bench.
+BENCH_LOOPBACK = ClusterSpec(
+    name="bench-loopback",
+    dataset=DatasetSpec(kind="imagenet", n=96, seed=1, records_per_shard=16, image_hw=(32, 32)),
+    pipeline=PipelineSpec(batch_size=8, hwm=16, streams_per_node=2, output_hw=(16, 16)),
+    network=NetworkSpec(rtt_ms=8.0),
+)
+
+PRESETS: Registry[ClusterSpec] = Registry("preset")
+for _spec in (
+    QUICKSTART,
+    SHARDED_CLUSTER,
+    GEO_WAN,
+    LLM_TOKENS,
+    RECOVERY_DRILL,
+    BENCH_LOOPBACK,
+):
+    PRESETS.register(_spec.name, _spec)
+
+
+def preset(name: str) -> ClusterSpec:
+    """Look up a canonical spec by name (see :data:`PRESETS` for the list)."""
+    return PRESETS.get(name)
+
+
+__all__ = [
+    "BENCH_LOOPBACK",
+    "GEO_WAN",
+    "LLM_TOKENS",
+    "PRESETS",
+    "QUICKSTART",
+    "RECOVERY_DRILL",
+    "SHARDED_CLUSTER",
+    "preset",
+]

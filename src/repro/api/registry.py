@@ -1,0 +1,204 @@
+"""Component registries — the seam for pluggable backends.
+
+A deployment spec names its components by string (``codec = "sjpg"``,
+``profile = "wan-30ms"``, ``cpu_model = "xeon-gold-6126"``); these
+registries resolve those strings to implementations at deploy time.
+Third parties extend the system by registering under a new name —
+nothing in :mod:`repro.core` needs to change:
+
+    from repro.api import NETWORK_PROFILES
+    from repro.net.emulation import NetworkProfile
+
+    NETWORK_PROFILES.register("dc-interconnect", NetworkProfile(
+        "dc-interconnect", rtt_s=0.25e-3, bandwidth_bps=50e9 / 8))
+
+Four registries ship seeded:
+
+* :data:`CODECS` — sample formats and their batch preprocessors
+  (``auto`` magic-dispatch, ``image``/``sjpg``, ``raw``, ``tokens``);
+* :data:`NETWORK_PROFILES` — link emulation profiles; shares its backing
+  table with :data:`repro.net.emulation.PROFILES`, so registrations are
+  visible to both vocabularies;
+* :data:`STORAGE_BACKENDS` — storage-side access layers;
+* :data:`POWER_MODELS` — named CPU/GPU power parameter sets consumed by
+  the energy monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class RegistryError(ValueError):
+    """Base class for registry lookup/registration failures."""
+
+
+class DuplicateComponentError(RegistryError):
+    """A name is already registered (pass ``replace=True`` to override)."""
+
+
+class UnknownComponentError(RegistryError):
+    """A spec names a component no one registered."""
+
+
+class Registry(Generic[T]):
+    """A named table of components of one kind.
+
+    Parameters
+    ----------
+    kind:
+        Human label used in error messages (``"codec"``, ``"network
+        profile"``...).
+    backing:
+        Optional existing dict to use as the storage — registrations are
+        then visible through the original dict too (how
+        :data:`NETWORK_PROFILES` stays in sync with
+        :data:`repro.net.emulation.PROFILES`).
+    """
+
+    def __init__(self, kind: str, backing: dict[str, T] | None = None) -> None:
+        self.kind = kind
+        self._items: dict[str, T] = backing if backing is not None else {}
+
+    def register(self, name: str, component: T, *, replace: bool = False) -> T:
+        """Add ``component`` under ``name``; duplicate names are an error."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string, got {name!r}")
+        if name in self._items and not replace:
+            raise DuplicateComponentError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass replace=True to override"
+            )
+        self._items[name] = component
+        return component
+
+    def get(self, name: str) -> T:
+        """Resolve ``name``; unknown names list what *is* registered."""
+        try:
+            return self._items[name]
+        except KeyError:
+            raise UnknownComponentError(
+                f"unknown {self.kind} {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Sorted registered names."""
+        return sorted(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+# -- codecs --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Codec:
+    """One sample format: encode/decode plus its batch preprocessor.
+
+    ``batch_preprocess(samples, output_hw, rng)`` turns a list of encoded
+    records into the batch array the pipeline emits.  ``encode``/``decode``
+    may be ``None`` for dispatch-only entries (``auto``).
+    """
+
+    name: str
+    encode: Callable | None
+    decode: Callable | None
+    batch_preprocess: Callable[[list[bytes], tuple[int, int], np.random.Generator], np.ndarray]
+
+
+def _build_codecs() -> Registry[Codec]:
+    from repro.codec import CODEC_TABLE
+    from repro.data.text import tokens_decode, tokens_encode
+    from repro.gpu.ops import decode_tokens_batch, preprocess_batch
+
+    reg: Registry[Codec] = Registry("codec")
+    # "auto" is the historical default: decode dispatches on each record's
+    # magic inside the image preprocess path.
+    reg.register("auto", Codec("auto", None, None, preprocess_batch))
+    for name, (encode, decode) in CODEC_TABLE.items():
+        reg.register(name, Codec(name, encode, decode, preprocess_batch))
+    # "image" aliases the block-DCT codec under a task-oriented name.
+    reg.register("image", Codec("image", *CODEC_TABLE["sjpg"], preprocess_batch))
+    reg.register(
+        "tokens",
+        Codec(
+            "tokens",
+            tokens_encode,
+            tokens_decode,
+            # LLM path: no resize/normalize — framed-token decode + stack.
+            lambda samples, _hw, _rng: decode_tokens_batch(samples),
+        ),
+    )
+    return reg
+
+
+# -- network profiles ----------------------------------------------------------
+
+
+def _build_network_profiles() -> Registry:
+    from repro.net.emulation import PROFILES
+
+    # Shares the emulation module's table: registering here (or via
+    # emulation.register_profile) is visible to both.
+    return Registry("network profile", backing=PROFILES)
+
+
+# -- storage backends ----------------------------------------------------------
+
+
+def _build_storage_backends() -> Registry:
+    from repro.storage.localfs import LocalStorage
+    from repro.storage.nfs import NFSMount
+
+    reg = Registry("storage backend")
+    reg.register("localfs", LocalStorage)
+    reg.register("nfs", NFSMount)
+    return reg
+
+
+# -- power models --------------------------------------------------------------
+
+
+def _build_power_models() -> Registry:
+    from repro.energy.power_models import CPU_SPECS, GPU_SPECS
+
+    reg = Registry("power model")
+    for name, spec in CPU_SPECS.items():
+        reg.register(name, spec)
+    for name, spec in GPU_SPECS.items():
+        reg.register(name, spec)
+    return reg
+
+
+CODECS: Registry[Codec] = _build_codecs()
+NETWORK_PROFILES: Registry = _build_network_profiles()
+STORAGE_BACKENDS: Registry = _build_storage_backends()
+POWER_MODELS: Registry = _build_power_models()
+
+
+__all__ = [
+    "CODECS",
+    "Codec",
+    "DuplicateComponentError",
+    "NETWORK_PROFILES",
+    "POWER_MODELS",
+    "Registry",
+    "RegistryError",
+    "STORAGE_BACKENDS",
+    "UnknownComponentError",
+]

@@ -14,7 +14,18 @@ used for the paper's 2 MB synthetic records where the payload is opaque.
 from repro.codec.raw import raw_decode, raw_encode
 from repro.codec.sjpg import sjpg_decode, sjpg_decode_shape, sjpg_encode
 
+#: Record magic -> (encode, decode), the codec table this package ships.
+#: :data:`repro.api.registry.CODECS` builds its image/raw entries from
+#: here — add a format in one place and the registry picks it up.
+#: ``TOK0`` records live in :mod:`repro.data.text` to keep this package
+#: image-only; the registry adds them at the API layer.
+CODEC_TABLE = {
+    "sjpg": (sjpg_encode, sjpg_decode),
+    "raw": (raw_encode, raw_decode),
+}
+
 __all__ = [
+    "CODEC_TABLE",
     "raw_decode",
     "raw_encode",
     "sjpg_decode",

@@ -67,7 +67,11 @@ class MembershipConfig:
     hung_after_s:
         Seconds of frozen progress (while beating and ``serving``) before a
         member is declared DEAD with reason ``"hung"``.  ``0`` disables
-        hang detection.
+        hang detection.  Receivers advance progress from the
+        pipeline-*consumption* boundary, so this must exceed the
+        worst-case time the consumer spends between batches (e.g. one
+        training step) — a slower-than-threshold consumer with payloads
+        queued is indistinguishable from a wedged one.
     """
 
     interval_s: float = 0.5

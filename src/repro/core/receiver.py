@@ -57,6 +57,9 @@ class EMLIOReceiver:
         Tolerate duplicate payloads even without a ledger (implied by one).
     reorder_window:
         Overrides ``config.reorder_window`` when not ``None``.
+    preprocess_fn:
+        Batch preprocessor forwarded to the pipeline (``None`` keeps the
+        image decode path); see :class:`~repro.gpu.pipeline.Pipeline`.
     """
 
     def __init__(
@@ -73,6 +76,7 @@ class EMLIOReceiver:
         ledger: DeliveryLedger | None = None,
         dedup: bool = False,
         reorder_window: int | None = None,
+        preprocess_fn=None,
     ) -> None:
         self.node_id = node_id
         self.plan = plan
@@ -82,6 +86,7 @@ class EMLIOReceiver:
         self.stall_timeout = stall_timeout
         self.ledger = ledger
         self.dedup = dedup or ledger is not None
+        self.preprocess_fn = preprocess_fn
         # None inherits the config; AUTO (here or in the config) derives
         # the window from the transport shape instead of manual tuning.
         self.reorder_window = config.resolve_reorder_window(reorder_window)
@@ -93,13 +98,18 @@ class EMLIOReceiver:
         self._holdover: collections.deque = collections.deque()
         self._stop = threading.Event()
         self.batches_received = 0
+        self.batches_consumed = 0  # handed to the *training* side (yielded)
         self.duplicates_dropped = 0  # cumulative across epochs
         self._provider: BatchProvider | None = None  # the active epoch's
         self._pending_adopt = 0  # adopted outside a provider's lifetime
         self._adopt_lock = threading.Lock()  # adopt() vs. _make_provider()
         self._killed = threading.Event()
-        # Liveness ticks for heartbeat progress: advance while the receive
-        # loop is scheduled (even idle), freeze when the node truly stops.
+        # Starvation ticks for heartbeat progress: advance only while the
+        # receive loop is idle with *nothing pending for the pipeline* —
+        # starved is the daemons' problem, not this node's.  Progress is
+        # otherwise driven from the pipeline-consumption boundary
+        # (``batches_consumed``), so a wedged consumer sitting on queued
+        # payloads freezes :attr:`progress` and trips the hang detector.
         self.ticks = 0
         # Line 2: the zmq_receiver thread (deserializer).
         self._receiver_thread = threading.Thread(
@@ -132,6 +142,15 @@ class EMLIOReceiver:
     def pending_adopt(self) -> int:
         """Adopted batches waiting for the next consume pass."""
         return self._pending_adopt
+
+    @property
+    def progress(self) -> int:
+        """Heartbeat progress counter, advanced from the consumption
+        boundary: grows while batches reach the training side *or* while
+        the node is starved of payloads (daemons slow — not our hang).
+        Frozen exactly when received payloads sit unconsumed: the wedged-
+        consumer signature the hang detector is meant to catch."""
+        return self.batches_consumed + self.ticks
 
     def kill(self) -> None:
         """Chaos hook: this compute node crashes, abruptly.
@@ -169,10 +188,14 @@ class EMLIOReceiver:
 
     def _zmq_receiver(self) -> None:
         while not self._stop.is_set():
-            self.ticks += 1
             try:
                 raw = self.pull.recv(timeout=0.2)
             except queue.Empty:
+                # Starved *and* nothing backed up for the pipeline: the
+                # node is healthy-but-waiting, so liveness progress ticks.
+                # With payloads queued, progress must come from consumption.
+                if self._payload_q.empty():
+                    self.ticks += 1
                 continue
             payload = decode_batch(raw)
             if payload.node_id != self.node_id:
@@ -239,6 +262,7 @@ class EMLIOReceiver:
             output_hw=self.config.output_hw,
             prefetch=self.config.prefetch,
             seed=self.config.seed + epoch_index,
+            preprocess_fn=self.preprocess_fn,
         )
         pipe.warmup()  # line 4
         self.logger.log("epoch_start", epoch=epoch_index)
@@ -269,6 +293,7 @@ class EMLIOReceiver:
                 if self.ledger is not None:
                     self.ledger.record(*provider.emitted[consumed])
                 consumed += 1
+                self.batches_consumed += 1
                 yield tensors, labels
         finally:
             self._provider = None

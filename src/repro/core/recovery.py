@@ -204,9 +204,30 @@ class DeliveryLedger:
         torn_tail = bool(raw) and not raw.endswith("\n")
         for i, line in enumerate(lines):
             if torn_tail and i == len(lines) - 1:
+                self._collapse_chains()
                 self._rewrite(path)
                 return
             self._parse_line(line)
+        self._collapse_chains()
+
+    def _collapse_chains(self) -> None:
+        """Flatten reassignment chains left by pre-GC ledger files.
+
+        Re-target keys are always synthetic (fresh seqs past the planned
+        range), so any key that also appears as a *value* is an
+        intermediate hop: follow it to its final owner and drop the hop.
+        """
+        values = set(self._reassigned.values())
+        collapsed: dict[DeliveryKey, DeliveryKey] = {}
+        for key, target in self._reassigned.items():
+            if key in values:
+                continue  # synthetic intermediate; its referrer covers it
+            seen = set()
+            while target in self._reassigned and target not in seen:
+                seen.add(target)
+                target = self._reassigned[target]
+            collapsed[key] = target
+        self._reassigned = collapsed
 
     def _lines(self) -> str:
         """Serialize current state; summary/reassign lines lead for clarity."""
@@ -243,14 +264,32 @@ class DeliveryLedger:
             return True
 
     def record_reassignment(self, old: DeliveryKey, new: DeliveryKey) -> None:
-        """Persist a receiver-failover key re-mapping (old → new owner)."""
+        """Persist a receiver-failover key re-mapping (old → new owner).
+
+        Chains are GC'd as they form: if ``old`` is itself the target of
+        earlier mappings (a re-targeted batch whose new owner died too),
+        those are rewritten in place to point at ``new`` and the
+        ``old -> new`` link is dropped — ``old`` was a synthetic re-target
+        key (fresh seqs are always past the planned range), so nothing but
+        its referrers ever looks it up.  The map therefore stays bounded
+        by *planned* keys per live epoch and :meth:`resolve`/:meth:`covered`
+        chains stay depth 1, no matter how many failovers pile up before
+        an epoch completes (the ROADMAP's churn item).  Later ``reassign``
+        lines override earlier ones on load, so the rewrite persists by
+        appending, not rewriting the file.
+        """
         if old[0] != new[0]:
             raise ValueError(f"reassignment crosses epochs: {old} -> {new}")
         with self._lock:
-            self._reassigned[old] = new
-            self._append(
-                f"reassign {old[0]} {old[1]} {old[2]} {new[1]} {new[2]}\n"
-            )
+            referrers = [k for k, v in self._reassigned.items() if v == old]
+            for k in referrers:
+                self._reassigned[k] = new
+                self._append(f"reassign {k[0]} {k[1]} {k[2]} {new[1]} {new[2]}\n")
+            if not referrers:
+                self._reassigned[old] = new
+                self._append(
+                    f"reassign {old[0]} {old[1]} {old[2]} {new[1]} {new[2]}\n"
+                )
 
     def reassignments(self, epoch: int | None = None) -> dict[DeliveryKey, DeliveryKey]:
         """Snapshot of recorded key re-mappings."""

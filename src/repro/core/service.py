@@ -115,6 +115,10 @@ class EMLIOService:
         Compute nodes (receivers).  With more than one, :meth:`epoch`
         merges every node's batches into one stream and a dead node's
         undelivered batches fail over to the survivors.
+    preprocess_fn:
+        Batch preprocessor forwarded to every receiver's pipeline
+        (``None`` keeps the image decode path).  The deployment facade
+        resolves codec registry names to these.
     """
 
     def __init__(
@@ -128,6 +132,7 @@ class EMLIOService:
         stall_timeout: float = 60.0,
         recovery: RecoveryConfig | None = None,
         num_nodes: int = 1,
+        preprocess_fn=None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -138,6 +143,10 @@ class EMLIOService:
         self.num_nodes = num_nodes
         self.stall_timeout = stall_timeout
         self.logger = TimestampLogger(name="emlio-service")
+        # Lifecycle observers (the deployment facade's callback bridge):
+        # each is called as fn(kind, info) from whatever thread produced
+        # the event; failures are logged, never propagated.
+        self._observers: list = []
         self.plan: BatchPlan = Planner(dataset, num_nodes=num_nodes, config=config).plan()
         self.ledger: DeliveryLedger | None = (
             DeliveryLedger(recovery.ledger_path) if recovery is not None else None
@@ -157,6 +166,7 @@ class EMLIOService:
                 ledger=self.ledger,
                 dedup=recovery.dedup if recovery is not None else False,
                 reorder_window=reorder,
+                preprocess_fn=preprocess_fn,
             )
             for i in range(num_nodes)
         ]
@@ -209,7 +219,10 @@ class EMLIOService:
                     role="receiver",
                     endpoint=self._hb_listener.address,
                     interval_s=recovery.membership.interval_s,
-                    progress_fn=lambda r=r: r.batches_received + r.ticks,
+                    # Consumption-boundary progress: frozen when received
+                    # payloads sit unconsumed, so a wedged consumer (not
+                    # just a dead receive loop) trips the hang detector.
+                    progress_fn=lambda r=r: r.progress,
                     state_fn=lambda r=r: STATE_SERVING if r.epoch_active else STATE_IDLE,
                 )
                 pub.start()
@@ -219,6 +232,24 @@ class EMLIOService:
     def receiver(self) -> EMLIOReceiver:
         """Node 0's receiver (single-node convenience / back-compat)."""
         return self.receivers[0]
+
+    def add_observer(self, fn) -> None:
+        """Register ``fn(kind, info)`` for lifecycle notifications.
+
+        Kinds: ``epoch_start``/``epoch_end`` (info: epoch), ``failover``
+        (a daemon re-plan), ``receiver_failover``, and ``member_event``
+        (every membership transition, info mirroring the event fields).
+        Called synchronously from service/monitor threads; exceptions are
+        logged and swallowed so an observer can never wedge the pipeline.
+        """
+        self._observers.append(fn)
+
+    def _notify(self, kind: str, **info) -> None:
+        for fn in self._observers:
+            try:
+                fn(kind, info)
+            except Exception as err:  # noqa: BLE001 - observers are untrusted
+                self.logger.log("observer_error", kind=kind, error=repr(err))
 
     def _make_daemon(
         self,
@@ -395,6 +426,12 @@ class EMLIOService:
             dead_root=dead.root,
             replacements=len(set(takeover) | set(extra_by_root)),
         )
+        self._notify(
+            "failover",
+            epoch=epoch,
+            dead_root=dead.root,
+            replacements=len(set(takeover) | set(extra_by_root)),
+        )
 
     def _failover_receiver(self, epoch: int, dead_node: int, entries: list[_DaemonEntry]) -> None:
         """Re-target a dead compute node's undelivered batches onto survivors.
@@ -449,7 +486,10 @@ class EMLIOService:
         )
         for old, new in plan.key_map.items():
             self.ledger.record_reassignment(old, new)
-            self._reassigned[old] = new
+        # Re-snapshot rather than merge: the ledger GC-rewrites chains in
+        # place (old -> final) and drops re-reassigned synthetic keys, so
+        # the ledger's map is the truth, not an accumulation of ours.
+        self._reassigned = self.ledger.reassignments()
         self._extra_assignments.extend(plan.assignments)
         for node, extra in plan.extra_per_node.items():
             if not self.receivers[node].adopt(extra):
@@ -482,8 +522,23 @@ class EMLIOService:
             re_targeted=len(plan.assignments),
             adopted={str(n): c for n, c in plan.extra_per_node.items()},
         )
+        self._notify(
+            "receiver_failover",
+            epoch=epoch,
+            dead_node=dead_node,
+            re_targeted=len(plan.assignments),
+        )
 
     def _handle_event(self, ev: MembershipEvent, epoch: int, entries: list[_DaemonEntry]) -> None:
+        self._notify(
+            "member_event",
+            event=ev.kind,
+            member_id=ev.member_id,
+            role=ev.role,
+            reason=ev.reason,
+            incarnation=ev.incarnation,
+            epoch=epoch,
+        )
         if ev.kind != "dead":
             self.logger.log(
                 "membership_event", event=ev.kind, member=ev.member_id, reason=ev.reason
@@ -609,11 +664,13 @@ class EMLIOService:
     def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Serve and consume one epoch end-to-end."""
         self.logger.log("epoch_start", epoch=epoch_index)
+        self._notify("epoch_start", epoch=epoch_index)
         self._recovery_errors = []
         if self.ledger is not None and self.ledger.epoch_complete(epoch_index):
             # Compacted checkpoint: everything landed in a previous run.
             self.logger.log("epoch_already_complete", epoch=epoch_index)
             self.logger.log("epoch_end", epoch=epoch_index)
+            self._notify("epoch_end", epoch=epoch_index)
             return
         if self.view is not None and self._retired_members:
             for member_id in self._retired_members:
@@ -716,6 +773,7 @@ class EMLIOService:
             count = self.ledger.complete_epoch(epoch_index)
             self.logger.log("ledger_compacted", epoch=epoch_index, batches=count)
         self.logger.log("epoch_end", epoch=epoch_index)
+        self._notify("epoch_end", epoch=epoch_index)
 
     def epochs(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
         """Iterate every planned epoch: yields (epoch, tensors, labels)."""

@@ -51,6 +51,29 @@ class GpuSpec:
     max_w: float = 260.0  # per board
 
 
+#: Named hardware parameter sets, the backing tables for the power-model
+#: registry (:data:`repro.api.registry.POWER_MODELS`).  The defaults are
+#: the paper's Table 1 testbed; the others bracket it so specs can model
+#: lighter edge boxes and denser trainer nodes without new code.
+CPU_SPECS: dict[str, CpuSpec] = {
+    "xeon-gold-6126": CpuSpec(),
+    "epyc-7763": CpuSpec(
+        name="epyc-7763", sockets=2, tdp_w=280.0, idle_frac=0.25,
+        dram_gib=512, dram_idle_w=10.0, dram_active_w=30.0,
+    ),
+    "edge-8c": CpuSpec(
+        name="edge-8c", sockets=1, tdp_w=45.0, idle_frac=0.20,
+        dram_gib=32, dram_idle_w=2.0, dram_active_w=6.0,
+    ),
+}
+
+GPU_SPECS: dict[str, GpuSpec] = {
+    "quadro-rtx-6000": GpuSpec(),
+    "a100-sxm": GpuSpec(name="a100-sxm", count=1, idle_w=50.0, max_w=400.0),
+    "t4": GpuSpec(name="t4", count=1, idle_w=10.0, max_w=70.0),
+}
+
+
 class UtilizationGauges:
     """Thread-safe utilization gauges in [0, 1] per component.
 

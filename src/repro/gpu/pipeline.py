@@ -73,6 +73,11 @@ class Pipeline:
         of pipelining in ablations).
     seed:
         Seed for augmentation randomness.
+    preprocess_fn:
+        ``(samples, output_hw, rng) -> batch array`` replacing the default
+        image path (decode → crop/resize → normalize).  Codec registries
+        resolve spec strings to these — e.g. the ``tokens`` codec stacks
+        framed-token records with no resize at all.
     """
 
     def __init__(
@@ -83,6 +88,8 @@ class Pipeline:
         prefetch: int = 2,
         exec_async: bool = True,
         seed: int = 0,
+        preprocess_fn: Callable[[list[bytes], tuple[int, int], np.random.Generator], np.ndarray]
+        | None = None,
     ) -> None:
         if prefetch < 1:
             raise ValueError(f"prefetch must be >= 1, got {prefetch}")
@@ -91,6 +98,7 @@ class Pipeline:
         self.output_hw = output_hw
         self.prefetch = prefetch
         self.exec_async = exec_async
+        self.preprocess_fn = preprocess_fn or preprocess_batch
         self.stats = PipelineStats()
         self._rng = np.random.default_rng(seed)
         self._clock = MonotonicClock()
@@ -137,7 +145,7 @@ class Pipeline:
         mpix = batch_megapixels(samples)
         modeled = self.gpu.cost_model.decode_time(mpix) + self.gpu.cost_model.augment_time(mpix)
         tensors = self.gpu.submit(
-            lambda: preprocess_batch(samples, self.output_hw, self._rng), modeled
+            lambda: self.preprocess_fn(samples, self.output_hw, self._rng), modeled
         )
         self.stats.record_batch(len(samples), self._clock.now() - start)
         return tensors, np.asarray(labels, dtype=np.int64)

@@ -72,6 +72,22 @@ WAN_30MS = NetworkProfile("wan-30ms", rtt_s=30e-3, bandwidth_bps=_10GBE)
 PROFILES = {p.name: p for p in (LOCAL, LAN_0_1MS, LAN_1MS, LAN_10MS, WAN_30MS)}
 
 
+def register_profile(profile: NetworkProfile, replace: bool = False) -> NetworkProfile:
+    """Add a profile to the shared :data:`PROFILES` table.
+
+    The same table backs :data:`repro.api.registry.NETWORK_PROFILES`, so a
+    profile registered here is resolvable from deployment specs (and vice
+    versa).  Duplicate names are rejected unless ``replace=True``.
+    """
+    if profile.name in PROFILES and not replace:
+        raise ValueError(
+            f"network profile {profile.name!r} already registered; "
+            f"pass replace=True to override"
+        )
+    PROFILES[profile.name] = profile
+    return profile
+
+
 class DelayPipe:
     """Deliver submitted items after a per-item delay, preserving order.
 

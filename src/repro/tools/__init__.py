@@ -8,4 +8,6 @@ inspection.
   and node count.
 * ``python -m repro.tools.resume`` — diff a delivery ledger against the
   plan and emit the residual (undelivered) assignments for a resumed run.
+* ``python -m repro.tools.deploy`` — run (or dry-run) a declarative
+  cluster spec file / preset through ``EMLIO.deploy``.
 """

@@ -1,0 +1,178 @@
+"""Deployment runner — run (or dry-run) a cluster spec file.
+
+The operational face of :mod:`repro.api`: point it at a ``.toml``/``.json``
+spec (or a named preset) and it deploys the described cluster over
+loopback, consumes every planned epoch, and prints pipeline + cluster
+stats.  ``--dry-run`` stops after validation + planning — no sockets —
+which is also what ``--check-presets`` does for every shipped preset and
+scenario file (the CI gate keeping specs deployable).
+
+Usage::
+
+    python -m repro.tools.deploy cluster.toml [--dry-run] [--max-epochs N]
+    python -m repro.tools.deploy --preset quickstart [--dry-run]
+    python -m repro.tools.deploy --list-presets
+    python -m repro.tools.deploy --check-presets [SPEC_DIR ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.api import EMLIO, PRESETS, ClusterSpec, RegistryError, SpecError, preset
+
+#: Shipped scenario files validated by ``--check-presets`` (relative to
+#: the repository root; silently skipped when run from an installed
+#: package with no examples directory).
+DEFAULT_SPEC_DIR = Path(__file__).resolve().parents[3] / "examples" / "specs"
+
+
+def _spec_files(dirs: list[str]) -> list[Path]:
+    roots = [Path(d) for d in dirs] if dirs else [DEFAULT_SPEC_DIR]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(p for p in root.iterdir() if p.suffix in (".toml", ".json")))
+        elif root.is_file():
+            files.append(root)
+    return files
+
+
+def _check_presets(dirs: list[str], out=None) -> int:
+    """Dry-run every preset and shipped spec file; non-zero on any failure."""
+    out = out if out is not None else sys.stdout
+    failures = 0
+    for name in PRESETS.names():
+        try:
+            plan = EMLIO.plan(preset(name))
+            print(f"ok  preset {name}: {plan.summary()}", file=out)
+        except Exception as err:  # noqa: BLE001 - report and count every failure
+            failures += 1
+            print(f"FAIL preset {name}: {err}", file=out)
+    for path in _spec_files(dirs):
+        try:
+            plan = EMLIO.plan(ClusterSpec.from_file(path))
+            print(f"ok  {path}: {plan.summary()}", file=out)
+        except Exception as err:  # noqa: BLE001
+            failures += 1
+            print(f"FAIL {path}: {err}", file=out)
+    if failures:
+        print(f"{failures} spec(s) failed validation", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _summary_line(spec: ClusterSpec) -> str:
+    """One cheap line from the spec alone (no dataset materialization)."""
+    link = spec.network.profile or (
+        f"inline-{spec.network.rtt_ms:g}ms" if spec.network.rtt_ms is not None
+        else "loopback (no emulation)"
+    )
+    return (
+        f"{spec.name}: dataset {spec.dataset.kind}, "
+        f"{len(spec.storage.daemons) or spec.storage.num_daemons} daemon(s) -> "
+        f"{spec.receivers.num_nodes} node(s), {spec.pipeline.epochs} epoch(s), "
+        f"codec={spec.pipeline.codec}, link={link}, "
+        f"recovery={'on' if spec.recovery.enabled else 'off'}, "
+        f"energy={'on' if spec.energy.enabled else 'off'}"
+    )
+
+
+def _run(spec: ClusterSpec, max_epochs: int | None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    print(_summary_line(spec), file=out)
+    epochs = (
+        spec.pipeline.epochs if max_epochs is None
+        else min(spec.pipeline.epochs, max_epochs)
+    )
+    with EMLIO.deploy(spec) as deployment:
+        deployment.on_failover(
+            lambda kind, info: print(f"  !! {kind} failover: {info}", file=out)
+        )
+        t0 = time.monotonic()
+        total = 0
+        for e in range(epochs):
+            batches = samples = 0
+            for _tensors, labels in deployment.epoch(e):
+                batches += 1
+                samples += len(labels)
+            total += samples
+            print(f"  epoch {e}: {batches} batches / {samples} samples", file=out)
+        elapsed = time.monotonic() - t0
+        status = deployment.status()
+    print(
+        f"done: {total} samples in {elapsed:.2f}s "
+        f"({total / elapsed:.0f} samples/s)" if elapsed > 0 else f"done: {total} samples",
+        file=out,
+    )
+    pipeline = status["pipeline"]
+    print(
+        f"  daemons: {len(pipeline['daemons'])} "
+        f"(+{len(pipeline['failover_daemons'])} failover), "
+        f"batches received {pipeline['batches_received']}, "
+        f"duplicates dropped {pipeline['duplicates_dropped']}",
+        file=out,
+    )
+    if status["energy"] is not None:
+        en = status["energy"]
+        print(
+            f"  energy: CPU {en['cpu_j']:.1f} J, DRAM {en['dram_j']:.1f} J, "
+            f"GPU {en['gpu_j']:.1f} J over {en['samples']} samples",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.deploy")
+    parser.add_argument("spec", nargs="?", help="cluster spec file (.toml or .json)")
+    parser.add_argument("--preset", metavar="NAME", help="deploy a named preset instead")
+    parser.add_argument("--list-presets", action="store_true", help="list preset names")
+    parser.add_argument(
+        "--check-presets", nargs="*", metavar="DIR",
+        help="dry-run every preset and spec file under DIR(s) "
+             "(default: the shipped examples/specs)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="validate, resolve, and plan — never bind a socket",
+    )
+    parser.add_argument(
+        "--max-epochs", type=int, metavar="N",
+        help="consume at most N of the planned epochs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_presets:
+        for name in PRESETS.names():
+            print(_summary_line(preset(name)))
+        return 0
+    if args.check_presets is not None:
+        return _check_presets(args.check_presets)
+
+    try:
+        if args.preset is not None and args.spec is not None:
+            print("error: give a spec file or --preset, not both", file=sys.stderr)
+            return 2
+        if args.preset is not None:
+            spec = preset(args.preset)
+        elif args.spec is not None:
+            spec = ClusterSpec.from_file(args.spec)
+        else:
+            parser.print_usage(sys.stderr)
+            return 2
+        if args.dry_run:
+            print(EMLIO.plan(spec).summary())
+            return 0
+        return _run(spec, args.max_epochs)
+    except (SpecError, RegistryError) as err:
+        # RegistryError covers unknown presets and unknown component
+        # names (profiles, codecs, power models) resolved at plan time.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -485,3 +485,70 @@ def test_receiver_failover_unreachable_shard_raises(small_imagenet):
                                 reachable=lambda root, path: False)
     with pytest.raises(FailoverError, match="no surviving root"):
         coord.plan_receiver_failover(0, 0, surviving_nodes=[1], next_seq={1: 0})
+
+
+# -- receiver hang detection (consumption-boundary progress) -------------------
+
+
+def test_receiver_progress_freezes_with_unconsumed_payloads(small_imagenet):
+    """The receiver's heartbeat progress counter advances while *starved*
+    (daemons slow: not this node's hang) but freezes the moment received
+    payloads sit unconsumed — the wedged-consumer signature."""
+    from repro.core.planner import Planner
+    from repro.core.receiver import EMLIOReceiver
+    from repro.serialize.payload import BatchPayload
+
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    plan = Planner(small_imagenet, num_nodes=1, config=cfg).plan()
+    receiver = EMLIOReceiver(node_id=0, plan=plan, config=cfg)
+    try:
+        # Starved and idle: nothing owed to the pipeline, ticks advance.
+        before = receiver.progress
+        assert _wait_until(lambda: receiver.progress > before, timeout=2.0)
+
+        # Park a payload in the shared queue without consuming it: the
+        # node now *has* work it is not moving — progress must freeze.
+        payload = BatchPayload(
+            epoch=0, batch_index=0, shard="s0", samples=[b"RAW0"], labels=[0],
+            node_id=0,
+        )
+        receiver._payload_q.put(payload)
+        time.sleep(0.5)  # > 2 receive-loop timeouts
+        frozen = receiver.progress
+        time.sleep(0.5)
+        assert receiver.progress == frozen, "progress advanced while wedged"
+
+        # Drain the queue: starvation ticks resume.
+        receiver._payload_q.get_nowait()
+        assert _wait_until(lambda: receiver.progress > frozen, timeout=2.0)
+    finally:
+        receiver.close()
+
+
+def test_service_detects_wedged_consumer_as_hung(small_imagenet, tmp_path):
+    """A consumer that stops iterating mid-epoch (payloads queued, nothing
+    consumed) trips the *hang* detector — previously invisible, because
+    ticks came from the receive loop, which was perfectly healthy."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16))
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt",
+        membership=MembershipConfig(interval_s=0.05, miss_threshold=3,
+                                    dead_threshold=100, hung_after_s=0.6),
+    )
+    with EMLIOService(cfg, small_imagenet, stall_timeout=15.0, recovery=recovery) as svc:
+        gen = svc.epoch(0)
+        next(gen)  # consume one batch, then wedge with payloads queued
+        deadline = time.monotonic() + 8.0
+        death_reason = None
+        while time.monotonic() < deadline:
+            member = svc.view.members().get("receiver:0")
+            if member is not None and member.status is MemberStatus.DEAD:
+                death_reason = member.death_reason
+                break
+            time.sleep(0.02)
+        assert death_reason == "hung", f"expected hung death, got {death_reason!r}"
+        # Sole receiver dead -> failover has no survivors; the consumer
+        # surfaces the root-cause FailoverError when it resumes.
+        with pytest.raises((FailoverError, RuntimeError)):
+            for _ in gen:
+                pass

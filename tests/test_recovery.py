@@ -801,23 +801,67 @@ def test_ledger_torn_tail_repair_keeps_checkpoints(tmp_path):
     assert raw.endswith("\n") and "1 1 1" not in raw.replace("1 1 9", "")
 
 
-def test_ledger_reassignment_covered_follows_chain(tmp_path):
+def test_ledger_reassignment_chain_collapses_to_final_owner(tmp_path):
+    """A re-target whose new owner dies too is rewritten old -> final in
+    place: the synthetic intermediate key vanishes from the map and
+    coverage/resolve go straight to the final owner."""
     path = tmp_path / "ledger.txt"
     ledger = DeliveryLedger(path)
     ledger.record_reassignment((0, 1, 4), (0, 0, 10))  # node 1 died
     ledger.record_reassignment((0, 0, 10), (0, 2, 3))  # then node 0 died too
     assert not ledger.covered((0, 1, 4))
+    assert ledger.reassignments() == {(0, 1, 4): (0, 2, 3)}  # depth 1, GC'd
     ledger.record(0, 2, 3)  # final owner delivers
-    assert ledger.covered((0, 1, 4)) and ledger.covered((0, 0, 10))
+    assert ledger.covered((0, 1, 4))
     assert ledger.resolve((0, 1, 4)) == (0, 2, 3)
     ledger.close()
 
-    reloaded = DeliveryLedger(path)  # reassign lines persist
+    reloaded = DeliveryLedger(path)  # appended rewrites persist
     assert reloaded.covered((0, 1, 4))
-    assert reloaded.reassignments(epoch=0) == {
-        (0, 1, 4): (0, 0, 10), (0, 0, 10): (0, 2, 3),
-    }
+    assert reloaded.reassignments(epoch=0) == {(0, 1, 4): (0, 2, 3)}
     reloaded.close()
+
+
+def test_ledger_reassignment_storm_stays_bounded(tmp_path):
+    """ROADMAP churn item: a failover storm with *no* epoch completion —
+    the same residual batch re-owned over and over — must not grow the
+    reassignment map with chain links.  One planned key, fifty failovers,
+    one map entry."""
+    path = tmp_path / "ledger.txt"
+    ledger = DeliveryLedger(path)
+    planned = (0, 0, 7)
+    current = planned
+    for round_no in range(50):
+        new = (0, (round_no % 3) + 1, 100 + round_no)  # fresh synthetic seq
+        ledger.record_reassignment(current, new)
+        current = new
+        assert len(ledger.reassignments()) == 1  # bounded, not a chain
+        assert ledger.resolve(planned) == current
+    assert ledger.reassignments() == {planned: current}
+    assert not ledger.covered(planned)
+    ledger.record(*current)
+    assert ledger.covered(planned)
+    ledger.close()
+
+    reloaded = DeliveryLedger(path)  # survives a restart, still depth 1
+    assert reloaded.reassignments() == {planned: current}
+    assert reloaded.covered(planned)
+    reloaded.close()
+
+
+def test_ledger_load_collapses_pre_gc_chain_files(tmp_path):
+    """Ledger files written before chain GC hold literal chains; loading
+    collapses them to old -> final and drops synthetic intermediates."""
+    path = tmp_path / "ledger.txt"
+    path.write_text(
+        "reassign 0 1 4 0 10\n"   # (0,1,4) -> (0,0,10)
+        "reassign 0 0 10 2 3\n"   # (0,0,10) -> (0,2,3): a pre-GC chain
+        "0 2 3\n"
+    )
+    ledger = DeliveryLedger(path)
+    assert ledger.reassignments() == {(0, 1, 4): (0, 2, 3)}
+    assert ledger.covered((0, 1, 4))
+    ledger.close()
 
 
 def test_ledger_reassignment_rejects_cross_epoch():
