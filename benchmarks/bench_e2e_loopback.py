@@ -6,7 +6,16 @@ TFRecord mmap slicing, actual msgpack, actual decode — at 96 samples so a
 round stays in seconds.  The qualitative claim checked here is the same:
 per-sample loaders feel the RTT; EMLIO does not.  The EMLIO side deploys
 through the declarative API from the shared ``bench-loopback`` preset.
+
+Besides the printed table, the run emits a machine-readable
+``BENCH_e2e_loopback.json`` (throughput, epoch wall time, failover count)
+into ``$BENCH_JSON_DIR`` (default: the working directory), so the perf
+trajectory of the live path is trackable across commits.
 """
+
+import json
+import os
+from pathlib import Path
 
 from conftest import run_once, show
 
@@ -17,6 +26,27 @@ from repro.storage.nfs import NFSMount
 from repro.storage.server import StorageServer
 
 RTT_S = 0.008  # 8 ms emulated
+
+
+def _emit_json(result: dict) -> Path:
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "BENCH_e2e_loopback.json"
+    payload = {
+        "bench": "e2e_loopback",
+        "rtt_ms": RTT_S * 1e3,
+        "samples": result["em_n"],
+        "emlio": {
+            "epoch_wall_s": result["emlio_s"],
+            "throughput_samples_per_s": result["em_n"] / result["emlio_s"],
+            "failovers": result["failovers"],
+        },
+        "pytorch_baseline": {
+            "epoch_wall_s": result["pytorch_s"],
+            "throughput_samples_per_s": result["pt_n"] / result["pytorch_s"],
+        },
+        "speedup_x": result["pytorch_s"] / result["emlio_s"],
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
 
 
 def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_bench_spec):
@@ -42,7 +72,14 @@ def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_benc
             t0 = time.monotonic()
             em_samples = sum(len(l) for _t, l in dep.epoch(0))
             em_s = time.monotonic() - t0
-        return {"pytorch_s": pt_s, "emlio_s": em_s, "pt_n": pt_samples, "em_n": em_samples}
+            stats = dep.stats()
+        return {
+            "pytorch_s": pt_s,
+            "emlio_s": em_s,
+            "pt_n": pt_samples,
+            "em_n": em_samples,
+            "failovers": stats["failovers"] + stats["receiver_failovers"],
+        }
 
     result = run_once(benchmark, run_both)
     show(
@@ -52,6 +89,8 @@ def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_benc
             {"loader": "emlio", "epoch_s": round(result["emlio_s"], 2)},
         ],
     )
+    out = _emit_json(result)
+    print(f"wrote {out}")
     assert result["pt_n"] == result["em_n"] == 96
     # PyTorch pays >= ~RTT per sample / workers; EMLIO streams ahead.
     assert result["pytorch_s"] > result["emlio_s"]

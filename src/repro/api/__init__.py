@@ -33,9 +33,12 @@ from repro.api.registry import (
     UnknownComponentError,
 )
 from repro.api.spec import (
+    ChaosEventSpec,
+    ChaosSpec,
     ClusterSpec,
     DaemonSpec,
     DatasetSpec,
+    ElasticSpec,
     EnergySpec,
     NetworkSpec,
     PipelineSpec,
@@ -47,6 +50,8 @@ from repro.api.spec import (
 
 __all__ = [
     "CODECS",
+    "ChaosEventSpec",
+    "ChaosSpec",
     "ClusterSpec",
     "Codec",
     "DaemonSpec",
@@ -55,6 +60,7 @@ __all__ = [
     "DeploymentPlan",
     "DuplicateComponentError",
     "EMLIO",
+    "ElasticSpec",
     "EnergySpec",
     "NETWORK_PROFILES",
     "NetworkSpec",

@@ -22,6 +22,7 @@ something the spec vocabulary does not say yet.
 from __future__ import annotations
 
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
@@ -29,7 +30,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.api.registry import CODECS, NETWORK_PROFILES, POWER_MODELS, STORAGE_BACKENDS
-from repro.api.spec import ClusterSpec, SpecError
+from repro.api.spec import ChaosEventSpec, ClusterSpec, SpecError
 from repro.core.planner import Planner
 from repro.core.service import EMLIOService
 from repro.net.emulation import NetworkProfile
@@ -77,6 +78,22 @@ def _materialize_dataset(
         ),
         owned,
     )
+
+
+def _validate_chaos(spec: ClusterSpec) -> None:
+    """Reject chaos events that can never fire on this topology.
+
+    Called by both :meth:`EMLIO.plan` *and* :meth:`EMLIO.deploy` — a drill
+    that CI's dry-run rejects must not deploy cleanly live (the timer would
+    swallow the IndexError and the drill would silently never happen).
+    """
+    for event in spec.chaos.events:
+        kind, _, arg = event.target.partition(":")
+        if kind == "receiver" and arg.isdigit() and int(arg) >= spec.receivers.num_nodes:
+            raise SpecError(
+                f"chaos event targets receiver:{arg} but the spec deploys "
+                f"only {spec.receivers.num_nodes} node(s)"
+            )
 
 
 def _resolve_profile(spec: ClusterSpec) -> NetworkProfile | None:
@@ -156,6 +173,64 @@ def _resolve_power(spec: ClusterSpec):
     return cpu, gpu
 
 
+class _ChaosRunner:
+    """Drives a spec's ``[chaos]`` schedule against a live deployment.
+
+    Anchored at the *first* epoch start; every event fires once on its own
+    timer thread.  Event errors are logged through the service logger and
+    swallowed — a drill must never wedge the run it is drilling.
+    """
+
+    def __init__(self, service: EMLIOService, events: tuple[ChaosEventSpec, ...]) -> None:
+        self.service = service
+        self.events = events
+        self._timers: list[threading.Timer] = []
+        self._armed = False
+        self._lock = threading.Lock()
+
+    def arm(self) -> None:
+        """Start the schedule (idempotent; called at the first epoch start)."""
+        with self._lock:
+            if self._armed:
+                return
+            self._armed = True
+            for event in self.events:
+                t = threading.Timer(event.at_s, self._fire, args=(event,))
+                t.daemon = True
+                t.start()
+                self._timers.append(t)
+
+    def _fire(self, event: ChaosEventSpec) -> None:
+        try:
+            kind, _, arg = event.target.partition(":")
+            if event.action == "kill" and kind == "daemon":
+                self.service.kill_daemon(int(arg))
+            elif event.action == "kill" and kind == "receiver":
+                self.service.kill_receiver(int(arg))
+            elif event.action == "hang":
+                self.service.hang_daemon(int(arg))
+            elif event.action == "join" and event.target == "receiver":
+                self.service.add_receiver()
+            elif event.action == "join":
+                self.service.add_daemon(arg)
+            self.service.logger.log(
+                "chaos_event", action=event.action, target=event.target, at_s=event.at_s
+            )
+        except Exception as err:  # noqa: BLE001 - drills never wedge the run
+            self.service.logger.log(
+                "chaos_event_failed",
+                action=event.action,
+                target=event.target,
+                error=repr(err),
+            )
+
+    def cancel(self) -> None:
+        with self._lock:
+            for t in self._timers:
+                t.cancel()
+            self._timers.clear()
+
+
 @dataclass(frozen=True)
 class DeploymentPlan:
     """What a dry-run deploy resolved — no sockets, no daemons."""
@@ -211,6 +286,10 @@ class Deployment:
         self._epoch_start_cbs: list[Callable[[int], None]] = []
         self._failover_cbs: list[Callable[[str, dict], None]] = []
         self._member_cbs: list[Callable[[dict], None]] = []
+        self._rebalance_cbs: list[Callable[[dict], None]] = []
+        self._chaos = (
+            _ChaosRunner(service, spec.chaos.events) if spec.chaos.events else None
+        )
         service.add_observer(self._dispatch)
 
     # -- lifecycle callbacks ---------------------------------------------------
@@ -236,8 +315,18 @@ class Deployment:
         self._member_cbs.append(fn)
         return self
 
+    def on_rebalance(self, fn: Callable[[dict], None]) -> "Deployment":
+        """Call ``fn(info)`` after an elastic rebalance lands (a joined
+        receiver adopted load, or shard ownership re-divided for a joined
+        daemon).  ``info["variant"]`` is ``"receiver_join"`` or
+        ``"daemon_join"``, plus the epoch and what moved."""
+        self._rebalance_cbs.append(fn)
+        return self
+
     def _dispatch(self, kind: str, info: dict) -> None:
         if kind == "epoch_start":
+            if self._chaos is not None:
+                self._chaos.arm()  # the [chaos] clock starts with epoch 0
             for fn in self._epoch_start_cbs:
                 fn(info["epoch"])
         elif kind in ("failover", "receiver_failover"):
@@ -247,6 +336,21 @@ class Deployment:
         elif kind == "member_event":
             for fn in self._member_cbs:
                 fn(info)
+        elif kind == "rebalance":
+            for fn in self._rebalance_cbs:
+                fn(info)
+
+    # -- elastic scale-out -----------------------------------------------------
+
+    def add_receiver(self) -> int:
+        """Admit a new compute node mid-run (elastic scale-out); the engine
+        shifts load onto it at the next safe boundary.  Returns its id."""
+        return self.service.add_receiver()
+
+    def add_daemon(self, root: str, shards: set[str] | None = None) -> None:
+        """Admit a new storage daemon mid-run; shard ownership re-divides
+        (throughput-weighted) at the next epoch start."""
+        self.service.add_daemon(root, shards=shards)
 
     # -- consumption -----------------------------------------------------------
 
@@ -295,6 +399,8 @@ class Deployment:
             return
         self._closed = True
         try:
+            if self._chaos is not None:
+                self._chaos.cancel()
             self.service.close()
         finally:
             if self.monitor is not None:
@@ -338,6 +444,8 @@ class EMLIO:
         config = spec.pipeline.to_config()
         profile = _resolve_profile(spec)
         _resolve_preprocess(spec)
+        spec.elastic.to_policy()
+        _validate_chaos(spec)
         if spec.recovery.enabled:
             spec.recovery.to_config()
         if spec.energy.enabled:
@@ -385,6 +493,7 @@ class EMLIO:
         spec = EMLIO._coerce(spec)
         if dry_run:
             return EMLIO.plan(spec, dataset)
+        _validate_chaos(spec)
         config = spec.pipeline.to_config()
         profile = _resolve_profile(spec)
         preprocess = _resolve_preprocess(spec)
@@ -415,6 +524,7 @@ class EMLIO:
                     recovery=recovery,
                     num_nodes=spec.receivers.num_nodes,
                     preprocess_fn=preprocess,
+                    elastic=spec.elastic.to_policy(),
                 )
             except BaseException:
                 if monitor is not None:

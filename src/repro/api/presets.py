@@ -10,8 +10,11 @@ from __future__ import annotations
 
 from repro.api.registry import Registry
 from repro.api.spec import (
+    ChaosEventSpec,
+    ChaosSpec,
     ClusterSpec,
     DatasetSpec,
+    ElasticSpec,
     EnergySpec,
     NetworkSpec,
     PipelineSpec,
@@ -58,18 +61,39 @@ LLM_TOKENS = ClusterSpec(
 )
 
 #: The chaos suite's shape: two compute nodes, fault tolerance on, an
-#: aggressive failure detector — mid-epoch kills fail over to survivors.
+#: aggressive failure detector — and the drill itself lives in the spec's
+#: ``[chaos]`` schedule: one node is killed mid-epoch (its undelivered
+#: batches fail over to the survivor) and a fresh receiver joins later and
+#: is rebalanced onto (elastic scale-out).  Deploying the preset *is*
+#: running the drill; no script needed.
 RECOVERY_DRILL = ClusterSpec(
     name="recovery-drill",
-    dataset=DatasetSpec(kind="imagenet", n=96, records_per_shard=8, image_hw=(32, 32)),
-    pipeline=PipelineSpec(batch_size=8, epochs=2, output_hw=(16, 16)),
+    # Big enough that an epoch lasts ~1 s over the shaped link — the drill
+    # schedule below needs room to land *mid*-epoch.
+    dataset=DatasetSpec(kind="imagenet", n=384, records_per_shard=16, image_hw=(32, 32)),
+    # hwm=2 on a single stream keeps most batches *unsent* (not merely
+    # undelivered) deep into the epoch, so the join's mid-epoch claim has
+    # real work to move.
+    pipeline=PipelineSpec(batch_size=8, epochs=2, hwm=2, streams_per_node=1,
+                          output_hw=(16, 16)),
     receivers=ReceiverSpec(num_nodes=2, stall_timeout_s=20.0),
+    # Emulated RTT + a narrow link stretch the epochs past the chaos
+    # offsets — on bare loopback the run would finish before the drill
+    # fires.
+    network=NetworkSpec(rtt_ms=15.0, bandwidth_gbps=0.004),
     recovery=RecoverySpec(
         enabled=True,
         heartbeat_interval_s=0.05,
         miss_threshold=2,
         dead_threshold=5,
         hung_after_s=2.0,
+    ),
+    elastic=ElasticSpec(admit="auto", max_members=4),
+    chaos=ChaosSpec(
+        events=(
+            ChaosEventSpec(at_s=0.3, action="join", target="receiver"),
+            ChaosEventSpec(at_s=1.0, action="kill", target="receiver:1"),
+        )
     ),
 )
 

@@ -371,6 +371,108 @@ class RecoverySpec:
 
 
 @dataclass(frozen=True)
+class ElasticSpec:
+    """Elastic-membership policy: mid-run joins and load rebalancing.
+
+    Mirrors :class:`~repro.core.placement.ElasticPolicy`.  ``admit="auto"``
+    lets a receiver or storage daemon that registers and starts beating be
+    admitted mid-run, with load shifted onto it at the next safe boundary;
+    ``"closed"`` refuses joins.  ``rebalance_threshold`` is the minimum
+    fraction of outstanding work a shift must move to be worth the churn.
+    """
+
+    admit: str = "auto"
+    min_members: int = 1
+    max_members: int = 0
+    rebalance_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        try:
+            self.to_policy()
+        except ValueError as err:
+            raise SpecError(f"invalid elastic spec: {err}") from None
+
+    def to_policy(self):
+        """The resolved :class:`~repro.core.placement.ElasticPolicy`."""
+        from repro.core.placement import ElasticPolicy
+
+        return ElasticPolicy(
+            admit=self.admit,
+            min_members=self.min_members,
+            max_members=self.max_members,
+            rebalance_threshold=self.rebalance_threshold,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ElasticSpec":
+        _check_keys(cls, data, "elastic")
+        return _construct(cls, dict(data), "elastic")
+
+
+@dataclass(frozen=True)
+class ChaosEventSpec:
+    """One scheduled fault/join: ``at_s`` seconds after the first epoch
+    starts, apply ``action`` to ``target``.
+
+    Targets: ``kill`` takes ``daemon:<index>`` or ``receiver:<index>``;
+    ``hang`` takes ``daemon:<index>``; ``join`` takes ``receiver`` (a new
+    compute node) or ``daemon:<root>`` (a new storage root).
+    """
+
+    ACTIONS = ("kill", "hang", "join")
+
+    at_s: float
+    action: str
+    target: str
+
+    def __post_init__(self) -> None:
+        _require(self.at_s >= 0, f"chaos event at_s must be >= 0, got {self.at_s}")
+        _require(self.action in self.ACTIONS,
+                 f"chaos action must be one of {self.ACTIONS}, got {self.action!r}")
+        _require(bool(self.target) and isinstance(self.target, str),
+                 f"chaos target must be a non-empty string, got {self.target!r}")
+        kind, _, arg = self.target.partition(":")
+        if self.action in ("kill", "hang"):
+            allowed = ("daemon", "receiver") if self.action == "kill" else ("daemon",)
+            _require(kind in allowed and arg.isdigit(),
+                     f"chaos {self.action} target must be "
+                     f"{' or '.join(f'{k}:<index>' for k in allowed)}, "
+                     f"got {self.target!r}")
+        else:  # join
+            _require(self.target == "receiver" or (kind == "daemon" and bool(arg)),
+                     f"chaos join target must be 'receiver' or 'daemon:<root>', "
+                     f"got {self.target!r}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosEventSpec":
+        _check_keys(cls, data, "chaos.events[]")
+        return _construct(cls, dict(data), "chaos event")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Scheduled chaos: kill/hang/join events driven by the deployment.
+
+    Keeps drill scripts in scenario files — the schedule is anchored at
+    the first epoch start and each event fires once, errors logged (a
+    drill must never wedge the run it is drilling).
+    """
+
+    events: tuple[ChaosEventSpec, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        _check_keys(cls, data, "chaos")
+        d = dict(data)
+        if "events" in d:
+            raw = d["events"]
+            _require(isinstance(raw, (list, tuple)),
+                     f"chaos.events must be a list, got {raw!r}")
+            d["events"] = tuple(ChaosEventSpec.from_dict(x) for x in raw)
+        return _construct(cls, d, "chaos")
+
+
+@dataclass(frozen=True)
 class EnergySpec:
     """Energy monitoring: power-model registry names + sampling period."""
 
@@ -405,10 +507,23 @@ class ClusterSpec:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     recovery: RecoverySpec = field(default_factory=RecoverySpec)
     energy: EnergySpec = field(default_factory=EnergySpec)
+    elastic: ElasticSpec = field(default_factory=ElasticSpec)
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
 
     def __post_init__(self) -> None:
         _require(bool(self.name) and isinstance(self.name, str),
                  f"spec name must be a non-empty string, got {self.name!r}")
+        _require(self.receivers.num_nodes >= self.elastic.min_members,
+                 f"receivers.num_nodes ({self.receivers.num_nodes}) is below "
+                 f"elastic.min_members ({self.elastic.min_members})")
+        _require(not self.elastic.max_members
+                 or self.receivers.num_nodes <= self.elastic.max_members,
+                 f"receivers.num_nodes ({self.receivers.num_nodes}) exceeds "
+                 f"elastic.max_members ({self.elastic.max_members})")
+        join_events = [e for e in self.chaos.events if e.action == "join"]
+        _require(not join_events or self.recovery.enabled,
+                 "chaos join events need recovery.enabled = true "
+                 "(elastic scale-out runs on the control plane)")
 
     # -- dict form -------------------------------------------------------------
 
@@ -434,6 +549,8 @@ class ClusterSpec:
             "network": NetworkSpec,
             "recovery": RecoverySpec,
             "energy": EnergySpec,
+            "elastic": ElasticSpec,
+            "chaos": ChaosSpec,
         }
         kwargs: dict[str, Any] = {}
         if "name" in data:
@@ -467,7 +584,16 @@ class ClusterSpec:
         for section, sub in d.items():
             if not isinstance(sub, dict):
                 continue
-            daemons = sub.pop("daemons", None)
+            # Fields holding lists of tables (storage.daemons, chaos.events)
+            # serialize as [[section.field]] blocks; an empty list is
+            # omitted and restored by from_dict as the default.
+            tables = {
+                k: sub.pop(k)
+                for k in [
+                    k for k, v in sub.items()
+                    if isinstance(v, list) and all(isinstance(x, dict) for x in v)
+                ]
+            }
             body = [
                 f"{k} = {_toml_value(v)}" for k, v in sub.items() if v is not None
             ]
@@ -475,12 +601,13 @@ class ClusterSpec:
                 out.append(f"[{section}]")
                 out.extend(body)
                 out.append("")
-            for daemon in daemons or ():
-                out.append(f"[[{section}.daemons]]")
-                out.extend(
-                    f"{k} = {_toml_value(v)}" for k, v in daemon.items() if v is not None
-                )
-                out.append("")
+            for key, rows in tables.items():
+                for row in rows:
+                    out.append(f"[[{section}.{key}]]")
+                    out.extend(
+                        f"{k} = {_toml_value(v)}" for k, v in row.items() if v is not None
+                    )
+                    out.append("")
         return "\n".join(out).rstrip("\n") + "\n"
 
     @classmethod
@@ -532,9 +659,12 @@ def _toml_value(v: Any) -> str:
 
 
 __all__ = [
+    "ChaosEventSpec",
+    "ChaosSpec",
     "ClusterSpec",
     "DaemonSpec",
     "DatasetSpec",
+    "ElasticSpec",
     "EnergySpec",
     "NetworkSpec",
     "PipelineSpec",

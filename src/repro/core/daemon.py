@@ -149,6 +149,13 @@ class EMLIODaemon:
         self._killed = threading.Event()
         self._hung = threading.Event()
         self._dropped_nodes: set[int] = set()
+        # Scale-out claim protocol: a send worker *commits* to a batch key
+        # under the claim lock before touching it; relinquish() can only
+        # take keys not yet committed.  Either side wins atomically, so a
+        # rebalanced batch is never both sent here and re-owned elsewhere.
+        self._claim_lock = threading.Lock()
+        self._committed: set[tuple[int, int, int]] = set()
+        self._relinquished: set[tuple[int, int, int]] = set()
         self._readers: dict[str, TFRecordReader] = {}
         self._readers_lock = threading.Lock()
         for node_id in {a.node_id for a in plan.assignments}:
@@ -187,6 +194,30 @@ class EMLIODaemon:
     def unhang(self) -> None:
         """Chaos hook: resume a hung daemon (partition heals, disk unsticks)."""
         self._hung.clear()
+
+    def relinquish(self, keys: Collection[tuple[int, int, int]]) -> set[tuple[int, int, int]]:
+        """Give up delivery keys this daemon owns but has not yet served.
+
+        The supervisor's elastic scale-out path asks every live daemon to
+        relinquish the batches it wants to shift onto a joined receiver;
+        only the returned subset — owned here, not yet committed by a send
+        worker — may be re-targeted.  Claimed keys are skipped by the send
+        workers from then on (including a later ``serve_epoch`` call), so
+        exactly one side ever serves each batch.
+        """
+        wanted = set(keys)
+        own = {
+            (a.epoch, a.node_id, a.batch_index)
+            for a in self.plan.assignments
+            if (self.shard_filter is None or a.shard in self.shard_filter)
+            and a.node_id not in self._dropped_nodes
+        }
+        with self._claim_lock:
+            claimed = (wanted & own) - self._committed
+            self._relinquished |= claimed
+        if claimed:
+            self.logger.log("batches_relinquished", count=len(claimed))
+        return claimed
 
     def drop_node(self, node_id: int) -> None:
         """Stop serving one compute node mid-epoch (it was declared dead).
@@ -288,10 +319,15 @@ class EMLIODaemon:
                 self._clock.sleep(_KILL_POLL_S)
             if self._killed.is_set():
                 raise DaemonKilled(f"daemon killed before batch (epoch={a.epoch}, index={a.batch_index})")
-            if skip is not None and (a.epoch, a.node_id, a.batch_index) in skip:
+            key = (a.epoch, a.node_id, a.batch_index)
+            if skip is not None and key in skip:
                 continue
             if self._is_dropped(a.node_id):
                 continue  # the node is dead; its batches are re-targeted
+            with self._claim_lock:
+                if key in self._relinquished:
+                    continue  # re-owned by a scale-out rebalance
+                self._committed.add(key)
             if self.fault_injector is not None:
                 self.fault_injector(a, push)
             t0 = self._clock.now()

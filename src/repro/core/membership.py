@@ -104,6 +104,12 @@ class MembershipEvent:
     incarnation: int = 0
 
 
+#: Smoothing factor of the per-member observed-throughput EWMA: high enough
+#: to follow a genuine load shift within a few beats, low enough that one
+#: bursty beat does not whipsaw the placement engine's weights.
+RATE_EWMA_ALPHA = 0.3
+
+
 @dataclass
 class Member:
     """Mutable tracked state of one cluster member."""
@@ -118,6 +124,8 @@ class Member:
     state: str = STATE_SERVING
     beats: int = 0
     death_reason: str = ""  # "hung" | "missed" | explicit failure detail
+    queue_depth: int = 0  # received-but-unconsumed payloads, from beats
+    rate: float = 0.0  # observed throughput: EWMA of progress deltas per second
 
     def snapshot(self) -> dict:
         """JSON-able copy for status tooling."""
@@ -128,6 +136,8 @@ class Member:
             "status": self.status.value,
             "state": self.state,
             "progress": self.progress,
+            "queue_depth": self.queue_depth,
+            "rate": round(self.rate, 3),
             "beats": self.beats,
             "last_seen": self.last_seen,
         }
@@ -223,9 +233,14 @@ class ClusterView:
                         MembershipEvent("left", m.member_id, m.role, incarnation=m.incarnation)
                     )
                 return self._emit(events)
+            dt = now - m.last_seen
+            if m.beats > 0 and dt > 0:
+                inst = max(0, hb.progress - m.progress) / dt
+                m.rate += RATE_EWMA_ALPHA * (inst - m.rate)
             m.beats += 1
             m.last_seen = now
             m.state = hb.state
+            m.queue_depth = hb.queue_depth
             advanced = hb.progress != m.progress
             if advanced:
                 m.progress = hb.progress

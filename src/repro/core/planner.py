@@ -110,6 +110,22 @@ class BatchPlan:
             if epoch is None or a.epoch == epoch
         }
 
+    def subset(self, assignments: Iterable[BatchAssignment]) -> "BatchPlan":
+        """A plan carrying the given assignments under this plan's metadata.
+
+        The supervisor hands these to failover/scale-out daemons: the
+        assignment tuple *is* the work list (it may hold re-targeted
+        copies from outside the original plan), while batch size, epoch
+        count and coverage still describe the deployment.
+        """
+        return BatchPlan(
+            assignments=tuple(assignments),
+            num_nodes=self.num_nodes,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            coverage=self.coverage,
+        )
+
     def residual(
         self,
         delivered: Collection[tuple[int, int, int]],
@@ -126,19 +142,12 @@ class BatchPlan:
         """
         delivered = set(delivered)
         shard_set = None if shards is None else set(shards)
-        keep = tuple(
+        return self.subset(
             a
             for a in self.assignments
             if (a.epoch, a.node_id, a.batch_index) not in delivered
             and (epoch is None or a.epoch == epoch)
             and (shard_set is None or a.shard in shard_set)
-        )
-        return BatchPlan(
-            assignments=keep,
-            num_nodes=self.num_nodes,
-            epochs=self.epochs,
-            batch_size=self.batch_size,
-            coverage=self.coverage,
         )
 
 

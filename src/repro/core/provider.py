@@ -32,6 +32,10 @@ from repro.serialize.payload import BatchPayload
 #: Queue sentinel abort() injects to unblock a provider waiting on payloads.
 _ABORT = object()
 
+#: Queue sentinel shrink() injects so a provider blocked on the payload
+#: queue re-evaluates its (now smaller) expectation instead of stalling.
+_WAKE = object()
+
 
 class ProviderAborted(RuntimeError):
     """The provider was aborted mid-epoch (receiver killed / torn down)."""
@@ -159,6 +163,8 @@ class BatchProvider:
                     raise ProviderAborted(
                         f"provider aborted: {self.delivered}/{self.expected_batches} delivered"
                     )
+                if payload is _WAKE:
+                    continue  # expectation may have shrunk; re-check the loop
             if self.epoch is not None and payload.epoch > self.epoch:
                 # Daemons pipelining the next epoch: park it for the next
                 # epoch's provider rather than mislabeling it stale.
@@ -201,6 +207,29 @@ class BatchProvider:
             self.expected_batches += extra
             return True
 
+    def shrink(self, keys: Iterable[tuple[int, int]]) -> bool:
+        """Give up ``(epoch, seq)`` keys re-owned elsewhere (scale-out).
+
+        The inverse of :meth:`extend`: the expectation drops by the number
+        of *fresh* keys (idempotent — a key already seen, delivered, or
+        shrunk before is skipped), the keys join the seen set so a stray
+        late copy dedups instead of double-delivering, and a wake sentinel
+        unblocks a provider waiting on the payload queue so it re-checks
+        the smaller expectation.  Returns False once the provider has
+        ended or aborted (nothing left to give up).
+        """
+        with self._count_lock:
+            if self._ended or self._aborted.is_set():
+                return False
+            fresh = [k for k in keys if k not in self.seen]
+            if fresh:
+                # set.update is atomic under the GIL; _fill_window's reads
+                # of ``seen`` never see a partial state.
+                self.seen.update(fresh)
+                self.expected_batches -= len(fresh)
+                self.source_queue.put(_WAKE)
+            return True
+
     def abort(self) -> None:
         """Unblock and fail the provider promptly (receiver kill path)."""
         self._aborted.set()
@@ -219,6 +248,12 @@ class BatchProvider:
                     self._ended = True
                     raise EndOfData
             self._fill_window()
+            if not self._window:
+                # Only reachable when shrink() emptied the expectation out
+                # from under a blocked fill: the epoch is simply over here.
+                with self._count_lock:
+                    self._ended = True
+                raise EndOfData
             _seq, _n, payload = heapq.heappop(self._window)
             if self.on_deliver is not None:
                 self.on_deliver(payload)

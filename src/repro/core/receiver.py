@@ -25,7 +25,7 @@ from __future__ import annotations
 import collections
 import queue
 import threading
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -102,7 +102,12 @@ class EMLIOReceiver:
         self.duplicates_dropped = 0  # cumulative across epochs
         self._provider: BatchProvider | None = None  # the active epoch's
         self._pending_adopt = 0  # adopted outside a provider's lifetime
-        self._adopt_lock = threading.Lock()  # adopt() vs. _make_provider()
+        self._adopt_lock = threading.Lock()  # adopt()/relinquish() vs. _make_provider()
+        # (epoch, seq) keys re-owned *away* from this node by a scale-out
+        # rebalance: excluded from every later provider's expectation.
+        # Session-local on purpose — after a restart the keys are owed
+        # wherever the ledger's reassignment chain says they are.
+        self._relinquished: set[tuple[int, int]] = set()
         self._killed = threading.Event()
         # Starvation ticks for heartbeat progress: advance only while the
         # receive loop is idle with *nothing pending for the pipeline* —
@@ -142,6 +147,13 @@ class EMLIOReceiver:
     def pending_adopt(self) -> int:
         """Adopted batches waiting for the next consume pass."""
         return self._pending_adopt
+
+    @property
+    def queue_depth(self) -> int:
+        """Payloads received but not yet handed to the pipeline — the
+        backpressure signal this node's heartbeats report and the
+        placement engine weighs rebalances by."""
+        return self._payload_q.qsize()
 
     @property
     def progress(self) -> int:
@@ -186,6 +198,22 @@ class EMLIOReceiver:
             self._pending_adopt += extra
             return True
 
+    def relinquish(self, keys: Iterable[tuple[int, int]]) -> bool:
+        """Shrink this node's expectation: ``(epoch, seq)`` keys re-owned
+        elsewhere (elastic scale-out).  An active provider gives them up
+        mid-flight; either way they stay excluded from every later
+        provider this session.  False only for a dead node (its whole
+        residual moves through receiver failover instead)."""
+        if self._killed.is_set():
+            return False
+        with self._adopt_lock:
+            fresh = {tuple(k) for k in keys} - self._relinquished
+            self._relinquished |= fresh
+            provider = self._provider
+            if provider is not None and fresh:
+                provider.shrink(fresh)
+        return True
+
     def _zmq_receiver(self) -> None:
         while not self._stop.is_set():
             try:
@@ -213,34 +241,48 @@ class EMLIOReceiver:
             self._payload_q.put(payload)
 
     def _make_provider(self, epoch_index: int) -> BatchProvider:
-        """Build the epoch's provider, netting out ledgered deliveries."""
+        """Build (and register) the epoch's provider, netting out ledgered
+        deliveries and keys relinquished to a scale-out rebalance.
+
+        Runs entirely under the adopt lock so a concurrent
+        :meth:`relinquish`/:meth:`adopt` either lands in the sets read
+        here or finds the provider registered and adjusts it directly —
+        never falls between the two.
+        """
         planned = self.plan.for_epoch_node(epoch_index, self.node_id)
-        already: set[tuple[int, int]] = set()
-        if self.ledger is not None:
-            if self.ledger.epoch_complete(epoch_index):
-                # Compacted epoch: per-batch keys are gone, but the
-                # checkpoint vouches for every planned batch.
-                already = {(a.epoch, a.batch_index) for a in planned}
-            else:
-                # covered() also honours receiver-failover re-mappings: a
-                # batch delivered under its re-assigned key is not owed here.
-                already = {
-                    (a.epoch, a.batch_index)
-                    for a in planned
-                    if self.ledger.covered((a.epoch, a.node_id, a.batch_index))
-                }
         with self._adopt_lock:
+            already: set[tuple[int, int]] = set()
+            if self.ledger is not None:
+                if self.ledger.epoch_complete(epoch_index):
+                    # Compacted epoch: per-batch keys are gone, but the
+                    # checkpoint vouches for every planned batch.
+                    already = {(a.epoch, a.batch_index) for a in planned}
+                else:
+                    # covered() also honours receiver-failover re-mappings: a
+                    # batch delivered under its re-assigned key is not owed here.
+                    already = {
+                        (a.epoch, a.batch_index)
+                        for a in planned
+                        if self.ledger.covered((a.epoch, a.node_id, a.batch_index))
+                    }
+            already |= {
+                (a.epoch, a.batch_index)
+                for a in planned
+                if (a.epoch, a.batch_index) in self._relinquished
+            }
             pending, self._pending_adopt = self._pending_adopt, 0
-        return BatchProvider(
-            self._payload_q,
-            expected_batches=len(planned) - len(already) + pending,
-            timeout=self.stall_timeout,
-            dedup=self.dedup,
-            already_delivered=already,
-            reorder_window=self.reorder_window,
-            epoch=epoch_index,
-            holdover=self._holdover,
-        )
+            provider = BatchProvider(
+                self._payload_q,
+                expected_batches=len(planned) - len(already) + pending,
+                timeout=self.stall_timeout,
+                dedup=self.dedup,
+                already_delivered=already,
+                reorder_window=self.reorder_window,
+                epoch=epoch_index,
+                holdover=self._holdover,
+            )
+            self._provider = provider  # visible to kill()/adopt()/relinquish()
+        return provider
 
     def epoch(
         self, epoch_index: int = 0, allow_partial: bool = False
@@ -254,7 +296,6 @@ class EMLIOReceiver:
         if self._killed.is_set():
             raise ReceiverKilled(f"node {self.node_id} was killed")
         provider = self._make_provider(epoch_index)
-        self._provider = provider  # visible to kill()/adopt() mid-epoch
         # Line 3: build the pipeline over the provider.
         pipe = Pipeline(
             external_source=provider,

@@ -18,7 +18,12 @@ restarted receiver) degrade throughput instead of killing the epoch:
   the shards; when a *receiver* (compute node) is declared dead,
   :meth:`~FailoverCoordinator.plan_receiver_failover` re-targets its
   undelivered batches onto surviving receivers with fresh sequence numbers
-  and picks a reachable root to serve each one.
+  and picks a reachable root to serve each one.  Since the placement
+  refactor this class is a thin compatibility delegate over
+  :class:`~repro.core.placement.PlacementEngine`, which owns every
+  batch→owner decision (including the load-weighted ones this API cannot
+  express — supervisors construct the engine directly to pass load
+  signals and elastic policy).
 * :class:`RecoveryConfig` — the policy knob bundle consumed by
   :class:`~repro.core.service.EMLIOService` (``EMLIOService(recovery=...)``),
   including the :class:`~repro.core.membership.MembershipConfig` thresholds
@@ -39,11 +44,16 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Collection, Iterable, Mapping
 
 from repro.core.membership import MembershipConfig
+from repro.core.placement import (
+    FailoverError,
+    PlacementEngine,
+    ReceiverReassignment,
+)
 from repro.core.planner import BatchAssignment, BatchPlan
 from repro.net.mq import ReconnectPolicy
 from repro.util.logging import TimestampLogger
@@ -57,10 +67,6 @@ DeliveryKey = tuple[int, int, int]
 
 class DaemonKilled(RuntimeError):
     """A daemon was killed (chaos injection or operator action) mid-epoch."""
-
-
-class FailoverError(RuntimeError):
-    """A dead member's residual work cannot be re-planned onto survivors."""
 
 
 class NodeUnreachable(ConnectionError):
@@ -378,39 +384,16 @@ class DeliveryLedger:
                 self._fh = None
 
 
-def _shard_file_exists(root: str, shard_path: str) -> bool:
-    return (Path(root) / shard_path).exists()
-
-
-@dataclass(frozen=True)
-class ReceiverReassignment:
-    """The outcome of planning one dead receiver's failover.
-
-    Attributes
-    ----------
-    assignments:
-        Re-targeted copies of the dead node's undelivered assignments:
-        ``node_id`` points at a surviving receiver and ``batch_index`` (==
-        payload seq) is fresh, past anything that node has seen this epoch.
-    key_map:
-        ``old delivery key -> new delivery key`` for every re-target; the
-        supervisor persists these via
-        :meth:`DeliveryLedger.record_reassignment`.
-    by_root:
-        ``storage root -> assignments`` it should serve (every assignment
-        appears under exactly one reachable root).
-    extra_per_node:
-        ``surviving node -> batch count`` it must additionally consume.
-    """
-
-    assignments: tuple[BatchAssignment, ...]
-    key_map: dict[DeliveryKey, DeliveryKey]
-    by_root: dict[str, tuple[BatchAssignment, ...]]
-    extra_per_node: dict[int, int]
-
-
 class FailoverCoordinator:
     """Re-plans a dead member's undelivered batches onto survivors.
+
+    Compatibility facade: the logic lives in
+    :class:`~repro.core.placement.PlacementEngine`, which this class
+    constructs without load signals — placement through this API is
+    therefore count-balanced, exactly the pre-engine behaviour.  New code
+    (and the service) should construct the engine directly and pass
+    ``node_loads``/``root_loads`` so re-plans weight by observed
+    throughput and queue depth.
 
     Parameters
     ----------
@@ -436,69 +419,42 @@ class FailoverCoordinator:
         reachable: Callable[[str, str], bool] | None = None,
         logger: TimestampLogger | None = None,
     ) -> None:
-        self.plan = plan
-        self.ledger = ledger
-        self.roots = dict(roots)
-        self.reachable = reachable or _shard_file_exists
-        self.logger = logger or TimestampLogger(name="failover")
+        self._engine = PlacementEngine(
+            plan, ledger, roots, reachable=reachable,
+            logger=logger or TimestampLogger(name="failover"),
+        )
+
+    @property
+    def plan(self) -> BatchPlan:
+        return self._engine.plan
+
+    @property
+    def ledger(self) -> DeliveryLedger:
+        return self._engine.ledger
+
+    @property
+    def roots(self) -> dict[str, Collection[str] | None]:
+        return self._engine.roots
+
+    @property
+    def reachable(self) -> Callable[[str, str], bool]:
+        return self._engine.reachable
 
     def shards_of(self, root: str) -> set[str]:
         """Shard names the daemon at ``root`` was responsible for."""
-        owned = self.roots.get(root)
-        if owned is None:
-            return {a.shard for a in self.plan.assignments}
-        return set(owned)
+        return self._engine.shards_of(root)
 
     def residual_plan(self, epoch: int, shards: Iterable[str] | None = None) -> BatchPlan:
-        """Sub-plan of not-yet-delivered assignments (optionally per shard set).
-
-        Keys already re-owned by a receiver failover count as handled here —
-        their re-targeted copies live outside the original plan.
-        """
-        delivered = self.ledger.delivered(epoch=epoch)
-        delivered |= set(self.ledger.reassignments(epoch=epoch))
-        return self.plan.residual(delivered, epoch=epoch, shards=shards)
-
-    def _place_root(
-        self,
-        shard_path: str,
-        survivors: Collection[str],
-        load: dict[str, int],
-    ) -> str | None:
-        """Least-loaded reachable survivor root for one shard, or None."""
-        for root in sorted(survivors, key=lambda r: load.get(r, 0)):
-            if self.reachable(root, shard_path):
-                return root
-        return None
+        """Sub-plan of not-yet-delivered assignments (optionally per shard set)."""
+        return self._engine.residual_plan(epoch, shards=shards)
 
     def place_assignments(
         self,
         assignments: Collection[BatchAssignment],
         survivors: Collection[str],
     ) -> dict[str, tuple[BatchAssignment, ...]]:
-        """Place loose assignments on reachable roots, least-loaded-first.
-
-        Used for re-targeted (receiver-failover) assignments, which live
-        outside the original plan and therefore outside any root's shard
-        ownership.  Raises :class:`FailoverError` when a shard is
-        unreachable by every survivor.
-        """
-        by_root: dict[str, list[BatchAssignment]] = {}
-        load: dict[str, int] = {}
-        unreachable: list[str] = []
-        for a in assignments:
-            root = self._place_root(a.shard_path, survivors, load)
-            if root is None:
-                unreachable.append(a.shard)
-                continue
-            by_root.setdefault(root, []).append(a)
-            load[root] = load.get(root, 0) + 1
-        if unreachable:
-            raise FailoverError(
-                f"no surviving root can reach shards {sorted(set(unreachable))[:3]} "
-                f"({len(unreachable)} assignments)"
-            )
-        return {r: tuple(v) for r, v in by_root.items()}
+        """Place loose assignments on reachable roots, least-loaded-first."""
+        return self._engine.place_assignments(assignments, survivors)
 
     def plan_failover(
         self,
@@ -506,47 +462,8 @@ class FailoverCoordinator:
         epoch: int,
         survivors: Collection[str] | None = None,
     ) -> dict[str, set[str]]:
-        """Decide which survivor takes over each of the dead root's shards.
-
-        Only shards with *undelivered* batches need a new home.  Shards are
-        placed least-loaded-first across reachable survivors.  Raises
-        :class:`FailoverError` if any needed shard is unreachable by every
-        survivor.
-
-        ``survivors`` overrides the default "every root but the dead one" —
-        the service passes the roots of daemons that are actually alive, so
-        a root stays a valid takeover target while any daemon on it lives
-        (e.g. a failover daemon died on a root that still has a live daemon).
-        """
-        residual = self.residual_plan(epoch, shards=self.shards_of(dead_root))
-        needed = {a.shard: a.shard_path for a in residual.assignments}
-        if survivors is None:
-            survivors = [r for r in self.roots if r != dead_root]
-        else:
-            survivors = list(survivors)
-        takeover: dict[str, set[str]] = {}
-        load: dict[str, int] = {}
-        unreachable: list[str] = []
-        for shard in sorted(needed):
-            root = self._place_root(needed[shard], survivors, load)
-            if root is None:
-                unreachable.append(shard)
-                continue
-            takeover.setdefault(root, set()).add(shard)
-            load[root] = load.get(root, 0) + 1
-        if unreachable:
-            raise FailoverError(
-                f"no surviving daemon can reach shards {unreachable[:3]} "
-                f"({len(unreachable)} total) of dead root {dead_root}"
-            )
-        self.logger.log(
-            "failover_planned",
-            dead_root=dead_root,
-            epoch=epoch,
-            residual_batches=len(residual.assignments),
-            takeover={r: sorted(s) for r, s in takeover.items()},
-        )
-        return takeover
+        """Decide which survivor takes over each of the dead root's shards."""
+        return self._engine.plan_failover(dead_root, epoch, survivors=survivors)
 
     def plan_receiver_failover(
         self,
@@ -557,74 +474,12 @@ class FailoverCoordinator:
         survivor_roots: Collection[str] | None = None,
         residual: Collection[BatchAssignment] | None = None,
     ) -> ReceiverReassignment:
-        """Re-target a dead compute node's undelivered batches onto survivors.
-
-        Every undelivered assignment of ``dead_node`` is copied with
-        ``node_id`` pointing at a surviving receiver (balanced round-robin)
-        and a fresh ``batch_index``/seq starting at that node's ``next_seq``
-        — fresh so the re-target can never collide with a seq the survivor
-        has already seen (dedup would silently eat the batch).  Each
-        re-target is also placed on a reachable storage root
-        (least-loaded-first across ``survivor_roots``).
-
-        ``residual`` overrides the default ledger-diffed computation — the
-        supervisor passes it when earlier failovers created assignments
-        outside the original plan (a re-targeted batch whose *new* owner
-        died too).
-
-        Raises :class:`FailoverError` with no surviving receiver, or when a
-        needed shard is unreachable by every surviving root.
-        """
-        surviving_nodes = sorted(set(surviving_nodes) - {dead_node})
-        if residual is None:
-            base = self.residual_plan(epoch)
-            residual = [a for a in base.assignments if a.node_id == dead_node]
-        else:
-            residual = [a for a in residual if a.node_id == dead_node]
-        if not residual:
-            return ReceiverReassignment((), {}, {}, {})
-        if not surviving_nodes:
-            raise FailoverError(
-                f"no surviving receiver can adopt {len(residual)} undelivered "
-                f"batches of dead node {dead_node}"
-            )
-        if survivor_roots is None:
-            survivor_roots = list(self.roots)
-        seq = {n: int(next_seq.get(n, 0)) for n in surviving_nodes}
-        extra: dict[int, int] = {n: 0 for n in surviving_nodes}
-        key_map: dict[DeliveryKey, DeliveryKey] = {}
-        by_root: dict[str, list[BatchAssignment]] = {}
-        load: dict[str, int] = {}
-        unreachable: list[str] = []
-        for a in sorted(residual, key=lambda a: a.batch_index):
-            root = self._place_root(a.shard_path, survivor_roots, load)
-            if root is None:
-                unreachable.append(a.shard)
-                continue
-            node = min(surviving_nodes, key=lambda n: extra[n])
-            new_a = replace(a, node_id=node, batch_index=seq[node])
-            key_map[(epoch, dead_node, a.batch_index)] = (epoch, node, seq[node])
-            seq[node] += 1
-            extra[node] += 1
-            by_root.setdefault(root, []).append(new_a)
-            load[root] = load.get(root, 0) + 1
-        if unreachable:
-            raise FailoverError(
-                f"no surviving root can reach shards {sorted(set(unreachable))[:3]} "
-                f"({len(unreachable)} batches) of dead node {dead_node}"
-            )
-        result = ReceiverReassignment(
-            assignments=tuple(a for root in by_root.values() for a in root),
-            key_map=key_map,
-            by_root={r: tuple(v) for r, v in by_root.items()},
-            extra_per_node={n: c for n, c in extra.items() if c},
+        """Re-target a dead compute node's undelivered batches onto survivors."""
+        return self._engine.plan_receiver_failover(
+            dead_node,
+            epoch,
+            surviving_nodes,
+            next_seq,
+            survivor_roots=survivor_roots,
+            residual=residual,
         )
-        self.logger.log(
-            "receiver_failover_planned",
-            dead_node=dead_node,
-            epoch=epoch,
-            residual_batches=len(result.assignments),
-            adopted={str(n): c for n, c in result.extra_per_node.items()},
-            roots={r: len(v) for r, v in result.by_root.items()},
-        )
-        return result

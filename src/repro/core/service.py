@@ -32,6 +32,15 @@ Failover daemons are themselves members, so cascading failures keep
 recovering while any reachable root and any live receiver survive.  A
 restarted service with the same config and ledger path resumes mid-epoch;
 completed epochs are compacted to one checkpoint line each.
+
+The monitor consumes ``joined`` events too (elastic scale-out): a
+receiver or daemon registered via :meth:`EMLIOService.add_receiver` /
+:meth:`EMLIOService.add_daemon` is admitted when its first beat arrives,
+and the :class:`~repro.core.placement.PlacementEngine` shifts load onto
+it at the next safe boundary — a fresh re-target for receivers, the next
+epoch start for daemons — weighted by observed throughput and queue
+depth, with the same exactly-once ``reassign`` ledger vocabulary as
+failover.
 """
 
 from __future__ import annotations
@@ -47,13 +56,13 @@ import numpy as np
 
 from repro.core.config import EMLIOConfig
 from repro.core.daemon import EMLIODaemon
-from repro.core.membership import ClusterView, MembershipEvent
-from repro.core.planner import BatchAssignment, BatchPlan, Planner
+from repro.core.membership import ClusterView, MemberStatus, MembershipEvent
+from repro.core.placement import ElasticPolicy, MemberLoad, PlacementEngine
+from repro.core.planner import BatchAssignment, BatchPlan
 from repro.core.receiver import EMLIOReceiver, ReceiverKilled
 from repro.core.recovery import (
     DeliveryKey,
     DeliveryLedger,
-    FailoverCoordinator,
     FailoverError,
     RecoveryConfig,
 )
@@ -119,6 +128,10 @@ class EMLIOService:
         Batch preprocessor forwarded to every receiver's pipeline
         (``None`` keeps the image decode path).  The deployment facade
         resolves codec registry names to these.
+    elastic:
+        Elastic-membership policy (admission, member bounds, rebalance
+        threshold) consulted by :meth:`add_receiver`/:meth:`add_daemon`
+        and the scale-out re-planner; ``None`` keeps an open default.
     """
 
     def __init__(
@@ -133,6 +146,7 @@ class EMLIOService:
         recovery: RecoveryConfig | None = None,
         num_nodes: int = 1,
         preprocess_fn=None,
+        elastic: ElasticPolicy | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -142,17 +156,21 @@ class EMLIOService:
         self.recovery = recovery
         self.num_nodes = num_nodes
         self.stall_timeout = stall_timeout
+        self.elastic = elastic or ElasticPolicy()
+        self._preprocess_fn = preprocess_fn
         self.logger = TimestampLogger(name="emlio-service")
         # Lifecycle observers (the deployment facade's callback bridge):
         # each is called as fn(kind, info) from whatever thread produced
         # the event; failures are logged, never propagated.
         self._observers: list = []
-        self.plan: BatchPlan = Planner(dataset, num_nodes=num_nodes, config=config).plan()
+        self.plan: BatchPlan = PlacementEngine.plan_epochs(dataset, num_nodes, config)
         self.ledger: DeliveryLedger | None = (
             DeliveryLedger(recovery.ledger_path) if recovery is not None else None
         )
         self.failovers = 0  # successful mid-epoch daemon replacements
         self.receiver_failovers = 0  # successful mid-epoch receiver re-plans
+        self.rebalances = 0  # elastic scale-out load shifts that landed
+        self._last_rebalance: dict | None = None
         # None inherits EMLIOConfig.reorder_window (the receiver's fallback).
         reorder = recovery.reorder_window if recovery is not None else None
         self.receivers: list[EMLIOReceiver] = [
@@ -197,6 +215,17 @@ class EMLIOService:
         self._reassigned: dict[DeliveryKey, DeliveryKey] = (
             self.ledger.reassignments() if self.ledger is not None else {}
         )
+        # Elastic-membership state: members registered but not yet seen
+        # joining via heartbeat, receiver joins awaiting their safe
+        # boundary, storage daemons awaiting epoch-start admission, and
+        # the last observed throughput per retired daemon root (so a
+        # rebalance at epoch start still has load weights to work with).
+        self._pending_scale_out: set[str] = set()
+        self._pending_joins: list[int] = []
+        self._pending_daemons: list[tuple[str, set[str] | None]] = []
+        self._join_pubs: dict[str, HeartbeatPublisher] = {}
+        self._root_rates: dict[str, float] = {}
+        self._merge_active = False
         # Control plane: heartbeat listener + cluster view + event stream.
         self._events: "queue.Queue[MembershipEvent]" = queue.Queue()
         self._member_ids = itertools.count()
@@ -214,19 +243,22 @@ class EMLIOService:
                 # Expected up front: a node that dies before its first beat
                 # must still be detected (the miss clock starts now).
                 self.view.expect(f"receiver:{i}", "receiver")
-                pub = HeartbeatPublisher(
-                    member_id=f"receiver:{i}",
-                    role="receiver",
-                    endpoint=self._hb_listener.address,
-                    interval_s=recovery.membership.interval_s,
-                    # Consumption-boundary progress: frozen when received
-                    # payloads sit unconsumed, so a wedged consumer (not
-                    # just a dead receive loop) trips the hang detector.
-                    progress_fn=lambda r=r: r.progress,
-                    state_fn=lambda r=r: STATE_SERVING if r.epoch_active else STATE_IDLE,
-                )
-                pub.start()
-                self._receiver_pubs.append(pub)
+                self._receiver_pubs.append(self._make_receiver_pub(i, r).start())
+
+    def _make_receiver_pub(self, node: int, r: EMLIOReceiver) -> HeartbeatPublisher:
+        return HeartbeatPublisher(
+            member_id=f"receiver:{node}",
+            role="receiver",
+            endpoint=self._hb_listener.address,
+            interval_s=self.recovery.membership.interval_s,
+            # Consumption-boundary progress: frozen when received
+            # payloads sit unconsumed, so a wedged consumer (not
+            # just a dead receive loop) trips the hang detector.
+            progress_fn=lambda r=r: r.progress,
+            state_fn=lambda r=r: STATE_SERVING if r.epoch_active else STATE_IDLE,
+            # Backpressure signal the placement engine weighs re-plans by.
+            queue_depth_fn=lambda r=r: r.queue_depth,
+        )
 
     @property
     def receiver(self) -> EMLIOReceiver:
@@ -286,6 +318,280 @@ class EMLIOService:
         self.receivers[index].kill()
         if index < len(self._receiver_pubs):
             self._receiver_pubs[index].kill()  # crash: silence, no goodbye
+
+    # -- load signals & placement ----------------------------------------------
+
+    def _member_loads(self) -> tuple[dict[int, MemberLoad], dict[str, MemberLoad]]:
+        """Receiver-node and storage-root load signals from the heartbeat
+        substrate: observed throughput (EWMA of progress deltas) plus the
+        queue depth each beat reports.  Roots whose daemons retired with
+        the previous epoch fall back to their last observed rate."""
+        node_loads: dict[int, MemberLoad] = {}
+        root_loads: dict[str, MemberLoad] = {}
+        if self.view is not None:
+            for mid, m in self.view.members().items():
+                if m.status in (MemberStatus.DEAD, MemberStatus.LEFT):
+                    # A corpse's last EWMA must not inflate its root's
+                    # weight next to the replacement daemon beating there.
+                    continue
+                if m.role == "receiver" and mid.startswith("receiver:"):
+                    node_loads[int(mid.split(":", 1)[1])] = MemberLoad(
+                        throughput=m.rate, queue_depth=m.queue_depth
+                    )
+                elif m.role == "daemon" and "@" in mid:
+                    root = mid.split("@", 1)[1]
+                    prev = root_loads.get(root, MemberLoad())
+                    root_loads[root] = MemberLoad(
+                        throughput=prev.throughput + m.rate,
+                        queue_depth=prev.queue_depth + m.queue_depth,
+                    )
+        for root, rate in self._root_rates.items():
+            root_loads.setdefault(root, MemberLoad(throughput=rate))
+        return node_loads, root_loads
+
+    def _engine(self, roots: dict[str, set[str] | None]) -> PlacementEngine:
+        """A placement engine over the given roots with fresh load signals."""
+        node_loads, root_loads = self._member_loads()
+        return PlacementEngine(
+            self.plan,
+            self.ledger,
+            roots,
+            logger=self.logger,
+            node_loads=node_loads,
+            root_loads=root_loads,
+            policy=self.elastic,
+        )
+
+    # -- elastic membership ----------------------------------------------------
+
+    def _check_admission(self, role: str, current: int) -> None:
+        if self.view is None or self._hb_listener is None:
+            raise RuntimeError(
+                "elastic scale-out needs the control plane: construct the "
+                "service with EMLIOService(recovery=RecoveryConfig(...))"
+            )
+        if self.elastic.admit != "auto":
+            raise FailoverError(
+                f"elastic admit policy {self.elastic.admit!r} rejects a "
+                f"joining {role}"
+            )
+        if self.elastic.max_members and current >= self.elastic.max_members:
+            raise FailoverError(
+                f"elastic max_members={self.elastic.max_members} reached; "
+                f"refusing a joining {role}"
+            )
+
+    def add_receiver(self) -> int:
+        """Admit a new compute node mid-run (elastic scale-out).
+
+        Binds a fresh receiver socket and starts its heartbeat publisher;
+        the node's first beat raises a ``joined`` membership event, which
+        the monitor (mid-epoch) or the next epoch start turns into a
+        load-weighted rebalance: undelivered batches shift from the
+        busiest donors onto the new node through the ``reassign`` ledger
+        vocabulary, so exactly-once delivery holds through scale-out
+        exactly as through failover.  Returns the new node id.
+        """
+        self._check_admission(
+            "receiver", len([r for r in self.receivers if not r.killed])
+        )
+        node = len(self.receivers)
+        receiver = EMLIOReceiver(
+            node_id=node,
+            plan=self.plan,
+            config=self.config,
+            profile=self.profile,
+            stall_timeout=self.stall_timeout,
+            ledger=self.ledger,
+            dedup=self.recovery.dedup,
+            reorder_window=self.recovery.reorder_window,
+            preprocess_fn=self._preprocess_fn,
+        )
+        self.receivers.append(receiver)
+        self._endpoints[node] = ("127.0.0.1", receiver.port)
+        self.num_nodes = len(self.receivers)
+        member_id = f"receiver:{node}"
+        # Not expect()ed: the *first beat* must surface as a `joined`
+        # event — that event is what triggers the rebalance.
+        self._pending_scale_out.add(member_id)
+        self._receiver_pubs.append(self._make_receiver_pub(node, receiver).start())
+        self.logger.log("receiver_joining", node=node)
+        return node
+
+    def add_daemon(self, root: str, shards: set[str] | None = None) -> None:
+        """Admit a new storage daemon mid-run (elastic scale-out).
+
+        The root starts beating (idle) immediately — joining the cluster
+        view via heartbeat — and is admitted at the next safe boundary:
+        the next epoch start, where shard ownership across *all* roots is
+        re-divided weighted by observed throughput, so the new daemon
+        takes on a fair share of the plan without a service restart.
+        ``shards`` optionally pins its ownership instead.
+        """
+        self._check_admission("daemon", len(self.daemons))
+        if any(str(d.dataset_root) == root for d in self.daemons) or any(
+            r == root for r, _s in self._pending_daemons
+        ):
+            raise FailoverError(f"daemon root already registered: {root}")
+        self._pending_daemons.append((root, set(shards) if shards is not None else None))
+        member_id = f"daemon:join@{root}"
+        pub = HeartbeatPublisher(
+            member_id=member_id,
+            role="daemon",
+            endpoint=self._hb_listener.address,
+            interval_s=self.recovery.membership.interval_s,
+            state_fn=lambda: STATE_IDLE,
+        )
+        pub.start()
+        self._join_pubs[member_id] = pub
+        self.logger.log("daemon_joining", root=root)
+
+    def _admit_daemons(self, epoch: int) -> None:
+        """Epoch-start safe boundary: fold joined roots into the topology.
+
+        Creates the joined daemons and re-divides shard ownership across
+        every root, weighted by observed throughput — the load-aware
+        generalization of the deploy-time round-robin split.
+        """
+        joined, self._pending_daemons = self._pending_daemons, []
+        pinned: dict[str, set[str]] = {}
+        for root, shards in joined:
+            self.daemons.append(self._make_daemon(root, shards))
+            if shards is not None:
+                pinned[root] = set(shards)
+        for member_id, pub in self._join_pubs.items():
+            pub.stop()
+            self.view.forget(member_id)
+        self._join_pubs.clear()
+        # Re-divide the unpinned shards across the unpinned roots, weighted
+        # by observed throughput; roots that joined with an explicit shard
+        # set keep exactly that set.
+        roots = {str(d.dataset_root): d.shard_filter for d in self.daemons}
+        engine = self._engine(roots)
+        pinned_shards = {s for shards in pinned.values() for s in shards}
+        pool = {a.shard for a in self.plan.assignments} - pinned_shards
+        ownership = engine.plan_shard_ownership(
+            [r for r in roots if r not in pinned], only=pool
+        )
+        ownership.update(pinned)
+        for d in self.daemons:
+            d.shard_filter = set(ownership.get(str(d.dataset_root), set()))
+        self.rebalances += 1
+        self._last_rebalance = {
+            "kind": "daemon_join",
+            "epoch": epoch,
+            "roots": {r: sorted(s) for r, s in ownership.items()},
+        }
+        self.logger.log(
+            "daemon_admitted",
+            epoch=epoch,
+            joined=[r for r, _s in joined],
+            ownership={r: len(s) for r, s in ownership.items()},
+        )
+        self._notify(
+            "rebalance", variant="daemon_join", epoch=epoch,
+            joined=[r for r, _s in joined],
+        )
+
+    def _scale_out_receiver(self, epoch: int, node: int, entries: list[_DaemonEntry]) -> None:
+        """Shift load onto a freshly joined compute node (fresh re-target).
+
+        Mirrors receiver failover with live donors: the engine drafts a
+        load-weighted share of the donors' undelivered batches, the
+        serving daemons *relinquish* exactly the not-yet-sent subset (an
+        atomic claim, so no batch is both sent to its donor and re-owned),
+        the re-mappings persist as ``reassign`` ledger lines, donors
+        shrink their expectations, and fresh daemons serve the re-targets
+        to the new node.
+        """
+        assert self.ledger is not None
+        if node in self._dead_nodes or self.receivers[node].killed:
+            return  # joined and died before the rebalance landed
+        excluded = self._excluded(epoch)
+        donors_residual = [
+            a
+            for a in self.plan.residual(excluded, epoch=epoch).assignments
+            if a.node_id != node
+            and a.node_id not in self._dead_nodes
+            and not self.receivers[a.node_id].killed
+        ]
+        live_roots = self._live_roots(entries)
+        engine = self._engine(live_roots)
+        candidates = engine.select_scale_out(donors_residual, node)
+        if not candidates:
+            self.logger.log("scale_out_noop", epoch=epoch, node=node)
+            return
+        wanted = {(a.epoch, a.node_id, a.batch_index) for a in candidates}
+        claimed_keys: set[DeliveryKey] = set()
+        for entry in entries:
+            if entry.handled or entry.error is not None or entry.daemon.killed:
+                continue
+            claimed_keys |= entry.daemon.relinquish(wanted)
+        claimed = [
+            a for a in candidates if (a.epoch, a.node_id, a.batch_index) in claimed_keys
+        ]
+        if not claimed:
+            self.logger.log("scale_out_nothing_claimable", epoch=epoch, node=node)
+            return
+        plan = engine.retarget(
+            claimed,
+            targets=[node],
+            next_seq=self._next_seq_map(epoch),
+            survivor_roots=list(live_roots),
+            context=f" for joined node {node}",
+        )
+        for old, new in plan.key_map.items():
+            self.ledger.record_reassignment(old, new)
+        self._reassigned = self.ledger.reassignments()
+        self._extra_assignments.extend(plan.assignments)
+        # Donors give the moved keys up before the new node's expectation
+        # grows, so no pass can end with a key both expected and re-owned.
+        by_donor: dict[int, list[tuple[int, int]]] = {}
+        for (e, donor, seq) in plan.key_map:
+            by_donor.setdefault(donor, []).append((e, seq))
+        for donor, keys in by_donor.items():
+            self.receivers[donor].relinquish(keys)
+        if not self.receivers[node].adopt(len(plan.assignments)):
+            # The joiner died between admission and adoption.  The moved
+            # keys are already re-owned by its (now dead) id, so leave
+            # them there: its death event is on the way (the kill silenced
+            # its publisher) and the ordinary receiver-failover path will
+            # re-target these `_extra_assignments` onto survivors.
+            # Raising here would kill the monitor and foreclose exactly
+            # that recovery.
+            self.logger.log(
+                "scale_out_joiner_died", epoch=epoch, node=node,
+                stranded=len(plan.assignments),
+            )
+            return
+        for root, assignments in plan.by_root.items():
+            daemon = self._make_daemon(root, None, plan=self.plan.subset(assignments))
+            for dead in self._dead_nodes:
+                daemon.drop_node(dead)
+            self._failover_daemons.append(daemon)
+            entry = _DaemonEntry(
+                daemon=daemon, root=root, shards=set(), extra=assignments
+            )
+            entries.append(entry)
+            self._spawn(entry, epoch, None)
+        self.rebalances += 1
+        self._last_rebalance = {
+            "kind": "receiver_join",
+            "epoch": epoch,
+            "node": node,
+            "moved": len(plan.assignments),
+        }
+        self.logger.log(
+            "scale_out",
+            epoch=epoch,
+            node=node,
+            moved=len(plan.assignments),
+            donors={str(n): len(k) for n, k in by_donor.items()},
+        )
+        self._notify(
+            "rebalance", variant="receiver_join", epoch=epoch, node=node,
+            moved=len(plan.assignments),
+        )
 
     # -- ledger coverage -------------------------------------------------------
 
@@ -374,13 +680,8 @@ class EMLIOService:
         excluded = self._excluded(epoch)
         # Dead entry last so its shard set wins if a survivor shares the root
         # (a failover daemon dying on a root that still has a live daemon).
-        coordinator = FailoverCoordinator(
-            self.plan,
-            self.ledger,
-            {**live_roots, dead.root: dead.shards},
-            logger=self.logger,
-        )
-        takeover = coordinator.plan_failover(dead.root, epoch, survivors=list(live_roots))
+        engine = self._engine({**live_roots, dead.root: dead.shards})
+        takeover = engine.plan_failover(dead.root, epoch, survivors=list(live_roots))
         # Re-targeted assignments the dead daemon carried live outside the
         # original plan: re-place each on a reachable surviving root.
         extra_residual = [
@@ -391,7 +692,7 @@ class EMLIOService:
             and (a.epoch, a.node_id, a.batch_index) not in self._reassigned
             and a.node_id not in self._dead_nodes
         ]
-        extra_by_root = coordinator.place_assignments(extra_residual, list(live_roots))
+        extra_by_root = engine.place_assignments(extra_residual, list(live_roots))
         for root in sorted(set(takeover) | set(extra_by_root)):
             shards = takeover.get(root, set())
             residual = (
@@ -402,14 +703,9 @@ class EMLIOService:
             assignments = residual.assignments + tuple(extra_by_root.get(root, ()))
             if not assignments:
                 continue
-            sub_plan = BatchPlan(
-                assignments=assignments,
-                num_nodes=self.plan.num_nodes,
-                epochs=self.plan.epochs,
-                batch_size=self.plan.batch_size,
-                coverage=self.plan.coverage,
+            daemon = self._make_daemon(
+                root, shards or None, plan=self.plan.subset(assignments)
             )
-            daemon = self._make_daemon(root, shards or None, plan=sub_plan)
             for node in self._dead_nodes:
                 daemon.drop_node(node)
             self._failover_daemons.append(daemon)
@@ -473,10 +769,7 @@ class EMLIOService:
             if i not in self._dead_nodes and not self.receivers[i].killed
         ]
         live_roots = self._live_roots(entries)
-        coordinator = FailoverCoordinator(
-            self.plan, self.ledger, live_roots, logger=self.logger
-        )
-        plan = coordinator.plan_receiver_failover(
+        plan = self._engine(live_roots).plan_receiver_failover(
             dead_node,
             epoch,
             surviving_nodes=survivors,
@@ -498,14 +791,7 @@ class EMLIOService:
                     f"{extra} re-targeted batches of dead node {dead_node}"
                 )
         for root, assignments in plan.by_root.items():
-            sub_plan = BatchPlan(
-                assignments=assignments,
-                num_nodes=self.plan.num_nodes,
-                epochs=self.plan.epochs,
-                batch_size=self.plan.batch_size,
-                coverage=self.plan.coverage,
-            )
-            daemon = self._make_daemon(root, None, plan=sub_plan)
+            daemon = self._make_daemon(root, None, plan=self.plan.subset(assignments))
             for node in self._dead_nodes:
                 daemon.drop_node(node)
             self._failover_daemons.append(daemon)
@@ -539,6 +825,22 @@ class EMLIOService:
             incarnation=ev.incarnation,
             epoch=epoch,
         )
+        if ev.kind == "joined" and ev.member_id in self._pending_scale_out:
+            # A registered member's first beat arrived: it is admitted.
+            # Receivers rebalance at the next safe boundary — immediately
+            # (fresh re-target) when the merged consume loop is live, else
+            # at the next epoch start.
+            self._pending_scale_out.discard(ev.member_id)
+            self.logger.log(
+                "member_admitted", member=ev.member_id, role=ev.role, epoch=epoch
+            )
+            if ev.role == "receiver":
+                node = int(ev.member_id.split(":", 1)[1])
+                if self._merge_active:
+                    self._scale_out_receiver(epoch, node, entries)
+                else:
+                    self._pending_joins.append(node)
+            return
         if ev.kind != "dead":
             self.logger.log(
                 "membership_event", event=ev.kind, member=ev.member_id, reason=ev.reason
@@ -640,26 +942,32 @@ class EMLIOService:
             self.recovery is not None and self.recovery.failover and self.view is not None
         )
         deadline = _time.monotonic() + self.stall_timeout
-        while True:
-            alive = [r for r in self.receivers if not r.killed]
-            if not alive:
-                raise FailoverError(f"every receiver is dead in epoch {epoch_index}")
-            for item in self._consume_pass(epoch_index, alive):
-                deadline = _time.monotonic() + self.stall_timeout
-                yield item
-            if self.ledger is None or not failover_on:
-                return
-            # Wait (bounded) for the control plane: either the epoch turns
-            # covered, a failover adopts batches for another pass, or the
-            # deadline expires (incompleteness surfaced by the caller).
+        # While this loop runs, a joining receiver can be rebalanced onto
+        # immediately: the next consume pass will drain its adopted load.
+        self._merge_active = True
+        try:
             while True:
-                if self._recovery_errors or self._epoch_covered(epoch_index):
+                alive = [r for r in self.receivers if not r.killed]
+                if not alive:
+                    raise FailoverError(f"every receiver is dead in epoch {epoch_index}")
+                for item in self._consume_pass(epoch_index, alive):
+                    deadline = _time.monotonic() + self.stall_timeout
+                    yield item
+                if self.ledger is None or not failover_on:
                     return
-                if any(r.pending_adopt > 0 for r in self.receivers if not r.killed):
-                    break  # drain the adopted re-targets in another pass
-                if _time.monotonic() > deadline:
-                    return
-                _time.sleep(0.01)  # detection/re-plan still in flight
+                # Wait (bounded) for the control plane: either the epoch turns
+                # covered, a failover adopts batches for another pass, or the
+                # deadline expires (incompleteness surfaced by the caller).
+                while True:
+                    if self._recovery_errors or self._epoch_covered(epoch_index):
+                        return
+                    if any(r.pending_adopt > 0 for r in self.receivers if not r.killed):
+                        break  # drain the adopted re-targets in another pass
+                    if _time.monotonic() > deadline:
+                        return
+                    _time.sleep(0.01)  # detection/re-plan still in flight
+        finally:
+            self._merge_active = False
 
     def epoch(self, epoch_index: int = 0) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Serve and consume one epoch end-to-end."""
@@ -677,10 +985,6 @@ class EMLIOService:
                 self.view.forget(member_id)
             self._retired_members.clear()
         skip = self._covered(epoch_index) if self.ledger is not None else None
-        entries = [
-            _DaemonEntry(daemon=d, root=str(d.dataset_root), shards=d.shard_filter)
-            for d in self.daemons
-        ]
         stop = threading.Event()
         monitor: threading.Thread | None = None
         failover_on = (
@@ -689,6 +993,7 @@ class EMLIOService:
         if failover_on:
             # Deaths observed between epochs are queued; settle receiver
             # deaths *before* daemons connect to a corpse's endpoint.
+            # Joins observed between epochs reach their safe boundary here.
             while True:
                 try:
                     ev = self._events.get_nowait()
@@ -701,6 +1006,22 @@ class EMLIOService:
                         self._receiver_pubs[node].kill()
                     self._dead_nodes.add(node)
                     self._endpoints.pop(node, None)
+                elif ev.kind == "joined" and ev.member_id in self._pending_scale_out:
+                    self._pending_scale_out.discard(ev.member_id)
+                    if ev.role == "receiver":
+                        self._pending_joins.append(int(ev.member_id.split(":", 1)[1]))
+            # Storage daemons that joined mid-run are admitted at this safe
+            # boundary: ownership re-divides before any entry is built.
+            if self._pending_daemons:
+                try:
+                    self._admit_daemons(epoch_index)
+                except BaseException as err:  # noqa: BLE001 - surfaced below
+                    self._recovery_errors.append(err)
+        entries = [
+            _DaemonEntry(daemon=d, root=str(d.dataset_root), shards=d.shard_filter)
+            for d in self.daemons
+        ]
+        if failover_on:
             monitor = threading.Thread(
                 target=self._monitor, args=(epoch_index, entries, stop), daemon=True,
                 name="emlio-monitor",
@@ -713,6 +1034,20 @@ class EMLIOService:
                     self._failover_receiver(epoch_index, node, entries)
                 except BaseException as err:  # noqa: BLE001 - surfaced below
                     self._recovery_errors.append(err)
+            # Receivers that joined at/near the boundary get their fresh
+            # re-target before the planned daemons spawn: the whole epoch
+            # is still claimable, so the shift is maximally effective.
+            # Swap, don't snapshot-and-clear: the monitor thread appends
+            # concurrently, and a join landing between those two steps
+            # would be erased (list mutation is GIL-atomic; clear() after
+            # a copy is a lost-update window).
+            pending, self._pending_joins = self._pending_joins, []
+            if pending:
+                for node in sorted(set(pending)):
+                    try:
+                        self._scale_out_receiver(epoch_index, node, entries)
+                    except BaseException as err:  # noqa: BLE001 - surfaced below
+                        self._recovery_errors.append(err)
         for entry in entries:
             if entry.thread is None:
                 self._spawn(entry, epoch_index, skip)
@@ -737,6 +1072,15 @@ class EMLIOService:
             for entry in list(entries):
                 if entry.thread is not None:
                     entry.thread.join(timeout=30.0)
+            # Keep each root's last observed throughput: daemon members
+            # retire with the epoch, but an epoch-start rebalance still
+            # wants their weights.
+            if self.view is not None:
+                members = self.view.members()
+                for entry in entries:
+                    m = members.get(entry.member_id)
+                    if m is not None and m.rate > 0:
+                        self._root_rates[entry.root] = m.rate
             self._retired_members.extend(e.member_id for e in entries if e.member_id)
         if self._recovery_errors:
             raise self._recovery_errors[0]
@@ -808,11 +1152,15 @@ class EMLIOService:
             "failovers": self.failovers,
             "receiver_failovers": self.receiver_failovers,
             "reassigned_batches": len(self._reassigned),
+            "rebalances": self.rebalances,
+            "last_rebalance": self._last_rebalance,
         }
 
     def close(self) -> None:
         """Release resources."""
         for pub in self._receiver_pubs:
+            pub.stop()
+        for pub in self._join_pubs.values():
             pub.stop()
         for d in self.daemons + self._failover_daemons:
             d.kill()

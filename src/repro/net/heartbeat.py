@@ -61,6 +61,10 @@ class Heartbeat:
     progress:
         Monotonic work counter (batches sent/received); frozen progress
         while ``state == "serving"`` is the hung-member signature.
+    queue_depth:
+        Payloads received but not yet consumed (receiver backpressure) —
+        the load signal the placement engine weighs re-plans by.  ``0``
+        for members with no queue (or pre-queue-depth publishers).
     state:
         One of ``serving | idle | failed | leaving``.
     detail:
@@ -72,6 +76,7 @@ class Heartbeat:
     incarnation: int = 0
     seq: int = 0
     progress: int = 0
+    queue_depth: int = 0
     state: str = STATE_SERVING
     detail: str = ""
 
@@ -89,6 +94,7 @@ def encode_heartbeat(hb: Heartbeat) -> bytes:
             "inc": hb.incarnation,
             "seq": hb.seq,
             "progress": hb.progress,
+            "qd": hb.queue_depth,
             "state": hb.state,
             "detail": hb.detail,
         },
@@ -106,6 +112,7 @@ def decode_heartbeat(data: bytes) -> Heartbeat:
             incarnation=int(obj.get("inc", 0)),
             seq=int(obj.get("seq", 0)),
             progress=int(obj.get("progress", 0)),
+            queue_depth=int(obj.get("qd", 0)),
             state=obj.get("state", STATE_SERVING),
             detail=obj.get("detail", ""),
         )
@@ -200,6 +207,9 @@ class HeartbeatPublisher:
         of this.
     progress_fn:
         Sampled at each tick for the beat's ``progress`` field.
+    queue_depth_fn:
+        Sampled at each tick for the ``queue_depth`` field (received but
+        unconsumed payloads); defaults to 0.
     state_fn:
         Sampled at each tick for the ``state`` field; defaults to
         ``serving``.
@@ -214,6 +224,7 @@ class HeartbeatPublisher:
         progress_fn: Callable[[], int] | None = None,
         state_fn: Callable[[], str] | None = None,
         incarnation: int = 0,
+        queue_depth_fn: Callable[[], int] | None = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -222,6 +233,7 @@ class HeartbeatPublisher:
         self.endpoint = endpoint
         self.interval_s = interval_s
         self.progress_fn = progress_fn or (lambda: 0)
+        self.queue_depth_fn = queue_depth_fn or (lambda: 0)
         self.state_fn = state_fn
         self.incarnation = incarnation
         self.beats_sent = 0
@@ -254,6 +266,7 @@ class HeartbeatPublisher:
                 incarnation=self.incarnation,
                 seq=self._seq,
                 progress=int(self.progress_fn()),
+                queue_depth=int(self.queue_depth_fn()),
                 state=state,
                 detail=detail,
             )

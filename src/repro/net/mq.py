@@ -81,6 +81,14 @@ class _PushStream:
         # Sent but not yet credited, oldest first.  Credits arrive in send
         # order (FIFO per TCP stream), so a credit always retires the head.
         self.inflight: collections.deque[bytes] = collections.deque()
+        # Messages accepted for this stream but not yet on the wire (in
+        # the queue, or popped by the writer and awaiting a credit).
+        # Guarded by ``lock``; incremented *before* the queue put and
+        # decremented when the message reaches ``inflight``, so close()'s
+        # flush wait can never observe a message-in-hand as "flushed"
+        # (queue size alone goes to zero the moment the writer picks a
+        # message up).
+        self.unflushed = 0
         self.lock = threading.Lock()
         self.generation = 0  # bumped on every reconnect
         self.broken = threading.Event()  # credit reader saw the connection die
@@ -156,8 +164,9 @@ class PushSocket:
                 if self._stop_event.is_set():
                     return
                 continue
-            # Blocking send: wait for receive-side room (a credit).  On
-            # close, an undeliverable in-flight message is dropped.
+            # Blocking send: wait for receive-side room (a credit).  Only
+            # after close()'s flush deadline has expired (it sets the stop
+            # event) is an uncreditable message dropped.
             while not stream.credits.acquire(timeout=_POLL_S):
                 if self._stop_event.is_set():
                     return
@@ -165,7 +174,10 @@ class PushSocket:
                     self._abandon(stream, carry=item)
                     return
             with stream.lock:
+                # In-flight from here: a reconnect replays it, so it no
+                # longer counts against the flush wait.
                 stream.inflight.append(item)
+                stream.unflushed -= 1
             try:
                 stream.chan.send(_DATA + item)
             except (ConnectionError, OSError):
@@ -184,12 +196,16 @@ class PushSocket:
         stream.dead = True
         if carry is not None:
             self._redistribute(carry)
+            with stream.lock:
+                stream.unflushed -= 1
         while True:
             try:
                 item = stream.queue.get_nowait()
             except queue.Empty:
                 break
             self._redistribute(item)
+            with stream.lock:
+                stream.unflushed -= 1
         with stream.lock:
             pending = list(stream.inflight)
             stream.inflight.clear()
@@ -203,6 +219,8 @@ class PushSocket:
         if not streams:
             return  # total failure: the caller-facing sockets raise instead
         target = min(streams, key=lambda s: s.queue.qsize())
+        with target.lock:
+            target.unflushed += 1
         target.queue.put(item)
         # The target may have died between selection and put: rescue again
         # so the message is never stranded in a dead stream's queue.
@@ -296,6 +314,8 @@ class PushSocket:
             best = min(range(len(sizes)), key=lambda i: (sizes[i], (i - self._rr) % len(sizes)))
             self._rr = (best + 1) % len(sizes)
             chosen = streams[best]
+        with chosen.lock:
+            chosen.unflushed += 1
         chosen.queue.put(payload)
         if chosen.dead:
             # Died between selection and put: rescue what we just queued.
@@ -312,9 +332,13 @@ class PushSocket:
         with self._lock:
             streams = sorted(self._alive_streams(), key=lambda s: s.queue.qsize())
         for s in streams:
+            with s.lock:
+                s.unflushed += 1
             try:
                 s.queue.put_nowait(payload)
             except queue.Full:
+                with s.lock:
+                    s.unflushed -= 1
                 continue
             if s.dead:
                 self._abandon(s)  # died between selection and put
@@ -345,8 +369,13 @@ class PushSocket:
             return
         self._closed = True
         end = time.monotonic() + timeout
+        # A stream is flushed only when no accepted message remains off the
+        # wire — queued *or* popped by the writer and awaiting a credit.
+        # With a small HWM over a slow link the queue empties long before
+        # the last messages are actually sent, so queue size alone would
+        # drop the tail.
         while (
-            any(s.queue.qsize() for s in self._streams if not s.dead)
+            any(s.unflushed for s in self._streams if not s.dead)
             and time.monotonic() < end
         ):
             time.sleep(0.01)

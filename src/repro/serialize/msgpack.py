@@ -209,7 +209,7 @@ class _Decoder:
         if 0x90 <= tag <= 0x9F:  # fixarray
             return [self.decode() for _ in range(tag & 0x0F)]
         if 0x80 <= tag <= 0x8F:  # fixmap
-            return {self.decode(): self.decode() for _ in range(tag & 0x0F)}
+            return self._decode_map(tag & 0x0F)
 
         if tag == 0xC0:
             return None
@@ -254,16 +254,29 @@ class _Decoder:
         if tag == 0xDD:
             return [self.decode() for _ in range(_unpack_u32(self._take(4))[0])]
         if tag == 0xDE:
-            return {
-                self.decode(): self.decode()
-                for _ in range(_unpack_u16(self._take(2))[0])
-            }
+            return self._decode_map(_unpack_u16(self._take(2))[0])
         if tag == 0xDF:
-            return {
-                self.decode(): self.decode()
-                for _ in range(_unpack_u32(self._take(4))[0])
-            }
+            return self._decode_map(_unpack_u32(self._take(4))[0])
         raise UnpackError(f"unsupported msgpack tag 0x{tag:02x} at offset {self.pos - 1}")
+
+    def _decode_map(self, count: int) -> dict:
+        """Decode ``count`` key/value pairs into a dict.
+
+        A container key (list/map) is valid msgpack but unhashable in
+        Python; garbage input can produce one, and it must surface as a
+        controlled :class:`UnpackError`, not a ``TypeError``.
+        """
+        out = {}
+        for _ in range(count):
+            key = self.decode()
+            value = self.decode()
+            try:
+                out[key] = value
+            except TypeError:
+                raise UnpackError(
+                    f"unhashable msgpack map key of type {type(key).__name__}"
+                ) from None
+        return out
 
 
 def unpackb(data: bytes | bytearray | memoryview) -> Any:

@@ -29,11 +29,16 @@ from repro.core.membership import ClusterView, MembershipConfig
 from repro.net.heartbeat import HeartbeatListener
 
 
-def _render_members(members: list[dict], out=sys.stdout) -> None:
+def _render_members(members: list[dict], out=None) -> None:
+    # Resolve stdout at call time: binding it as a default would freeze
+    # whatever stream was active at import (a closed capture, under pytest).
+    out = out if out is not None else sys.stdout
     if not members:
         print("no members observed", file=out)
         return
-    rows = [("MEMBER", "ROLE", "STATUS", "STATE", "PROGRESS", "BEATS")]
+    # RATE/S is the progress *delta* (observed throughput, EWMA), not the
+    # raw counter — a watch wants "how fast", the counter is in --json.
+    rows = [("MEMBER", "ROLE", "STATUS", "STATE", "RATE/S", "QDEPTH", "BEATS")]
     for m in sorted(members, key=lambda m: (m["role"], m["member_id"])):
         rows.append(
             (
@@ -41,7 +46,8 @@ def _render_members(members: list[dict], out=sys.stdout) -> None:
                 m["role"],
                 m["status"],
                 m.get("state", "-"),
-                str(m.get("progress", 0)),
+                f"{m.get('rate', 0.0):.1f}",
+                str(m.get("queue_depth", 0)),
                 str(m.get("beats", 0)),
             )
         )
@@ -50,7 +56,8 @@ def _render_members(members: list[dict], out=sys.stdout) -> None:
         print("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip(), file=out)
 
 
-def _render_snapshot(snap: dict, out=sys.stdout) -> None:
+def _render_snapshot(snap: dict, out=None) -> None:
+    out = out if out is not None else sys.stdout
     membership = snap.get("membership")
     if membership is not None:
         _render_members(membership.get("members", []), out=out)
@@ -75,6 +82,24 @@ def _render_snapshot(snap: dict, out=sys.stdout) -> None:
         f"{snap.get('reassigned_batches', 0)} batches re-owned",
         file=out,
     )
+    last = snap.get("last_rebalance")
+    if last is None:
+        print(f"rebalances: {snap.get('rebalances', 0)}", file=out)
+    elif last.get("kind") == "receiver_join":
+        print(
+            f"rebalances: {snap.get('rebalances', 0)} "
+            f"(last: epoch {last.get('epoch')}, {last.get('moved')} batches "
+            f"-> joined node {last.get('node')})",
+            file=out,
+        )
+    else:
+        roots = last.get("roots", {})
+        print(
+            f"rebalances: {snap.get('rebalances', 0)} "
+            f"(last: epoch {last.get('epoch')}, shard ownership re-divided "
+            f"across {len(roots)} roots)",
+            file=out,
+        )
 
 
 def main(argv: list[str]) -> int:

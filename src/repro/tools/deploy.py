@@ -91,6 +91,9 @@ def _run(spec: ClusterSpec, max_epochs: int | None, out=None) -> int:
         deployment.on_failover(
             lambda kind, info: print(f"  !! {kind} failover: {info}", file=out)
         )
+        deployment.on_rebalance(
+            lambda info: print(f"  ++ elastic rebalance: {info}", file=out)
+        )
         t0 = time.monotonic()
         total = 0
         for e in range(epochs):

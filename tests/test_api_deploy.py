@@ -269,3 +269,114 @@ def test_cli_unknown_preset_and_component_exit_cleanly(tmp_path, capsys):
     path = spec.to_file(tmp_path / "warp.toml")
     assert cli.main([str(path), "--dry-run"]) == 2
     assert "unknown network profile" in capsys.readouterr().err
+
+
+# -- spec-driven chaos + elastic sections --------------------------------------
+
+
+def test_chaos_and_elastic_sections_validate():
+    from repro.api import ChaosEventSpec, ChaosSpec, ElasticSpec
+
+    spec = _tiny_spec(
+        receivers=ReceiverSpec(num_nodes=2, stall_timeout_s=20.0),
+        recovery=RecoverySpec(enabled=True),
+        elastic=ElasticSpec(admit="auto", max_members=4, rebalance_threshold=0.1),
+        chaos=ChaosSpec(events=(
+            ChaosEventSpec(at_s=0.5, action="kill", target="receiver:1"),
+            ChaosEventSpec(at_s=1.0, action="join", target="receiver"),
+        )),
+    )
+    assert EMLIO.plan(spec).num_nodes == 2
+    with pytest.raises(SpecError, match="chaos"):
+        ChaosEventSpec(at_s=0.1, action="explode", target="daemon:0")
+    with pytest.raises(SpecError, match="target"):
+        ChaosEventSpec(at_s=0.1, action="kill", target="receiver")
+    with pytest.raises(SpecError, match="join target"):
+        ChaosEventSpec(at_s=0.1, action="join", target="receiver:2")
+    with pytest.raises(SpecError, match="min_members"):
+        _tiny_spec(elastic=ElasticSpec(min_members=2))
+    with pytest.raises(SpecError, match="recovery.enabled"):
+        _tiny_spec(chaos=ChaosSpec(events=(
+            ChaosEventSpec(at_s=0.1, action="join", target="receiver"),
+        )))
+
+
+def test_chaos_events_out_of_range_receiver_rejected_at_plan():
+    from repro.api import ChaosEventSpec, ChaosSpec
+
+    spec = _tiny_spec(chaos=ChaosSpec(events=(
+        ChaosEventSpec(at_s=0.1, action="kill", target="receiver:5"),
+    )))
+    with pytest.raises(SpecError, match="only 1 node"):
+        EMLIO.plan(spec)
+
+
+def test_chaos_and_elastic_round_trip_toml_and_json(tmp_path):
+    from repro.api import ChaosEventSpec, ChaosSpec, ElasticSpec
+
+    spec = _tiny_spec(
+        receivers=ReceiverSpec(num_nodes=2, stall_timeout_s=20.0),
+        recovery=RecoverySpec(enabled=True),
+        elastic=ElasticSpec(max_members=3, rebalance_threshold=0.25),
+        chaos=ChaosSpec(events=(
+            ChaosEventSpec(at_s=0.4, action="kill", target="daemon:0"),
+            ChaosEventSpec(at_s=1.2, action="join", target="receiver"),
+        )),
+    )
+    for suffix in (".toml", ".json"):
+        path = spec.to_file(tmp_path / f"drill{suffix}")
+        assert ClusterSpec.from_file(path) == spec
+
+
+@pytest.mark.slow
+def test_deploy_runs_spec_driven_chaos_schedule(tmp_path):
+    """Deploying a spec with a [chaos] kill schedule *is* the drill: the
+    event fires from the deployment's timer, failover re-plans, and the
+    epoch still delivers exactly once."""
+    from repro.api import ChaosEventSpec, ChaosSpec
+
+    spec = _tiny_spec(
+        name="drill-live",
+        dataset=DatasetSpec(kind="imagenet", n=96, records_per_shard=8,
+                            image_hw=(32, 32), seed=7),
+        pipeline=PipelineSpec(batch_size=4, output_hw=(16, 16)),
+        network=NetworkSpec(rtt_ms=20.0),
+        receivers=ReceiverSpec(num_nodes=2, stall_timeout_s=20.0),
+        recovery=RecoverySpec(
+            enabled=True,
+            ledger_path=str(tmp_path / "ledger.txt"),
+            heartbeat_interval_s=0.05,
+            miss_threshold=2,
+            dead_threshold=5,
+            hung_after_s=0.0,
+        ),
+        chaos=ChaosSpec(events=(
+            ChaosEventSpec(at_s=0.3, action="kill", target="receiver:1"),
+        )),
+    )
+    fired = []
+    with EMLIO.deploy(spec) as dep:
+        dep.on_failover(lambda kind, info: fired.append(kind))
+        samples = sum(len(l) for _t, l in dep.epoch(0))
+        assert samples == 96
+        # The schedule's kill lands at its offset even if the epoch raced
+        # it; either way the timer fires and the node dies.
+        import time as _time
+
+        deadline = _time.monotonic() + 5.0
+        while not dep.service.receivers[1].killed and _time.monotonic() < deadline:
+            _time.sleep(0.02)
+        assert dep.service.receivers[1].killed
+        ledger = dep.service.ledger
+        assert ledger.completed_epochs() == {0: len(dep.service.plan.keys(epoch=0))}
+
+
+def test_chaos_out_of_range_target_also_rejected_at_live_deploy():
+    """A drill the dry-run rejects must not deploy cleanly live."""
+    from repro.api import ChaosEventSpec, ChaosSpec
+
+    spec = _tiny_spec(chaos=ChaosSpec(events=(
+        ChaosEventSpec(at_s=0.1, action="kill", target="receiver:5"),
+    )))
+    with pytest.raises(SpecError, match="only 1 node"):
+        EMLIO.deploy(spec)

@@ -166,3 +166,32 @@ def test_close_flushes_pending_messages():
     got = sorted(int(pull.recv(timeout=5)) for _ in range(20))
     assert got == list(range(20))
     pull.close()
+
+
+def test_close_flushes_credit_starved_writer():
+    """Regression: with a small HWM the stream queue empties while the
+    writer still holds popped-but-unsent messages hostage to outstanding
+    credits; close() must wait for those too, not just empty queues —
+    otherwise the tail of an epoch is silently dropped (surfaced as a
+    receiver stall over narrow shaped links)."""
+    pull = PullSocket(hwm=1)
+    push = PushSocket([pull.address], hwm=1)
+    done = threading.Event()
+
+    def send_and_close():
+        for i in range(6):
+            push.send(f"{i}".encode())
+        push.close(timeout=10.0)  # returns only once everything is on the wire
+        done.set()
+
+    t = threading.Thread(target=send_and_close, daemon=True)
+    t.start()
+    # Drain slowly: each recv returns one credit, releasing the next send.
+    got = []
+    for _ in range(6):
+        time.sleep(0.05)
+        got.append(int(pull.recv(timeout=5)))
+    t.join(timeout=10.0)
+    assert done.is_set()
+    assert sorted(got) == list(range(6))
+    pull.close()

@@ -180,3 +180,36 @@ def test_cluster_cli_watch_observes_live_publishers(capsys):
     members = {m["member_id"]: m for m in snap["members"]}
     assert members["daemon:demo"]["status"] == "alive"
     assert members["daemon:demo"]["progress"] == 17
+
+
+def test_cluster_cli_renders_rates_queue_depth_and_rebalance(tmp_path, capsys):
+    """The watch/snapshot tables show progress *rates* and queue depth
+    (not just raw counters), and the snapshot reports the last rebalance."""
+    import json
+
+    from repro.tools.cluster import _render_members, _render_snapshot
+
+    member = {
+        "member_id": "receiver:0", "role": "receiver", "status": "alive",
+        "state": "serving", "progress": 120, "rate": 12.34, "queue_depth": 3,
+        "beats": 40, "last_seen": 1.0, "incarnation": 0,
+    }
+    _render_members([member])
+    out = capsys.readouterr().out
+    assert "RATE/S" in out and "QDEPTH" in out
+    assert "12.3" in out and " 3 " in out.replace("\n", " ")
+
+    snap = {
+        "membership": {"members": [member]},
+        "num_nodes": 3, "dead_nodes": [], "endpoints": {},
+        "ownership": {}, "failovers": 0, "receiver_failovers": 0,
+        "reassigned_batches": 4, "rebalances": 1,
+        "last_rebalance": {"kind": "receiver_join", "epoch": 0,
+                           "node": 2, "moved": 4},
+    }
+    _render_snapshot(snap)
+    out = capsys.readouterr().out
+    assert "rebalances: 1" in out
+    assert "4 batches -> joined node 2" in out
+    # JSON snapshots round-trip the new fields untouched.
+    assert json.loads(json.dumps(snap))["last_rebalance"]["moved"] == 4
