@@ -10,11 +10,18 @@ through the declarative API from the shared ``bench-loopback`` preset.
 Besides the printed table, the run emits a machine-readable
 ``BENCH_e2e_loopback.json`` (throughput, epoch wall time, failover count)
 into ``$BENCH_JSON_DIR`` (default: the working directory), so the perf
-trajectory of the live path is trackable across commits.
+trajectory of the live path is trackable across commits — per-PR snapshots
+live in ``benchmarks/results/``.
+
+Smoke mode: running this file as a script (``python
+benchmarks/bench_e2e_loopback.py``) does one comparison round without
+pytest-benchmark and emits the same JSON — the CI perf-trajectory gate
+(validated by :mod:`repro.tools.benchcheck`).
 """
 
 import json
 import os
+import time
 from pathlib import Path
 
 from conftest import run_once, show
@@ -30,6 +37,7 @@ RTT_S = 0.008  # 8 ms emulated
 
 def _emit_json(result: dict) -> Path:
     out = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "BENCH_e2e_loopback.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "bench": "e2e_loopback",
         "rtt_ms": RTT_S * 1e3,
@@ -49,39 +57,41 @@ def _emit_json(result: dict) -> Path:
     return out
 
 
-def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_bench_spec):
+def _run_comparison(dataset, spec) -> dict:
+    """One epoch of PyTorch-style loading vs EMLIO over the emulated link."""
     profile = NetworkProfile("bench-8ms", rtt_s=RTT_S)
 
-    def run_both():
-        import time
+    # Baseline: per-sample reads over the NFS-like mount.
+    srv = StorageServer(str(dataset.root), profile=profile)
+    mount = NFSMount("127.0.0.1", srv.port, profile=profile, pool_size=4)
+    loader = PyTorchStyleLoader(
+        dataset, mount, batch_size=8, num_workers=4, output_hw=(16, 16)
+    )
+    t0 = time.monotonic()
+    pt_samples = sum(len(l) for _t, l in loader.epoch())
+    pt_s = time.monotonic() - t0
+    mount.close()
+    srv.close()
 
-        # Baseline: per-sample reads over the NFS-like mount.
-        srv = StorageServer(str(small_imagenet_ds.root), profile=profile)
-        mount = NFSMount("127.0.0.1", srv.port, profile=profile, pool_size=4)
-        loader = PyTorchStyleLoader(
-            small_imagenet_ds, mount, batch_size=8, num_workers=4, output_hw=(16, 16)
-        )
+    # EMLIO over the same emulated link, deployed from the spec.
+    with EMLIO.deploy(spec, dataset=dataset) as dep:
         t0 = time.monotonic()
-        pt_samples = sum(len(l) for _t, l in loader.epoch())
-        pt_s = time.monotonic() - t0
-        mount.close()
-        srv.close()
+        em_samples = sum(len(l) for _t, l in dep.epoch(0))
+        em_s = time.monotonic() - t0
+        stats = dep.stats()
+    return {
+        "pytorch_s": pt_s,
+        "emlio_s": em_s,
+        "pt_n": pt_samples,
+        "em_n": em_samples,
+        "failovers": stats["failovers"] + stats["receiver_failovers"],
+    }
 
-        # EMLIO over the same emulated link, deployed from the spec.
-        with EMLIO.deploy(loopback_bench_spec, dataset=small_imagenet_ds) as dep:
-            t0 = time.monotonic()
-            em_samples = sum(len(l) for _t, l in dep.epoch(0))
-            em_s = time.monotonic() - t0
-            stats = dep.stats()
-        return {
-            "pytorch_s": pt_s,
-            "emlio_s": em_s,
-            "pt_n": pt_samples,
-            "em_n": em_samples,
-            "failovers": stats["failovers"] + stats["receiver_failovers"],
-        }
 
-    result = run_once(benchmark, run_both)
+def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_bench_spec):
+    result = run_once(
+        benchmark, lambda: _run_comparison(small_imagenet_ds, loopback_bench_spec)
+    )
     show(
         "Live loopback E2E (8 ms RTT, 96 samples)",
         [
@@ -94,3 +104,38 @@ def test_e2e_emlio_vs_pytorch_at_rtt(benchmark, small_imagenet_ds, loopback_benc
     assert result["pt_n"] == result["em_n"] == 96
     # PyTorch pays >= ~RTT per sample / workers; EMLIO streams ahead.
     assert result["pytorch_s"] > result["emlio_s"]
+
+
+def main() -> int:
+    """Smoke mode: one comparison round, no pytest-benchmark required."""
+    import tempfile
+
+    from repro.api import preset
+    from repro.data.datasets import build_dataset
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dataset = build_dataset(
+            "imagenet", 96, Path(tmp) / "ds", seed=1, records_per_shard=16,
+            image_hw=(32, 32),
+        )
+        result = _run_comparison(dataset, preset("bench-loopback"))
+    show(
+        "Live loopback E2E smoke (8 ms RTT, 96 samples)",
+        [
+            {"loader": "pytorch", "epoch_s": round(result["pytorch_s"], 2)},
+            {"loader": "emlio", "epoch_s": round(result["emlio_s"], 2)},
+        ],
+    )
+    out = _emit_json(result)
+    print(f"wrote {out}")
+    if result["pt_n"] != 96 or result["em_n"] != 96:
+        print(f"FAIL: expected 96 samples on both sides, got {result}")
+        return 1
+    if result["emlio_s"] >= result["pytorch_s"]:
+        print("FAIL: EMLIO should beat the per-sample baseline at 8 ms RTT")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,18 +117,25 @@ def _rle_encode(flat: np.ndarray) -> np.ndarray:
 
 
 def _rle_decode(tokens: np.ndarray, n: int) -> np.ndarray:
+    """Expand (run, value) pairs into a dense array, vectorized.
+
+    Nonzero positions are a cumsum-scatter: after the first i pairs the
+    write cursor sits at ``sum(runs[:i]) + i`` (each value advances it by
+    one).  The first zero value terminates the stream.
+    """
     flat = np.zeros(n, dtype=np.int64)
-    pos = 0
     runs = tokens[0::2]
     values = tokens[1::2]
-    for run, value in zip(runs.tolist(), values.tolist()):
-        pos += run
-        if value == 0:  # terminator
-            break
-        if pos >= n:
+    pairs = min(len(runs), len(values))
+    runs = runs[:pairs]
+    values = values[:pairs]
+    zeros = np.flatnonzero(values == 0)
+    k = int(zeros[0]) if len(zeros) else pairs  # pairs before the terminator
+    if k:
+        positions = np.cumsum(runs[:k]) + np.arange(k)
+        if int(positions.max()) >= n or int(positions.min()) < 0:
             raise ValueError("RLE stream overruns coefficient array")
-        flat[pos] = value
-        pos += 1
+        flat[positions] = values[:k]
     return flat
 
 
@@ -148,25 +155,39 @@ def _varint_pack(tokens: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def _varint_unpack(data: bytes, count: int) -> np.ndarray:
-    tokens = np.empty(count, dtype=np.int64)
-    pos = 0
-    for i in range(count):
-        shift = 0
-        u = 0
-        while True:
-            if pos >= len(data):
-                raise ValueError("truncated varint stream")
-            byte = data[pos]
-            pos += 1
-            u |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                break
-            shift += 7
-        tokens[i] = (u >> 1) ^ -(u & 1)
-    if pos != len(data):
-        raise ValueError(f"{len(data) - pos} trailing bytes in varint stream")
-    return tokens
+def _varint_unpack(data: bytes | memoryview, count: int) -> np.ndarray:
+    """Unpack ``count`` LEB128 zigzag varints, vectorized.
+
+    Terminal bytes (continuation bit clear) mark token boundaries, so one
+    ``flatnonzero`` finds every token at once; payload bytes then
+    accumulate per 7-bit position (at most 10 for a 64-bit value).
+    """
+    arr = np.frombuffer(data, dtype=np.uint8)
+    if count == 0:
+        if arr.size:
+            raise ValueError(f"{arr.size} trailing bytes in varint stream")
+        return np.empty(0, dtype=np.int64)
+    ends = np.flatnonzero((arr & 0x80) == 0)
+    if len(ends) < count:
+        raise ValueError("truncated varint stream")
+    last = int(ends[count - 1])
+    if last + 1 != arr.size:
+        raise ValueError(f"{arr.size - last - 1} trailing bytes in varint stream")
+    ends = ends[:count]
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lens = ends - starts + 1
+    maxlen = int(lens.max())
+    if maxlen > 10:  # a 64-bit zigzag value is at most 10 LEB128 bytes
+        raise ValueError("varint exceeds 64 bits")
+    u = np.zeros(count, dtype=np.uint64)
+    payload = (arr & 0x7F).astype(np.uint64)
+    for j in range(maxlen):
+        mask = lens > j
+        u[mask] |= payload[starts[mask] + j] << np.uint64(7 * j)
+    # Zigzag decode: (u >> 1) ^ -(u & 1), in int64 space.
+    return (u >> np.uint64(1)).astype(np.int64) ^ -((u & np.uint64(1)).astype(np.int64))
 
 
 # -- public API ----------------------------------------------------------------

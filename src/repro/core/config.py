@@ -47,6 +47,10 @@ class EMLIOConfig:
         0 (default) passes batches through in arrival order;
         :data:`AUTO_REORDER` (-1) derives the window from
         ``streams_per_node × hwm`` (see :attr:`effective_reorder_window`).
+    verify_reads:
+        Verify TFRecord CRCs on the daemon's serve path (default on — a
+        corrupted shard must surface at read time, not as garbage tensors).
+        Off trades that check for read throughput on trusted storage.
     """
 
     batch_size: int = 32
@@ -59,6 +63,7 @@ class EMLIOConfig:
     coverage: str = "partition"
     seed: int = 0
     reorder_window: int = 0
+    verify_reads: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

@@ -41,7 +41,7 @@ from repro.core.recovery import DaemonKilled, EpochServeError, NodeUnreachable
 from repro.energy.power_models import BusyWindowTracker
 from repro.net.emulation import NetworkProfile
 from repro.net.mq import PushSocket, ReconnectPolicy
-from repro.serialize.payload import BatchPayload, encode_batch
+from repro.serialize.payload import BatchPayload, encode_batch_parts
 from repro.tfrecord.reader import TFRecordReader
 from repro.tfrecord.sharder import unpack_example
 from repro.util.clock import MonotonicClock
@@ -237,7 +237,9 @@ class EMLIODaemon:
         with self._readers_lock:
             reader = self._readers.get(shard_path)
             if reader is None:
-                reader = TFRecordReader(self.dataset_root / shard_path)
+                reader = TFRecordReader(
+                    self.dataset_root / shard_path, verify=self.config.verify_reads
+                )
                 self._readers[shard_path] = reader
             return reader
 
@@ -282,7 +284,7 @@ class EMLIODaemon:
             batches = [a for a in batches if a.shard in self.shard_filter]
         return batches
 
-    def _push(self, payload: bytes, push: PushSocket, node_id: int) -> bool:
+    def _push(self, parts: list, push: PushSocket, node_id: int) -> bool:
         """HWM-backpressured send that stays killable while blocked.
 
         Returns False when the target node was dropped mid-wait (its batch
@@ -292,7 +294,7 @@ class EMLIODaemon:
         """
         while True:
             try:
-                if push.try_send(payload):
+                if push.try_send_parts(parts):
                     return True
             except ConnectionError as err:
                 if self._is_dropped(node_id):
@@ -332,12 +334,16 @@ class EMLIODaemon:
                 self.fault_injector(a, push)
             t0 = self._clock.now()
             reader = self._reader(a.shard_path)
-            records = reader.read_range(a.offset, a.count)
+            # Zero-copy serve path: record views over the mmap'ed shard,
+            # samples as sub-views of those records, scatter-gather encode.
+            # The views stay valid until close() — readers are cached for
+            # the daemon's lifetime — so the transport may replay them.
+            records = reader.read_range_views(a.offset, a.count)
             t1 = self._clock.now()
             samples = []
             labels = []
             for record in records:
-                sample, label = unpack_example(record)
+                sample, label = unpack_example(record, zero_copy=True)
                 samples.append(sample)
                 labels.append(label)
             if tuple(labels) != a.labels:
@@ -345,7 +351,7 @@ class EMLIODaemon:
                     f"shard {a.shard} labels diverge from plan at batch "
                     f"(epoch={a.epoch}, node={a.node_id}, index={a.batch_index})"
                 )
-            payload = encode_batch(
+            parts = encode_batch_parts(
                 BatchPayload(
                     epoch=a.epoch,
                     batch_index=a.batch_index,
@@ -356,22 +362,23 @@ class EMLIODaemon:
                     seq=a.batch_index,
                 )
             )
+            nbytes = sum(len(p) for p in parts)
             t2 = self._clock.now()
             # HWM backpressure applies here; False = node dropped mid-wait.
-            if not self._push(payload, push, a.node_id):
+            if not self._push(parts, push, a.node_id):
                 continue
             if self.cpu_tracker is not None:
                 self.cpu_tracker.add_busy(t2 - t0)
             self.stats.record(
                 samples=len(samples),
                 bytes_read=a.nbytes,
-                bytes_sent=len(payload),
+                bytes_sent=nbytes,
                 read_s=t1 - t0,
                 ser_s=t2 - t1,
             )
             self.logger.log(
                 "batch_send", epoch=a.epoch, node=a.node_id, index=a.batch_index,
-                nbytes=len(payload),
+                nbytes=nbytes,
             )
 
     def serve_epoch(

@@ -27,6 +27,7 @@ import threading
 from typing import Callable, Iterable
 
 from repro.gpu.pipeline import EndOfData
+from repro.net.buffers import release_samples
 from repro.serialize.payload import BatchPayload
 
 #: Queue sentinel abort() injects to unblock a provider waiting on payloads.
@@ -177,12 +178,14 @@ class BatchProvider:
                         f"(seq {payload.seq})"
                     )
                 self.stale += 1
+                release_samples(payload.samples)  # dropped: return its buffer
                 continue
             key = (payload.epoch, payload.seq)
             if key in self.seen:
                 if not self.dedup:
                     raise RuntimeError(f"duplicate batch delivery: epoch/index {key}")
                 self.duplicates += 1
+                release_samples(payload.samples)  # dropped: return its buffer
                 continue
             self.seen.add(key)
             heapq.heappush(self._window, (payload.seq, self._pushes, payload))

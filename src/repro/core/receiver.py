@@ -90,8 +90,11 @@ class EMLIOReceiver:
         # None inherits the config; AUTO (here or in the config) derives
         # the window from the transport shape instead of manual tuning.
         self.reorder_window = config.resolve_reorder_window(reorder_window)
-        # Line 1: bind the PULL socket.
-        self.pull = PullSocket(host=host, port=port, hwm=config.hwm, profile=profile)
+        # Line 1: bind the PULL socket — pooled mode, so each frame lands
+        # in a reused receive buffer and decodes to views (zero-copy path).
+        self.pull = PullSocket(
+            host=host, port=port, hwm=config.hwm, profile=profile, pooled=True
+        )
         self._payload_q: queue.Queue = queue.Queue()
         # Future-epoch payloads parked by one epoch's provider for the next
         # (daemons may pipeline epoch e+1 while epoch e still drains).
@@ -217,7 +220,7 @@ class EMLIOReceiver:
     def _zmq_receiver(self) -> None:
         while not self._stop.is_set():
             try:
-                raw = self.pull.recv(timeout=0.2)
+                frame = self.pull.recv_frame(timeout=0.2)
             except queue.Empty:
                 # Starved *and* nothing backed up for the pipeline: the
                 # node is healthy-but-waiting, so liveness progress ticks.
@@ -225,8 +228,13 @@ class EMLIOReceiver:
                 if self._payload_q.empty():
                     self.ticks += 1
                 continue
-            payload = decode_batch(raw)
+            # Samples decode as views over the pooled frame buffer; the
+            # lease travels with them (LeasedSamples) and is released by
+            # the final consumer — pipeline after preprocess, or provider
+            # on dedup/stale drop.
+            payload = decode_batch(frame.data, zero_copy=True, release=frame.release)
             if payload.node_id != self.node_id:
+                frame.release()
                 raise RuntimeError(
                     f"node {self.node_id} received a batch planned for node {payload.node_id}"
                 )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.ops import batch_megapixels, preprocess_batch
+from repro.net.buffers import release_samples
 from repro.util.clock import MonotonicClock
 
 
@@ -147,6 +148,9 @@ class Pipeline:
         tensors = self.gpu.submit(
             lambda: self.preprocess_fn(samples, self.output_hw, self._rng), modeled
         )
+        # Tensors are materialized — the encoded sample views are dead, so
+        # hand the receive buffer back to its pool (no-op for plain lists).
+        release_samples(samples)
         self.stats.record_batch(len(samples), self._clock.now() - start)
         return tensors, np.asarray(labels, dtype=np.int64)
 

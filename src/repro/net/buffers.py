@@ -1,0 +1,148 @@
+"""Receive-side buffer pooling for the zero-copy hot path.
+
+The daemon→receiver byte path hands ownership of one reusable receive
+buffer down the stack instead of materializing ``bytes`` at every layer:
+
+1. :meth:`~repro.net.mq.PullSocket` (in pooled mode) acquires a
+   :class:`PooledBuffer`, fills it with :func:`~repro.net.framing.
+   recv_frame_into`, and surfaces the frame as a :class:`PooledFrame`;
+2. the receiver decodes the payload *in place* (``unpackb(...,
+   zero_copy=True)``) so sample fields are memoryviews over the pooled
+   buffer;
+3. the consumer — normally the preprocessing pipeline — calls
+   ``release()`` once the views are dead, returning the buffer for reuse.
+
+Ownership rules (see README "Zero-copy hot path"):
+
+* whoever holds a view derived from a pooled buffer is responsible for
+  (transitively) releasing it exactly once, *after* the last view use;
+* release is idempotent — double release is a no-op, not corruption;
+* the pool never blocks: an empty pool allocates, an over-full pool drops
+  the returned buffer for the GC.  A leaked lease therefore costs reuse
+  (an allocation next time), never correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+__all__ = ["BufferPool", "PooledBuffer", "PooledFrame", "LeasedSamples", "release_samples"]
+
+
+class PooledBuffer:
+    """One reusable receive buffer (a growable ``bytearray`` + lease)."""
+
+    __slots__ = ("data", "_pool", "_released")
+
+    def __init__(self, data: bytearray, pool: "BufferPool | None") -> None:
+        self.data = data
+        self._pool = pool
+        self._released = False
+
+    def release(self) -> None:
+        """Return the buffer to its pool (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        if self._pool is not None:
+            self._pool._put(self.data)
+
+    @property
+    def released(self) -> bool:
+        """Whether the lease was already returned."""
+        return self._released
+
+
+class PooledFrame:
+    """One received message plus the lease on the buffer it aliases.
+
+    ``data`` is the payload — a ``memoryview`` over a pooled buffer when
+    the socket runs in pooled mode, plain ``bytes`` otherwise (``release``
+    is then a no-op).  Decode first, release after the last view use.
+    """
+
+    __slots__ = ("data", "_buf")
+
+    def __init__(self, data, buf: "PooledBuffer | None" = None) -> None:
+        self.data = data
+        self._buf = buf
+
+    def release(self) -> None:
+        """Return the underlying receive buffer to its pool (idempotent)."""
+        buf, self._buf = self._buf, None
+        if buf is not None:
+            buf.release()
+
+
+class BufferPool:
+    """Non-blocking free list of receive buffers.
+
+    ``acquire`` pops a free buffer or allocates a fresh one (never blocks,
+    never fails); buffers grow on demand inside ``recv_frame_into`` and
+    keep their capacity across reuses, so steady state converges to zero
+    allocations once the largest frame size has been seen.
+    """
+
+    def __init__(self, max_buffers: int = 64, initial_size: int = 64 * 1024) -> None:
+        if max_buffers < 1:
+            raise ValueError(f"max_buffers must be >= 1, got {max_buffers}")
+        if initial_size < 0:
+            raise ValueError(f"initial_size must be >= 0, got {initial_size}")
+        self.max_buffers = max_buffers
+        self.initial_size = initial_size
+        self._free: list[bytearray] = []
+        self._lock = threading.Lock()
+        self.hits = 0  # acquires served from the free list
+        self.misses = 0  # acquires that had to allocate
+
+    def acquire(self) -> PooledBuffer:
+        """Lease a buffer (pool hit) or allocate one (pool miss)."""
+        with self._lock:
+            if self._free:
+                self.hits += 1
+                return PooledBuffer(self._free.pop(), self)
+            self.misses += 1
+        return PooledBuffer(bytearray(self.initial_size), self)
+
+    def _put(self, data: bytearray) -> None:
+        with self._lock:
+            if len(self._free) < self.max_buffers:
+                self._free.append(data)
+            # else: drop for GC — the pool is a cache, not an obligation
+
+    @property
+    def free(self) -> int:
+        """Buffers currently available for reuse."""
+        with self._lock:
+            return len(self._free)
+
+
+class LeasedSamples(list):
+    """A batch's sample list that carries its receive-buffer lease.
+
+    Behaves exactly like ``list`` (the external-source contract) but adds
+    ``release()`` so the final consumer — the pipeline, after preprocess —
+    can return the underlying pooled buffer the sample memoryviews alias.
+    Plain lists flow through the same code paths untouched: every release
+    site is ``getattr(samples, "release", None)``-guarded.
+    """
+
+    __slots__ = ("_release",)
+
+    def __init__(self, samples, release: Callable[[], None] | None = None) -> None:
+        super().__init__(samples)
+        self._release = release
+
+    def release(self) -> None:
+        """Release the underlying receive buffer (idempotent)."""
+        release, self._release = self._release, None
+        if release is not None:
+            release()
+
+
+def release_samples(samples) -> None:
+    """Release ``samples``' buffer lease if it carries one (else no-op)."""
+    release = getattr(samples, "release", None)
+    if release is not None:
+        release()

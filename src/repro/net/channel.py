@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.net.emulation import DelayPipe, LinkShaper, NetworkProfile
-from repro.net.framing import recv_frame, send_frame
+from repro.net.framing import recv_frame, recv_frame_into, send_frame, send_frame_parts
 
 
 class Channel:
@@ -34,6 +34,7 @@ class Channel:
         self._sock = sock
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self._acct_lock = threading.Lock()  # guards the byte counters
         self._closed = False
         self.profile = profile
         self.bytes_sent = 0
@@ -49,25 +50,46 @@ class Channel:
         with self._send_lock:
             send_frame(self._sock, payload)
 
-    def send(self, payload: bytes | memoryview) -> None:
+    def send(self, payload: bytes | bytearray | memoryview) -> None:
         """Send one frame (returns as soon as the frame is queued/written)."""
+        self.send_parts((payload,))
+
+    def send_parts(self, parts: Sequence[bytes | bytearray | memoryview]) -> None:
+        """Send one frame assembled from scatter-gather ``parts``.
+
+        On the unshaped path the segments go straight to ``sendmsg`` —
+        memoryviews over a daemon's mmap'ed shard are never copied.  The
+        shaped path must copy once: :class:`DelayPipe` delivers
+        asynchronously, after the caller may have moved on.
+        """
         if self._closed:
             raise ConnectionError("send() on closed channel")
-        data = bytes(payload)
-        self.bytes_sent += len(data)
+        n = sum(len(p) for p in parts)
+        with self._acct_lock:
+            self.bytes_sent += n
         if self._pipe is not None:
             assert self._shaper is not None
-            self._pipe.submit(data, self._shaper.delay_for(len(data) + 4))
+            data = parts[0] if len(parts) == 1 else b"".join(parts)
+            self._pipe.submit(bytes(data), self._shaper.delay_for(n + 4))
         else:
             with self._send_lock:
-                send_frame(self._sock, data)
+                send_frame_parts(self._sock, parts)
 
     def recv(self) -> bytes:
         """Receive one frame (blocking)."""
         with self._recv_lock:
             data = recv_frame(self._sock)
-        self.bytes_received += len(data)
+        with self._acct_lock:
+            self.bytes_received += len(data)
         return data
+
+    def recv_into(self, buf: bytearray) -> memoryview:
+        """Receive one frame into ``buf`` (pooled mode); returns the payload view."""
+        with self._recv_lock:
+            view = recv_frame_into(self._sock, buf)
+        with self._acct_lock:
+            self.bytes_received += len(view)
+        return view
 
     def close(self) -> None:
         """Release resources."""

@@ -33,8 +33,9 @@ import queue
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
+from repro.net.buffers import BufferPool, PooledFrame
 from repro.net.channel import Channel, Listener, connect_channel
 from repro.net.emulation import NetworkProfile
 from repro.net.framing import ConnectionClosed
@@ -80,7 +81,10 @@ class _PushStream:
         self.credits = threading.Semaphore(hwm)
         # Sent but not yet credited, oldest first.  Credits arrive in send
         # order (FIFO per TCP stream), so a credit always retires the head.
-        self.inflight: collections.deque[bytes] = collections.deque()
+        # Items are tuples of buffer-likes (scatter-gather segments); the
+        # sender must keep segment backing memory valid until credited,
+        # since a reconnect replays straight from this deque.
+        self.inflight: collections.deque[tuple] = collections.deque()
         # Messages accepted for this stream but not yet on the wire (in
         # the queue, or popped by the writer and awaiting a credit).
         # Guarded by ``lock``; incremented *before* the queue put and
@@ -179,13 +183,13 @@ class PushSocket:
                 stream.inflight.append(item)
                 stream.unflushed -= 1
             try:
-                stream.chan.send(_DATA + item)
+                stream.chan.send_parts((_DATA,) + item)
             except (ConnectionError, OSError):
                 if not self._resurrect(stream):
                     self._abandon(stream)
                     return
 
-    def _abandon(self, stream: _PushStream, carry: bytes | None = None) -> None:
+    def _abandon(self, stream: _PushStream, carry: tuple | None = None) -> None:
         """Declare a stream dead and move its backlog to surviving streams.
 
         Backlog = the carried item (if any), queued-but-unsent messages, and
@@ -212,7 +216,7 @@ class PushSocket:
         for item in pending:
             self._redistribute(item)
 
-    def _redistribute(self, item: bytes) -> None:
+    def _redistribute(self, item: tuple) -> None:
         """Re-queue one rescued message onto the least-loaded live stream."""
         with self._lock:
             streams = [s for s in self._streams if not s.dead]
@@ -240,8 +244,13 @@ class PushSocket:
                 with stream.lock:
                     if stream.generation != gen:
                         return  # stale reader of a replaced connection
-                    if stream.inflight:
-                        stream.inflight.popleft()
+                    if not stream.inflight:
+                        # Spurious or duplicate credit (e.g. from a replay
+                        # the receiver double-acked).  Releasing anyway
+                        # would grow the semaphore past hwm and void the
+                        # end-to-end backpressure bound.
+                        continue
+                    stream.inflight.popleft()
                     stream.credits.release()
 
     def _resurrect(self, stream: _PushStream) -> bool:
@@ -289,7 +298,7 @@ class PushSocket:
                     if self._stop_event.is_set():
                         return False
                 try:
-                    chan.send(_DATA + item)
+                    chan.send_parts((_DATA,) + item)
                 except (ConnectionError, OSError):
                     replayed = False
                     break
@@ -304,10 +313,20 @@ class PushSocket:
             raise ConnectionError("every PUSH stream is dead (reconnects exhausted)")
         return alive
 
-    def send(self, payload: bytes) -> None:
+    def send(self, payload: bytes | bytearray | memoryview) -> None:
         """Queue one message; blocks while every live stream is at its HWM."""
+        self.send_parts((payload,))
+
+    def send_parts(self, parts: Sequence[bytes | bytearray | memoryview]) -> None:
+        """Queue one message given as scatter-gather segments (zero-copy).
+
+        Segments are referenced, not copied: their backing memory must stay
+        valid and unmutated until the message is credited by the receiver
+        (a reconnect replays the same segments).
+        """
         if self._closed:
             raise RuntimeError("send() on closed PushSocket")
+        item = tuple(parts)
         with self._lock:
             streams = self._alive_streams()
             sizes = [s.queue.qsize() for s in streams]
@@ -316,26 +335,31 @@ class PushSocket:
             chosen = streams[best]
         with chosen.lock:
             chosen.unflushed += 1
-        chosen.queue.put(payload)
+        chosen.queue.put(item)
         if chosen.dead:
             # Died between selection and put: rescue what we just queued.
             self._abandon(chosen)
 
-    def try_send(self, payload: bytes) -> bool:
+    def try_send(self, payload: bytes | bytearray | memoryview) -> bool:
         """Non-blocking send; False when every live stream queue is at HWM.
 
         Raises ``ConnectionError`` when no live stream remains, so callers
         polling in a retry loop fail instead of spinning forever.
         """
+        return self.try_send_parts((payload,))
+
+    def try_send_parts(self, parts: Sequence[bytes | bytearray | memoryview]) -> bool:
+        """Non-blocking :meth:`send_parts`; same lifetime contract."""
         if self._closed:
             raise RuntimeError("try_send() on closed PushSocket")
+        item = tuple(parts)
         with self._lock:
             streams = sorted(self._alive_streams(), key=lambda s: s.queue.qsize())
         for s in streams:
             with s.lock:
                 s.unflushed += 1
             try:
-                s.queue.put_nowait(payload)
+                s.queue.put_nowait(item)
             except queue.Full:
                 with s.lock:
                     s.unflushed -= 1
@@ -356,8 +380,18 @@ class PushSocket:
 
     @property
     def bytes_sent(self) -> int:
-        """Total payload bytes sent (across reconnects)."""
-        return sum(s.chan.bytes_sent + s.retired_bytes for s in self._streams)
+        """Total payload bytes sent (across reconnects).
+
+        Each stream is read under its lock: ``_resurrect`` folds the dying
+        channel's count into ``retired_bytes`` and swaps ``chan`` as one
+        critical section, so an unlocked reader could see the old channel
+        counted twice (once live, once retired).
+        """
+        total = 0
+        for s in self._streams:
+            with s.lock:
+                total += s.chan.bytes_sent + s.retired_bytes
+        return total
 
     def close(self, timeout: float = 30.0) -> None:
         """Flush queued messages (bounded by ``timeout``), then close streams.
@@ -384,6 +418,10 @@ class PushSocket:
             t.join(timeout=5.0)
         for s in self._streams:
             s.chan.close()
+            # Drop references to un-credited segments: senders pin their
+            # backing memory (e.g. mmap views) only until the socket closes.
+            with s.lock:
+                s.inflight.clear()
 
 
 class PullSocket:
@@ -391,6 +429,13 @@ class PullSocket:
 
     ``recv`` returns the next message and grants a credit back to the stream
     it arrived on, opening room for the next in-flight message.
+
+    With ``pooled=True`` each frame lands in a buffer leased from a
+    :class:`~repro.net.buffers.BufferPool` and :meth:`recv_frame` surfaces
+    it as a :class:`~repro.net.buffers.PooledFrame` — a memoryview payload
+    plus the lease, which the consumer releases after decode (the zero-copy
+    receive path).  ``recv``/``try_recv`` still work in pooled mode; they
+    copy to ``bytes`` and release internally.
     """
 
     def __init__(
@@ -399,10 +444,13 @@ class PullSocket:
         port: int = 0,
         hwm: int = 16,
         profile: NetworkProfile | None = None,
+        pooled: bool = False,
+        pool: BufferPool | None = None,
     ) -> None:
         if hwm < 1:
             raise ValueError(f"hwm must be >= 1, got {hwm}")
         self.hwm = hwm
+        self.pool = pool if pool is not None else (BufferPool() if pooled else None)
         self._listener = Listener(host=host, port=port, profile=profile)
         # In-flight is bounded by per-stream sender credits, so the shared
         # queue needs no own bound.
@@ -410,6 +458,9 @@ class PullSocket:
         self._channels: list[Channel] = []
         self._closed = False
         self._reader_lock = threading.Lock()
+        # bytes_received of pruned (disconnected) channels — reconnect-heavy
+        # runs must not grow _channels without bound just for accounting.
+        self._retired_bytes = 0
         self._listener.serve_forever(self._on_connect)
 
     @property
@@ -428,13 +479,45 @@ class PullSocket:
                 chan.close()
                 return
             self._channels.append(chan)
+        try:
+            if self.pool is not None:
+                self._read_loop_pooled(chan)
+            else:
+                self._read_loop(chan)
+        finally:
+            # Prune the dead channel, folding its count into the retired
+            # total so bytes_received stays exact without keeping corpses.
+            with self._reader_lock:
+                try:
+                    self._channels.remove(chan)
+                except ValueError:
+                    pass  # close() raced us and already dropped the list
+                else:
+                    self._retired_bytes += chan.bytes_received
+
+    def _read_loop(self, chan: Channel) -> None:
         while True:
             try:
                 frame = chan.recv()
             except (ConnectionClosed, ConnectionError, OSError):
                 return
             if frame[:1] == _DATA:
-                self._queue.put((chan, frame[1:]))
+                self._queue.put((chan, frame[1:], None))
+
+    def _read_loop_pooled(self, chan: Channel) -> None:
+        while True:
+            buf = self.pool.acquire()
+            try:
+                view = chan.recv_into(buf.data)
+            except (ConnectionClosed, ConnectionError, OSError):
+                buf.release()
+                return
+            if view[:1] == _DATA:
+                # The frame owns the buffer lease until the consumer
+                # releases it; the next frame gets its own buffer.
+                self._queue.put((chan, view[1:], buf))
+            else:
+                buf.release()
 
     def _grant_credit(self, chan: Channel) -> None:
         try:
@@ -444,17 +527,34 @@ class PullSocket:
 
     def recv(self, timeout: float | None = None) -> bytes:
         """Pop the next message from any peer; raises ``queue.Empty`` on timeout."""
-        chan, msg = self._queue.get(timeout=timeout)
+        chan, msg, buf = self._queue.get(timeout=timeout)
         self._grant_credit(chan)
+        if buf is not None:
+            msg = bytes(msg)
+            buf.release()
         return msg
+
+    def recv_frame(self, timeout: float | None = None) -> PooledFrame:
+        """Pop the next message as a :class:`PooledFrame` (zero-copy mode).
+
+        The frame's ``data`` aliases a pooled receive buffer; the caller
+        must ``release()`` it after the last use of any view derived from
+        it.  Raises ``queue.Empty`` on timeout.
+        """
+        chan, msg, buf = self._queue.get(timeout=timeout)
+        self._grant_credit(chan)
+        return PooledFrame(msg, buf)
 
     def try_recv(self) -> bytes | None:
         """Non-blocking recv; ``None`` when no message is ready."""
         try:
-            chan, msg = self._queue.get_nowait()
+            chan, msg, buf = self._queue.get_nowait()
         except queue.Empty:
             return None
         self._grant_credit(chan)
+        if buf is not None:
+            msg = bytes(msg)
+            buf.release()
         return msg
 
     @property
@@ -464,9 +564,15 @@ class PullSocket:
 
     @property
     def bytes_received(self) -> int:
-        """Total payload bytes received."""
+        """Total payload bytes received (pruned connections included)."""
         with self._reader_lock:
-            return sum(c.bytes_received for c in self._channels)
+            return self._retired_bytes + sum(c.bytes_received for c in self._channels)
+
+    @property
+    def num_channels(self) -> int:
+        """Currently-connected peer channels (dead ones are pruned)."""
+        with self._reader_lock:
+            return len(self._channels)
 
     def close(self) -> None:
         """Release resources."""

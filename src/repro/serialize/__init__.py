@@ -7,7 +7,21 @@ The paper streams pre-batched samples as msgpack payloads over TCP (§4.1).
 between the storage-side daemon and the compute-side receiver.
 """
 
-from repro.serialize.msgpack import packb, unpackb
-from repro.serialize.payload import BatchPayload, decode_batch, encode_batch
+from repro.serialize.msgpack import pack_parts, packb, packb_into, unpackb
+from repro.serialize.payload import (
+    BatchPayload,
+    decode_batch,
+    encode_batch,
+    encode_batch_parts,
+)
 
-__all__ = ["packb", "unpackb", "BatchPayload", "encode_batch", "decode_batch"]
+__all__ = [
+    "packb",
+    "packb_into",
+    "pack_parts",
+    "unpackb",
+    "BatchPayload",
+    "encode_batch",
+    "encode_batch_parts",
+    "decode_batch",
+]

@@ -22,6 +22,19 @@ Encoding is single-pass into a ``bytearray``; decoding is zero-copy for
 ``bytes`` payloads via ``memoryview`` slicing until the final ``bytes()``
 materialization.  Big-endian ints/floats are packed with :mod:`struct`, as
 the spec requires.
+
+Zero-copy modes (the daemon→receiver hot path, paper §4.1):
+
+* :func:`pack_parts` encodes to a list of scatter-gather segments — small
+  scalars and headers accumulate in one scratch buffer while every
+  bytes-like payload at or above ``spill_threshold`` is referenced as its
+  own segment, never copied.  ``b"".join(parts)`` is byte-identical to
+  :func:`packb`; the segments feed ``socket.sendmsg`` directly.
+* :func:`packb_into` appends the encoding to a caller-owned ``bytearray``
+  (buffer reuse across calls) and returns the bytes written.
+* ``unpackb(data, zero_copy=True)`` returns ``memoryview`` slices of
+  ``data`` for bin payloads instead of materializing ``bytes`` — the
+  caller owns ``data``'s lifetime (see :mod:`repro.net.buffers`).
 """
 
 from __future__ import annotations
@@ -29,7 +42,12 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-__all__ = ["packb", "unpackb", "UnpackError"]
+__all__ = ["packb", "packb_into", "pack_parts", "unpackb", "UnpackError"]
+
+#: Bytes payloads at or above this size become their own scatter-gather
+#: segment in :func:`pack_parts`; smaller ones are cheaper to copy into the
+#: scratch buffer than to spend an extra iovec on.
+SPILL_THRESHOLD = 512
 
 
 class UnpackError(ValueError):
@@ -49,7 +67,19 @@ _pack_i64 = struct.Struct(">q").pack
 _pack_f64 = struct.Struct(">d").pack
 
 
-def _encode(obj: Any, out: bytearray) -> None:
+def _encode(
+    obj: Any,
+    out: bytearray,
+    spill: list[tuple[int, Any]] | None = None,
+    threshold: int = 0,
+) -> None:
+    """Encode ``obj`` by appending to ``out``.
+
+    With ``spill`` set (the scatter-gather mode), a bytes-like payload of
+    ``threshold`` bytes or more is *not* copied: its bin header goes into
+    ``out`` and ``(len(out), payload)`` is recorded so the caller can
+    splice the payload between scratch-buffer slices.
+    """
     if obj is None:
         out.append(0xC0)
     elif obj is True:
@@ -77,8 +107,7 @@ def _encode(obj: Any, out: bytearray) -> None:
             out += _pack_u32(n)
         out += data
     elif isinstance(obj, (bytes, bytearray, memoryview)):
-        data = bytes(obj) if isinstance(obj, memoryview) else obj
-        n = len(data)
+        n = len(obj)
         if n <= 0xFF:
             out.append(0xC4)
             out += _pack_u8(n)
@@ -88,7 +117,10 @@ def _encode(obj: Any, out: bytearray) -> None:
         else:
             out.append(0xC6)
             out += _pack_u32(n)
-        out += data
+        if spill is not None and n >= threshold:
+            spill.append((len(out), obj))
+        else:
+            out += obj  # bytearray += accepts any buffer, one copy
     elif isinstance(obj, (list, tuple)):
         n = len(obj)
         if n <= 0x0F:
@@ -100,7 +132,7 @@ def _encode(obj: Any, out: bytearray) -> None:
             out.append(0xDD)
             out += _pack_u32(n)
         for item in obj:
-            _encode(item, out)
+            _encode(item, out, spill, threshold)
     elif isinstance(obj, dict):
         n = len(obj)
         if n <= 0x0F:
@@ -112,8 +144,8 @@ def _encode(obj: Any, out: bytearray) -> None:
             out.append(0xDF)
             out += _pack_u32(n)
         for k, v in obj.items():
-            _encode(k, out)
-            _encode(v, out)
+            _encode(k, out, spill, threshold)
+            _encode(v, out, spill, threshold)
     else:
         raise TypeError(f"cannot msgpack-serialize {type(obj).__name__}")
 
@@ -162,6 +194,46 @@ def packb(obj: Any) -> bytes:
     return bytes(out)
 
 
+def packb_into(obj: Any, out: bytearray) -> int:
+    """Serialize ``obj`` by appending to ``out``; returns bytes written.
+
+    The buffer-reuse encode mode: callers clear and reuse one ``bytearray``
+    across batches so steady state allocates nothing.
+    """
+    start = len(out)
+    _encode(obj, out)
+    return len(out) - start
+
+
+def pack_parts(obj: Any, threshold: int = SPILL_THRESHOLD) -> list[memoryview]:
+    """Serialize ``obj`` to scatter-gather segments (the zero-copy encode).
+
+    Bytes-like payloads of ``threshold`` bytes or more are referenced, not
+    copied: they appear as their own segments, interleaved with views over
+    one scratch buffer holding everything else.  ``b"".join(pack_parts(o))
+    == packb(o)`` always holds; the segment list is what
+    :func:`repro.net.framing.send_frame_parts` hands to ``sendmsg``.
+
+    The caller must keep the spilled payloads (and the returned views)
+    alive and unmutated until the segments have been consumed.
+    """
+    out = bytearray()
+    spill: list[tuple[int, Any]] = []
+    _encode(obj, out, spill, threshold)
+    scratch = memoryview(out)
+    parts: list[memoryview] = []
+    prev = 0
+    for upto, payload in spill:
+        if upto > prev:
+            parts.append(scratch[prev:upto])
+        if payload:  # empty bin: header already in scratch, nothing to add
+            parts.append(payload if isinstance(payload, memoryview) else memoryview(payload))
+        prev = upto
+    if prev < len(out) or not parts:
+        parts.append(scratch[prev:])
+    return parts
+
+
 # -- decoding ----------------------------------------------------------------
 
 _unpack_u16 = struct.Struct(">H").unpack_from
@@ -176,12 +248,18 @@ _unpack_f64 = struct.Struct(">d").unpack_from
 
 
 class _Decoder:
-    __slots__ = ("buf", "pos", "n")
+    __slots__ = ("buf", "pos", "n", "zero_copy")
 
-    def __init__(self, data: bytes | bytearray | memoryview) -> None:
+    def __init__(self, data: bytes | bytearray | memoryview, zero_copy: bool = False) -> None:
         self.buf = memoryview(data)
         self.pos = 0
         self.n = len(self.buf)
+        self.zero_copy = zero_copy
+
+    def _bin(self, k: int) -> bytes | memoryview:
+        if self.zero_copy:
+            return self._take(k)
+        return bytes(self._take(k))
 
     def _need(self, k: int) -> None:
         if self.pos + k > self.n:
@@ -238,11 +316,11 @@ class _Decoder:
         if tag == 0xCB:
             return _unpack_f64(self._take(8))[0]
         if tag == 0xC4:
-            return bytes(self._take(self._take(1)[0]))
+            return self._bin(self._take(1)[0])
         if tag == 0xC5:
-            return bytes(self._take(_unpack_u16(self._take(2))[0]))
+            return self._bin(_unpack_u16(self._take(2))[0])
         if tag == 0xC6:
-            return bytes(self._take(_unpack_u32(self._take(4))[0]))
+            return self._bin(_unpack_u32(self._take(4))[0])
         if tag == 0xD9:
             return bytes(self._take(self._take(1)[0])).decode("utf-8")
         if tag == 0xDA:
@@ -279,9 +357,16 @@ class _Decoder:
         return out
 
 
-def unpackb(data: bytes | bytearray | memoryview) -> Any:
-    """Deserialize one MessagePack object; reject trailing garbage."""
-    dec = _Decoder(data)
+def unpackb(data: bytes | bytearray | memoryview, zero_copy: bool = False) -> Any:
+    """Deserialize one MessagePack object; reject trailing garbage.
+
+    With ``zero_copy=True``, bin payloads come back as ``memoryview``
+    slices of ``data`` instead of ``bytes`` copies.  The caller must keep
+    ``data`` alive (and unmutated) for as long as those views are used —
+    on the hot path that lifetime is managed by
+    :class:`repro.net.buffers.PooledBuffer`.
+    """
+    dec = _Decoder(data, zero_copy)
     obj = dec.decode()
     if dec.pos != dec.n:
         raise UnpackError(f"{dec.n - dec.pos} trailing bytes after msgpack object")

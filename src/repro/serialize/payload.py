@@ -9,8 +9,10 @@ of B examples into a single msgpack payload").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.serialize.msgpack import packb, unpackb
+from repro.net.buffers import LeasedSamples
+from repro.serialize.msgpack import SPILL_THRESHOLD, pack_parts, packb, unpackb
 
 _SCHEMA_VERSION = 2
 _COMPATIBLE_VERSIONS = (1, 2)  # v1 payloads predate the seq field
@@ -68,36 +70,65 @@ class BatchPayload:
         return sum(len(s) for s in self.samples)
 
 
+def _schema_dict(payload: BatchPayload) -> dict:
+    return {
+        "v": _SCHEMA_VERSION,
+        "epoch": payload.epoch,
+        "batch_index": payload.batch_index,
+        "shard": payload.shard,
+        "node_id": payload.node_id,
+        "seq": payload.seq,
+        "samples": payload.samples,
+        "labels": payload.labels,
+        "meta": payload.meta,
+    }
+
+
 def encode_batch(payload: BatchPayload) -> bytes:
     """Serialize a :class:`BatchPayload` to msgpack bytes."""
-    return packb(
-        {
-            "v": _SCHEMA_VERSION,
-            "epoch": payload.epoch,
-            "batch_index": payload.batch_index,
-            "shard": payload.shard,
-            "node_id": payload.node_id,
-            "seq": payload.seq,
-            "samples": payload.samples,
-            "labels": payload.labels,
-            "meta": payload.meta,
-        }
-    )
+    return packb(_schema_dict(payload))
 
 
-def decode_batch(data: bytes | memoryview) -> BatchPayload:
-    """Inverse of :func:`encode_batch`; validates the schema version."""
-    obj = unpackb(data)
+def encode_batch_parts(
+    payload: BatchPayload, threshold: int = SPILL_THRESHOLD
+) -> list[memoryview]:
+    """Serialize to scatter-gather segments (the zero-copy encode).
+
+    Sample payloads at or above ``threshold`` bytes — in the daemon these
+    are memoryview slices over the mmap'ed shard — become their own
+    segments instead of being copied into the msgpack body.  The caller
+    must keep them valid until the segments are on the wire *and*
+    credited (the transport replays from the same views on reconnect).
+    """
+    return pack_parts(_schema_dict(payload), threshold)
+
+
+def decode_batch(
+    data: bytes | bytearray | memoryview,
+    zero_copy: bool = False,
+    release: Callable[[], None] | None = None,
+) -> BatchPayload:
+    """Inverse of :func:`encode_batch`; validates the schema version.
+
+    With ``zero_copy=True`` the decoded ``samples`` are memoryviews over
+    ``data`` wrapped in a :class:`~repro.net.buffers.LeasedSamples` that
+    carries ``release`` — the final consumer calls ``samples.release()``
+    once the views are dead, returning ``data``'s pooled buffer.
+    """
+    obj = unpackb(data, zero_copy=zero_copy)
     if not isinstance(obj, dict):
         raise ValueError(f"batch payload must decode to a map, got {type(obj).__name__}")
     version = obj.get("v")
     if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported batch payload version: {version!r}")
+    samples = (
+        LeasedSamples(obj["samples"], release) if zero_copy else list(obj["samples"])
+    )
     return BatchPayload(
         epoch=obj["epoch"],
         batch_index=obj["batch_index"],
         shard=obj["shard"],
-        samples=list(obj["samples"]),
+        samples=samples,
         labels=list(obj["labels"]),
         node_id=obj.get("node_id", 0),
         meta=obj.get("meta", {}),

@@ -26,24 +26,34 @@ class TFRecordCorruption(ValueError):
     """Raised when a record's length or data CRC does not verify."""
 
 
-def _parse_record(buf: memoryview, offset: int, verify: bool) -> tuple[bytes, int]:
-    """Parse one record at ``offset``; return ``(data, next_offset)``."""
+def _parse_record_view(
+    buf: memoryview, offset: int, verify: bool
+) -> tuple[memoryview, int]:
+    """Parse one record at ``offset``; return ``(data_view, next_offset)``.
+
+    The returned view aliases ``buf`` (the mmap'ed shard) — no copy.
+    """
     if offset + HEADER_BYTES > len(buf):
         raise TFRecordCorruption(f"truncated header at offset {offset}")
-    length_bytes = bytes(buf[offset : offset + 8])
-    (length,) = _LEN.unpack(length_bytes)
-    (length_crc,) = _CRC.unpack(bytes(buf[offset + 8 : offset + 12]))
-    if verify and masked_crc32c(length_bytes) != length_crc:
+    (length,) = _LEN.unpack_from(buf, offset)
+    (length_crc,) = _CRC.unpack_from(buf, offset + 8)
+    if verify and masked_crc32c(buf[offset : offset + 8]) != length_crc:
         raise TFRecordCorruption(f"length CRC mismatch at offset {offset}")
     data_start = offset + HEADER_BYTES
     data_end = data_start + length
     if data_end + FOOTER_BYTES > len(buf):
         raise TFRecordCorruption(f"truncated record body at offset {offset}")
-    data = bytes(buf[data_start:data_end])
-    (data_crc,) = _CRC.unpack(bytes(buf[data_end : data_end + 4]))
+    data = buf[data_start:data_end]
+    (data_crc,) = _CRC.unpack_from(buf, data_end)
     if verify and masked_crc32c(data) != data_crc:
         raise TFRecordCorruption(f"data CRC mismatch at offset {offset}")
     return data, data_end + FOOTER_BYTES
+
+
+def _parse_record(buf: memoryview, offset: int, verify: bool) -> tuple[bytes, int]:
+    """Parse one record at ``offset``; return ``(data, next_offset)``."""
+    data, next_offset = _parse_record_view(buf, offset, verify)
+    return bytes(data), next_offset
 
 
 class TFRecordReader:
@@ -82,6 +92,20 @@ class TFRecordReader:
             out.append(data)
         return out
 
+    def read_range_views(self, offset: int, count: int) -> list[memoryview]:
+        """Zero-copy :meth:`read_range`: record views over the mmap'ed shard.
+
+        CRCs are still verified (against the views, no copies).  The views
+        stay valid until :meth:`close`; the daemon keeps readers open for
+        its lifetime, so batches sliced here can go straight to the wire.
+        """
+        out: list[memoryview] = []
+        pos = offset
+        for _ in range(count):
+            data, pos = _parse_record_view(self._view, pos, self.verify)
+            out.append(data)
+        return out
+
     def raw_slice(self, offset: int, nbytes: int) -> memoryview:
         """Zero-copy view of ``nbytes`` of the mapped file (transfer path)."""
         if offset + nbytes > len(self._view):
@@ -100,7 +124,13 @@ class TFRecordReader:
         """Release resources."""
         self._view.release()
         if self._mm is not None:
-            self._mm.close()
+            try:
+                self._mm.close()
+            except BufferError:
+                # Record views from read_range_views are still exported
+                # somewhere (e.g. an uncredited transport replay buffer).
+                # Leave the map for the GC instead of crashing teardown.
+                pass
         self._fh.close()
 
     def __enter__(self) -> "TFRecordReader":

@@ -25,9 +25,16 @@ def pack_example(sample: bytes, label: int) -> bytes:
     return packb({"x": sample, "y": label})
 
 
-def unpack_example(record: bytes) -> tuple[bytes, int]:
-    """Inverse of :func:`pack_example`."""
-    obj = unpackb(record)
+def unpack_example(
+    record: bytes | memoryview, zero_copy: bool = False
+) -> tuple[bytes | memoryview, int]:
+    """Inverse of :func:`pack_example`.
+
+    With ``zero_copy=True`` the sample comes back as a memoryview over
+    ``record`` — on the daemon's serve path that is a slice of the
+    mmap'ed shard, valid until the reader closes.
+    """
+    obj = unpackb(record, zero_copy=zero_copy)
     return obj["x"], obj["y"]
 
 

@@ -1,0 +1,75 @@
+"""Validate ``BENCH_*.json`` perf snapshots (the CI trajectory gate).
+
+Each PR commits its ``BENCH_e2e_loopback.json`` under ``benchmarks/results/``
+and CI re-runs the bench in smoke mode; this tool fails the build when a
+snapshot is missing, unparseable, or structurally wrong — so the tracked
+perf trajectory can't silently rot.
+
+Usage::
+
+    python -m repro.tools.benchcheck PATH [PATH ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Required top-level keys and the nested numeric fields they must carry.
+_REQUIRED_SECTIONS = {
+    "emlio": ("epoch_wall_s", "throughput_samples_per_s"),
+    "pytorch_baseline": ("epoch_wall_s", "throughput_samples_per_s"),
+}
+
+
+def check_snapshot(path: str | Path) -> list[str]:
+    """Return every problem with one snapshot file (empty list = valid)."""
+    path = Path(path)
+    if not path.is_file():
+        return [f"{path}: missing"]
+    try:
+        obj = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: unreadable or malformed JSON ({err})"]
+    problems: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"{path}: top level must be a JSON object, got {type(obj).__name__}"]
+    if not isinstance(obj.get("bench"), str) or not obj.get("bench"):
+        problems.append(f"{path}: missing 'bench' name")
+    if not isinstance(obj.get("samples"), int) or obj.get("samples", 0) <= 0:
+        problems.append(f"{path}: 'samples' must be a positive integer")
+    for section, fields in _REQUIRED_SECTIONS.items():
+        body = obj.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"{path}: missing '{section}' section")
+            continue
+        for field in fields:
+            value = body.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"{path}: '{section}.{field}' must be a positive number, got {value!r}"
+                )
+    speedup = obj.get("speedup_x")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        problems.append(f"{path}: 'speedup_x' must be a positive number, got {speedup!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", help="BENCH_*.json files to validate")
+    args = parser.parse_args(argv)
+    problems: list[str] = []
+    for path in args.paths:
+        problems += check_snapshot(path)
+    for problem in problems:
+        print(f"benchcheck: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"benchcheck: {len(args.paths)} snapshot(s) OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

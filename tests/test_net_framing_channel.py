@@ -1,6 +1,7 @@
 """Tests for framing and channels, including latency emulation."""
 
 import socket
+import sys
 import threading
 import time
 
@@ -8,7 +9,13 @@ import pytest
 
 from repro.net.channel import Channel, Listener, connect_channel
 from repro.net.emulation import NetworkProfile
-from repro.net.framing import ConnectionClosed, recv_frame, send_frame
+from repro.net.framing import (
+    ConnectionClosed,
+    recv_frame,
+    recv_frame_into,
+    send_frame,
+    send_frame_parts,
+)
 
 
 def socket_pair():
@@ -47,6 +54,137 @@ def test_large_frame():
     assert recv_frame(b) == payload
     t.join()
     a.close(), b.close()
+
+
+# -- scatter-gather framing (the zero-copy wire format) ------------------------
+
+
+def test_send_frame_parts_multi_segment_roundtrip():
+    a, b = socket_pair()
+    n = send_frame_parts(a, [b"head", bytearray(b"-mid-"), memoryview(b"tail")])
+    assert n == 13
+    assert recv_frame(b) == b"head-mid-tail"
+    a.close(), b.close()
+
+
+def test_send_frame_parts_more_segments_than_iov_batch():
+    a, b = socket_pair()
+    parts = [bytes([i % 256]) * 3 for i in range(200)]  # > _IOV_BATCH entries
+    t = threading.Thread(target=send_frame_parts, args=(a, parts))
+    t.start()
+    assert recv_frame(b) == b"".join(parts)
+    t.join()
+    a.close(), b.close()
+
+
+def test_send_frame_parts_skips_empty_segments():
+    a, b = socket_pair()
+    send_frame_parts(a, [b"", b"x", b"", b"y", b""])
+    assert recv_frame(b) == b"xy"
+    a.close(), b.close()
+
+
+def test_send_frame_parts_large_payload_partial_sends():
+    a, b = socket_pair()
+    parts = [bytes(range(256)) * 2048] * 2  # 1 MiB total: forces partial sends
+    t = threading.Thread(target=send_frame_parts, args=(a, parts))
+    t.start()
+    assert recv_frame(b) == b"".join(parts)
+    t.join()
+    a.close(), b.close()
+
+
+def test_recv_frame_into_reuses_and_grows_buffer():
+    a, b = socket_pair()
+    buf = bytearray()
+    send_frame(a, b"abc")
+    assert bytes(recv_frame_into(b, buf)) == b"abc"
+    capacity = len(buf)
+    assert capacity >= 3
+    send_frame(a, b"xy")
+    assert bytes(recv_frame_into(b, buf)) == b"xy"
+    assert len(buf) == capacity  # smaller frame: no shrink, no realloc
+    big = b"z" * (capacity + 100)
+    t = threading.Thread(target=send_frame, args=(a, big))
+    t.start()
+    assert bytes(recv_frame_into(b, buf)) == big
+    t.join()
+    assert len(buf) >= len(big)  # grew in place
+    a.close(), b.close()
+
+
+def test_recv_frame_into_empty_frame():
+    a, b = socket_pair()
+    send_frame(a, b"")
+    assert bytes(recv_frame_into(b, bytearray())) == b""
+    a.close(), b.close()
+
+
+def test_channel_send_parts_and_recv_into():
+    a, b = socket_pair()
+    ca, cb = Channel(a), Channel(b)
+    ca.send_parts([b"ab", b"cd", b"ef"])
+    buf = bytearray(64)
+    view = cb.recv_into(buf)
+    assert bytes(view) == b"abcdef"
+    assert ca.bytes_sent == 6 and cb.bytes_received == 6
+    ca.close(), cb.close()
+
+
+def test_channel_send_parts_shaped_path_joins():
+    profile = NetworkProfile("t", rtt_s=0.005)
+    with Listener() as listener:
+        got = {}
+
+        def server():
+            chan = listener.accept(timeout=5)
+            got["msg"] = chan.recv()
+            chan.close()
+
+        t = threading.Thread(target=server)
+        t.start()
+        client = connect_channel("127.0.0.1", listener.port, profile=profile)
+        client.send_parts([b"sha", b"ped"])
+        t.join(timeout=5)
+        assert got["msg"] == b"shaped"
+        client.close()
+
+
+def test_concurrent_senders_byte_accounting_is_exact(monkeypatch):
+    """``bytes_sent`` updates are serialized under the accounting lock, so
+    the total is exact no matter how many threads share the channel (an
+    unlocked read-modify-write may drop increments; CPython's bytecode-level
+    atomicity is an implementation detail, not a contract).
+
+    The wire write is stubbed out so the counter update dominates each send
+    and thread switches are forced every microsecond."""
+    import repro.net.channel as channel_module
+
+    for name in ("send_frame", "send_frame_parts"):
+        if hasattr(channel_module, name):
+            monkeypatch.setattr(channel_module, name, lambda *a, **k: None)
+    a, b = socket_pair()
+    chan = Channel(a)
+    nthreads, per_thread, size = 8, 5000, 32
+    payload = b"x" * size
+
+    def sender():
+        for _ in range(per_thread):
+            chan.send(payload)
+
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)  # hammer the increment window
+    try:
+        threads = [threading.Thread(target=sender) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        sys.setswitchinterval(old)
+    assert chan.bytes_sent == nthreads * per_thread * size
+    chan.close()
+    b.close()
 
 
 def test_clean_eof_raises_connection_closed():
