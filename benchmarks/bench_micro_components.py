@@ -1,8 +1,22 @@
 """Micro-benchmarks of the substrate components the figures rest on.
 
 These are classic pytest-benchmark timings (many rounds): serialization,
-CRC, TFRecord framing, codec, and planner throughput.
+CRC, TFRecord framing, codec, planner throughput — and the raw transport
+(TCP push/pull vs the shared-memory ring) with no serialization or decode
+in the loop, so the data-path delta stands alone.
+
+Smoke mode: running this file as a script (``python
+benchmarks/bench_micro_components.py``) times each component a few rounds
+without pytest-benchmark and emits ``BENCH_micro_components.json`` (the
+``components`` envelope :mod:`repro.tools.benchcheck` validates) into
+``$BENCH_JSON_DIR`` — per-PR snapshots live in ``benchmarks/results/``.
 """
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -81,3 +95,114 @@ def test_bench_planner(benchmark, small_imagenet_ds):
 
     plan_result = benchmark(plan)
     assert len(plan_result.assignments) > 0
+
+
+# Raw-transport geometry: frames the size of a bench-loopback ring frame
+# (8-sample SJPG batch ≈ 13.5 KiB framed), enough of them that per-frame
+# costs dominate the socket setup.
+_FRAMES = 64
+_FRAME_BYTES = 16 * 1024
+
+
+def _transport_round(transport: str, frames: int = _FRAMES,
+                     frame_bytes: int = _FRAME_BYTES) -> float:
+    """Push ``frames`` equal frames through a loopback pair; return seconds.
+
+    Isolates the data path — no serialization, no decode — so the tcp/shm
+    difference is purely kernel socket copies + credit round-trips versus
+    shared-memory ring writes + doorbell bytes.  The clock stops when the
+    producer's close drain confirms the consumer released every frame.
+    """
+    from repro.net.mq import PullSocket, PushSocket
+    from repro.net.shm import ShmPushSocket
+
+    payload = b"\xa5" * frame_bytes
+    pull = PullSocket(hwm=16, pooled=True)
+    got = []
+
+    def drain():
+        for _ in range(frames):
+            frame = pull.recv_frame(timeout=30)
+            got.append(len(frame.data))
+            frame.release()
+
+    consumer = threading.Thread(target=drain)
+    push = (
+        ShmPushSocket("127.0.0.1", pull.port, hwm=16)
+        if transport == "shm"
+        else PushSocket([("127.0.0.1", pull.port)], hwm=16)
+    )
+    consumer.start()
+    t0 = time.perf_counter()
+    for _ in range(frames):
+        push.send(payload)
+    push.close(timeout=30)
+    consumer.join(timeout=30)
+    elapsed = time.perf_counter() - t0
+    pull.close()
+    if sum(got) != frames * frame_bytes:
+        raise RuntimeError(f"transport dropped data: got {sum(got)} bytes")
+    return elapsed
+
+
+def test_bench_transport_tcp(benchmark):
+    elapsed = benchmark.pedantic(_transport_round, args=("tcp",), rounds=3)
+    assert elapsed > 0
+
+
+def test_bench_transport_shm(benchmark):
+    elapsed = benchmark.pedantic(_transport_round, args=("shm",), rounds=3)
+    assert elapsed > 0
+
+
+def main() -> int:
+    """Smoke mode: a few rounds per component, no pytest-benchmark required."""
+    rng = np.random.default_rng(0)
+    img = smooth_image(rng, 64, 64)
+    enc = sjpg_encode(img, quality=80)
+    obj = {"samples": [b"x" * 1024] * 32, "labels": list(range(32)), "epoch": 1}
+    packed = packb(obj)
+    data64k = bytes(range(256)) * 256
+    record = b"r" * 8192
+
+    def ops_per_s(fn, rounds: int = 50) -> float:
+        fn()  # warm: first-call costs are a different bench
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            fn()
+        return rounds / (time.perf_counter() - t0)
+
+    components = {
+        "msgpack_pack": {"ops_per_s": ops_per_s(lambda: packb(obj))},
+        "msgpack_unpack": {"ops_per_s": ops_per_s(lambda: unpackb(packed))},
+        "crc32c_64k": {"ops_per_s": ops_per_s(lambda: crc32c(data64k))},
+        "tfrecord_framing": {"ops_per_s": ops_per_s(lambda: frame_record(record))},
+        "sjpg_encode": {"ops_per_s": ops_per_s(lambda: sjpg_encode(img, 80), rounds=10)},
+        "sjpg_decode": {"ops_per_s": ops_per_s(lambda: sjpg_decode(enc), rounds=10)},
+    }
+    # Transport: best of three rounds each (min is the right statistic for
+    # a fixed workload — everything above it is scheduler noise).
+    mb = _FRAMES * _FRAME_BYTES / 1e6
+    tcp_s = min(_transport_round("tcp") for _ in range(3))
+    shm_s = min(_transport_round("shm") for _ in range(3))
+    components["transport_tcp"] = {"seconds": tcp_s, "mb_per_s": mb / tcp_s}
+    components["transport_shm"] = {"seconds": shm_s, "mb_per_s": mb / shm_s}
+    components["transport_shm_speedup"] = {"x": tcp_s / shm_s}
+
+    payload = {
+        "bench": "micro_components",
+        "transport_frames": _FRAMES,
+        "transport_frame_bytes": _FRAME_BYTES,
+        "components": components,
+    }
+    out = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "BENCH_micro_components.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, body in components.items():
+        print(f"{name:24s} " + "  ".join(f"{k}={v:.4g}" for k, v in body.items()))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import tempfile
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -107,6 +107,15 @@ def _resolve_profile(spec: ClusterSpec) -> NetworkProfile | None:
     )
     return NetworkProfile(
         f"inline-{net.rtt_ms:g}ms", rtt_s=net.rtt_ms / 1e3, bandwidth_bps=bandwidth
+    )
+
+
+def _resolve_config(spec: ClusterSpec):
+    """The pipeline config with the network section's transport folded in."""
+    return replace(
+        spec.pipeline.to_config(),
+        transport=spec.network.effective_transport,
+        shm_ring_bytes=spec.network.shm_ring_bytes,
     )
 
 
@@ -247,6 +256,7 @@ class DeploymentPlan:
     codec: str
     recovery_enabled: bool
     energy_enabled: bool
+    transport: str = "tcp"
 
     def summary(self) -> str:
         profile = self.profile or "loopback (no emulation)"
@@ -254,7 +264,7 @@ class DeploymentPlan:
             f"{self.name}: {self.dataset_samples} samples / {self.dataset_shards} shards, "
             f"{len(self.daemon_roots)} daemon(s) -> {self.num_nodes} node(s), "
             f"{self.epochs} epoch(s) x {self.batches_per_epoch} batches, "
-            f"codec={self.codec}, link={profile}, "
+            f"codec={self.codec}, link={profile}, transport={self.transport}, "
             f"recovery={'on' if self.recovery_enabled else 'off'}, "
             f"energy={'on' if self.energy_enabled else 'off'}"
         )
@@ -441,7 +451,7 @@ class EMLIO:
         before returning, unless ``dataset.root`` pins a location.
         """
         spec = EMLIO._coerce(spec)
-        config = spec.pipeline.to_config()
+        config = _resolve_config(spec)
         profile = _resolve_profile(spec)
         _resolve_preprocess(spec)
         spec.elastic.to_policy()
@@ -469,6 +479,7 @@ class EMLIO:
                 codec=spec.pipeline.codec,
                 recovery_enabled=spec.recovery.enabled,
                 energy_enabled=spec.energy.enabled,
+                transport=config.transport,
             )
         finally:
             if owned is not None:
@@ -494,7 +505,7 @@ class EMLIO:
         if dry_run:
             return EMLIO.plan(spec, dataset)
         _validate_chaos(spec)
-        config = spec.pipeline.to_config()
+        config = _resolve_config(spec)
         profile = _resolve_profile(spec)
         preprocess = _resolve_preprocess(spec)
         ds, owned = _materialize_dataset(spec, dataset)

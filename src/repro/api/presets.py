@@ -24,10 +24,13 @@ from repro.api.spec import (
 )
 
 #: examples/quickstart.py — one daemon, one node, tiny synthetic ImageNet.
+#: transport="auto": everything is co-located and unshaped, so the pair
+#: upgrades itself to the shared-memory ring.
 QUICKSTART = ClusterSpec(
     name="quickstart",
     dataset=DatasetSpec(kind="imagenet", n=64, records_per_shard=16, image_hw=(32, 32)),
     pipeline=PipelineSpec(batch_size=8, epochs=1, hwm=16, prefetch=2, output_hw=(32, 32)),
+    network=NetworkSpec(transport="auto"),
 )
 
 #: examples/sharded_cluster.py — paper §5.2 Scenario 2: shards split across

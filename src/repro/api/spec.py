@@ -276,11 +276,21 @@ class NetworkSpec:
     Name a registered profile (``profile="wan-30ms"``) *or* describe the
     link inline (``rtt_ms``, optional ``bandwidth_gbps``); all fields
     ``None`` disables emulation (bare loopback).
+
+    ``transport`` picks the daemon→receiver data path: ``"tcp"`` (default,
+    the credit-based MQ sockets), ``"shm"`` (force the shared-memory ring
+    of :mod:`repro.net.shm`, TCP fallback only if attach fails), or
+    ``"auto"`` (shm when the pair is co-located and the link unshaped,
+    TCP otherwise).  ``profile="shm"`` implies ``transport="shm"``.
     """
+
+    TRANSPORTS = ("tcp", "shm", "auto")
 
     profile: str | None = None
     rtt_ms: float | None = None
     bandwidth_gbps: float | None = None
+    transport: str = "tcp"
+    shm_ring_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
         inline = self.rtt_ms is not None or self.bandwidth_gbps is not None
@@ -293,11 +303,22 @@ class NetworkSpec:
                      f"network.bandwidth_gbps must be > 0, got {self.bandwidth_gbps}")
             _require(self.rtt_ms is not None,
                      "network.bandwidth_gbps needs network.rtt_ms too")
+        _require(self.transport in self.TRANSPORTS,
+                 f"network.transport must be one of {self.TRANSPORTS}, "
+                 f"got {self.transport!r}")
+        _require(isinstance(self.shm_ring_bytes, int) and self.shm_ring_bytes >= 64 * 1024,
+                 f"network.shm_ring_bytes must be an int >= 65536, "
+                 f"got {self.shm_ring_bytes!r}")
 
     @property
     def emulated(self) -> bool:
         """Whether this spec asks for any link shaping at all."""
         return self.profile is not None or self.rtt_ms is not None
+
+    @property
+    def effective_transport(self) -> str:
+        """The transport after folding in ``profile="shm"``."""
+        return "shm" if self.profile == "shm" else self.transport
 
     @classmethod
     def from_dict(cls, data: dict) -> "NetworkSpec":

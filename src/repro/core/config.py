@@ -48,9 +48,23 @@ class EMLIOConfig:
         :data:`AUTO_REORDER` (-1) derives the window from
         ``streams_per_node × hwm`` (see :attr:`effective_reorder_window`).
     verify_reads:
-        Verify TFRecord CRCs on the daemon's serve path (default on — a
-        corrupted shard must surface at read time, not as garbage tensors).
-        Off trades that check for read throughput on trusted storage.
+        TFRecord CRC policy on the daemon's serve path.  The default
+        ``True`` verifies every record as it is read — corruption must
+        surface at read time, not as garbage tensors, even when a shard
+        mutates mid-run.  ``"open"`` verifies the whole shard once when
+        its reader is first opened and then serves the hot loop without
+        per-record CRC work (trusts storage to stay immutable after
+        open); ``False`` trusts the storage outright.
+    transport:
+        Daemon→receiver data path.  ``"tcp"`` (default) is the credit-based
+        PUSH/PULL socket; ``"shm"`` forces the shared-memory ring transport
+        (:mod:`repro.net.shm`), falling back to TCP when the attach
+        handshake fails; ``"auto"`` attempts shm only for co-located,
+        unshaped pairs and uses TCP otherwise.
+    shm_ring_bytes:
+        Data capacity of each shm ring.  Must hold the HWM worth of
+        in-flight frames (roughly ``hwm × serialized batch size``, plus
+        wrap slack) or the producer throttles on bytes before credits.
     """
 
     batch_size: int = 32
@@ -63,7 +77,9 @@ class EMLIOConfig:
     coverage: str = "partition"
     seed: int = 0
     reorder_window: int = 0
-    verify_reads: bool = True
+    verify_reads: bool | str = True
+    transport: str = "tcp"
+    shm_ring_bytes: int = 8 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -84,6 +100,18 @@ class EMLIOConfig:
             raise ValueError(
                 f"reorder_window must be >= 0 or AUTO_REORDER ({AUTO_REORDER}), "
                 f"got {self.reorder_window}"
+            )
+        if self.verify_reads not in (True, False, "open"):
+            raise ValueError(
+                f"verify_reads must be True, False, or 'open', got {self.verify_reads!r}"
+            )
+        if self.transport not in ("tcp", "shm", "auto"):
+            raise ValueError(
+                f"transport must be 'tcp', 'shm', or 'auto', got {self.transport!r}"
+            )
+        if self.shm_ring_bytes < 64 * 1024:
+            raise ValueError(
+                f"shm_ring_bytes must be >= 65536, got {self.shm_ring_bytes}"
             )
 
     def resolve_reorder_window(self, override: int | None = None) -> int:

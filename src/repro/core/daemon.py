@@ -41,6 +41,7 @@ from repro.core.recovery import DaemonKilled, EpochServeError, NodeUnreachable
 from repro.energy.power_models import BusyWindowTracker
 from repro.net.emulation import NetworkProfile
 from repro.net.mq import PushSocket, ReconnectPolicy
+from repro.net.shm import ShmHandshakeRefused, ShmPushSocket, shm_eligible
 from repro.serialize.payload import BatchPayload, encode_batch_parts
 from repro.tfrecord.reader import TFRecordReader
 from repro.tfrecord.sharder import unpack_example
@@ -149,6 +150,9 @@ class EMLIODaemon:
         self._killed = threading.Event()
         self._hung = threading.Event()
         self._dropped_nodes: set[int] = set()
+        # node_id -> "shm" | "tcp": the transport the last connect actually
+        # used (shm attach can fall back to TCP; observability needs truth).
+        self.transports: dict[int, str] = {}
         # Scale-out claim protocol: a send worker *commits* to a batch key
         # under the claim lock before touching it; relinquish() can only
         # take keys not yet committed.  Either side wins atomically, so a
@@ -243,6 +247,49 @@ class EMLIODaemon:
                 self._readers[shard_path] = reader
             return reader
 
+    def warm(self) -> None:
+        """Pre-open this daemon's shard readers (mmap + verify-at-open).
+
+        Called at deploy time so the one-time attach cost — and, under
+        ``verify_reads="open"``, the whole-shard CRC walk — does not land
+        inside the first served epoch.  Failures are deliberately left for
+        ``serve_epoch``: a corrupt or missing shard must fail the epoch it
+        would have served, with the epoch path's error reporting.
+        """
+        shards = {
+            a.shard_path
+            for a in self.plan.assignments
+            if self.shard_filter is None or a.shard in self.shard_filter
+        }
+        for shard_path in sorted(shards):
+            try:
+                self._reader(shard_path)
+            except (OSError, ValueError):
+                pass  # surfaces again, properly, on the serve path
+        # Throwaway serialize of the first assigned batch: the encoder's
+        # first-call costs (packer setup, buffer growth) land here rather
+        # than inside the first epoch's send loop.  Discarded, not sent.
+        for a in self.plan.assignments:
+            if self.shard_filter is not None and a.shard not in self.shard_filter:
+                continue
+            try:
+                records = self._reader(a.shard_path).read_range_views(a.offset, a.count)
+                pairs = [unpack_example(r, zero_copy=True) for r in records]
+                encode_batch_parts(
+                    BatchPayload(
+                        epoch=a.epoch,
+                        batch_index=a.batch_index,
+                        shard=a.shard,
+                        samples=[s for s, _l in pairs],
+                        labels=[l for _s, l in pairs],
+                        node_id=a.node_id,
+                        seq=a.batch_index,
+                    )
+                )
+            except (OSError, ValueError):
+                pass  # surfaces again, properly, on the serve path
+            break
+
     def _connect_push(self, host: str, port: int, node_id: int) -> PushSocket | None:
         """Open the PUSH socket to one node, retrying refused connections.
 
@@ -257,19 +304,36 @@ class EMLIODaemon:
         policy = self.reconnect
         attempts = (policy.max_retries if policy is not None else 0) + 1
         delay = policy.base_delay_s if policy is not None else 0.0
+        want_shm = shm_eligible(cfg.transport, host, self.profile)
         while True:
             if self._killed.is_set():
                 raise DaemonKilled(f"daemon killed connecting to node {node_id}")
             if self._is_dropped(node_id):
                 return None
             try:
-                return PushSocket(
+                if want_shm:
+                    try:
+                        push = ShmPushSocket(
+                            host, port, hwm=cfg.hwm, ring_bytes=cfg.shm_ring_bytes
+                        )
+                    except ShmHandshakeRefused as err:
+                        # The endpoint is up but won't share memory with us
+                        # (different host, attach failure…) — fall back to
+                        # TCP for this node instead of burning retries.
+                        self.logger.log("shm_fallback", node=node_id, reason=str(err))
+                        want_shm = False
+                        continue
+                    self.transports[node_id] = "shm"
+                    return push
+                push = PushSocket(
                     [(host, port)],
                     hwm=cfg.hwm,
                     profile=self.profile,
                     streams_per_endpoint=cfg.streams_per_node,
                     reconnect=self.reconnect,
                 )
+                self.transports[node_id] = "tcp"
+                return push
             except OSError as err:
                 attempts -= 1
                 if attempts <= 0:

@@ -124,6 +124,37 @@ class EMLIOReceiver:
             target=self._zmq_receiver, daemon=True, name=f"zmq-receiver{node_id}"
         )
         self._receiver_thread.start()
+        self._warm_kernels()
+
+    def _warm_kernels(self) -> None:
+        """Run one throwaway batch through the preprocess kernels.
+
+        First execution of the numpy/scipy decode-and-resize path pays
+        one-time costs (FFT plan setup, ufunc dispatch caches, allocator
+        growth) that would otherwise land inside the first epoch a
+        deployment serves.  GPU runtimes warm kernels at init for the same
+        reason.  Only the default image path is warmed — a custom
+        ``preprocess_fn`` has its own input format we can't synthesize.
+        """
+        if self.preprocess_fn is not None:
+            return
+        try:
+            from repro.codec.sjpg import sjpg_encode
+            from repro.gpu.ops import preprocess_batch
+
+            rng = np.random.default_rng(0)
+            img = rng.integers(0, 256, (32, 32, 3), dtype=np.uint8)
+            samples = [sjpg_encode(img, quality=75)] * self.config.batch_size
+            # A handful of repetitions, not one: allocator arenas, FFT plan
+            # caches, and ufunc loops all warm progressively, and a single
+            # call leaves the first real batches still paying for growth.
+            for _ in range(4):
+                self.gpu.submit(
+                    lambda: preprocess_batch(samples, self.config.output_hw, rng),
+                    modeled_s=0.0,
+                )
+        except Exception:  # noqa: BLE001 - warming is best-effort, never fatal
+            pass
 
     @property
     def address(self) -> tuple[str, int]:
@@ -139,6 +170,16 @@ class EMLIOReceiver:
     def killed(self) -> bool:
         """Whether :meth:`kill` was invoked."""
         return self._killed.is_set()
+
+    @property
+    def shm_rings(self) -> int:
+        """Live shared-memory rings feeding this node's PULL socket."""
+        return self.pull.num_rings
+
+    @property
+    def shm_attaches(self) -> int:
+        """Cumulative shm ring attaches accepted over this node's lifetime."""
+        return self.pull.shm_attaches
 
     @property
     def epoch_active(self) -> bool:

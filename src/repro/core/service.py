@@ -289,7 +289,7 @@ class EMLIOService:
         shards: set[str] | None,
         plan: BatchPlan | None = None,
     ) -> EMLIODaemon:
-        return EMLIODaemon(
+        daemon = EMLIODaemon(
             dataset_root=Path(root),
             plan=plan if plan is not None else self.plan,
             node_endpoints=self._endpoints,
@@ -302,6 +302,8 @@ class EMLIOService:
             shard_filter=None if plan is not None else shards,
             reconnect=self._reconnect,
         )
+        daemon.warm()
+        return daemon
 
     # -- chaos hooks -----------------------------------------------------------
 
@@ -1126,6 +1128,13 @@ class EMLIOService:
                 yield e, tensors, labels
 
     def stats(self) -> dict[str, dict]:
+        # node_id -> transport actually used ("shm"/"tcp"), merged across
+        # daemons; an shm attach anywhere on a node means the node got shm.
+        transports: dict[int, str] = {}
+        for d in self.daemons + self._failover_daemons:
+            for node_id, transport in d.transports.items():
+                if transports.get(node_id) != "shm":
+                    transports[node_id] = transport
         return {
             "daemons": [d.stats.snapshot() for d in self.daemons],
             "failover_daemons": [d.stats.snapshot() for d in self._failover_daemons],
@@ -1134,6 +1143,8 @@ class EMLIOService:
             "duplicates_dropped": sum(r.duplicates_dropped for r in self.receivers),
             "failovers": self.failovers,
             "receiver_failovers": self.receiver_failovers,
+            "transports": {str(n): t for n, t in sorted(transports.items())},
+            "shm_attaches": sum(r.shm_attaches for r in self.receivers),
         }
 
     def cluster_status(self) -> dict:

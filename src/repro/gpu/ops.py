@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codec.raw import raw_decode
-from repro.codec.sjpg import sjpg_decode
+from repro.codec.sjpg import sjpg_decode, sjpg_decode_batch
 
 IMAGENET_MEAN = np.array([0.485, 0.456, 0.406], dtype=np.float32)
 IMAGENET_STD = np.array([0.229, 0.224, 0.225], dtype=np.float32)
@@ -79,6 +79,34 @@ def resize_bilinear(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
     return np.clip(np.round(out), 0, 255).astype(np.uint8)
 
 
+def resize_bilinear_batch(batch: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resize of an NHWC uint8 batch in one vectorized pass.
+
+    All images in a training batch share one geometry, so the sample
+    grid and interpolation weights are computed once and broadcast over
+    the batch axis — one set of numpy dispatches for N images instead of
+    N sets.  Per-pixel output matches :func:`resize_bilinear` exactly.
+    """
+    if batch.ndim != 4:
+        raise ValueError(f"expected NHWC batch, got shape {batch.shape}")
+    if out_h < 1 or out_w < 1:
+        raise ValueError(f"invalid output size {(out_h, out_w)}")
+    _n, h, w, _c = batch.shape
+    ys = np.linspace(0, h - 1, out_h)
+    xs = np.linspace(0, w - 1, out_w)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[None, :, None, None]
+    wx = (xs - x0)[None, None, :, None]
+    im = batch.astype(np.float32)
+    top = im[:, y0][:, :, x0] * (1 - wx) + im[:, y0][:, :, x1] * wx
+    bot = im[:, y1][:, :, x0] * (1 - wx) + im[:, y1][:, :, x1] * wx
+    out = top * (1 - wy) + bot * wy
+    return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+
 def random_crop(img: np.ndarray, crop_h: int, crop_w: int, rng: np.random.Generator) -> np.ndarray:
     """Random crop; resizes up first when the image is smaller than the crop."""
     h, w, _c = img.shape
@@ -106,8 +134,22 @@ def preprocess_batch(
     out_hw: tuple[int, int],
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Full per-batch preprocess: decode → crop/resize → normalize."""
+    """Full per-batch preprocess: decode → crop/resize → normalize.
+
+    An all-SJPG batch takes the vectorized route: one batched decode and
+    one batched resize, with only the RNG-consuming crop left per-image so
+    the augmentation stream matches the scalar path bit for bit.
+    """
     out_h, out_w = out_hw
+    if samples and all(bytes(s[:4]) == b"SJPG" for s in samples):
+        decoded = sjpg_decode_batch(samples)
+        if len({img.shape for img in decoded}) == 1 and decoded[0].shape[2] == 3:
+            h, w, _c = decoded[0].shape
+            crops = [
+                random_crop(img, min(h, out_h * 2), min(w, out_w * 2), rng)
+                for img in decoded
+            ]
+            return normalize_batch(resize_bilinear_batch(np.stack(crops), out_h, out_w))
     images = np.empty((len(samples), out_h, out_w, 3), dtype=np.uint8)
     for i, data in enumerate(samples):
         img = decode_sample(data)

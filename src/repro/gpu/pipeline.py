@@ -164,7 +164,14 @@ class Pipeline:
             except Exception as err:  # surface source errors to the consumer
                 self._out.put(err)
                 return
-            self._out.put(self._preprocess(samples, labels))
+            try:
+                item = self._preprocess(samples, labels)
+            except Exception as err:
+                # A decode/augment failure must reach run(), not silently
+                # kill the worker and leave the consumer blocked forever.
+                self._out.put(err)
+                return
+            self._out.put(item)
 
     # -- consumption -------------------------------------------------------------
 

@@ -75,6 +75,23 @@ class Channel:
             with self._send_lock:
                 send_frame_parts(self._sock, parts)
 
+    def send_oob(self, payload: bytes | bytearray | memoryview) -> None:
+        """Send one control frame around the emulated link (no shaping delay).
+
+        The shm handshake ack/nack is transport negotiation, not traffic on
+        the modeled network, so it must not pay the link's propagation
+        delay.  Ordering caveat: an OOB frame can overtake shaped frames
+        still queued in the delay pipe — only use this when no earlier
+        same-direction frame is in flight (e.g. the first reply on an
+        accepted channel).
+        """
+        if self._closed:
+            raise ConnectionError("send() on closed channel")
+        with self._acct_lock:
+            self.bytes_sent += len(payload)
+        with self._send_lock:
+            send_frame(self._sock, payload)
+
     def recv(self) -> bytes:
         """Receive one frame (blocking)."""
         with self._recv_lock:

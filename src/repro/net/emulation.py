@@ -68,8 +68,12 @@ LAN_0_1MS = NetworkProfile("lan-0.1ms", rtt_s=0.1e-3, bandwidth_bps=_10GBE)
 LAN_1MS = NetworkProfile("lan-1ms", rtt_s=1e-3, bandwidth_bps=_10GBE)
 LAN_10MS = NetworkProfile("lan-10ms", rtt_s=10e-3, bandwidth_bps=_10GBE)
 WAN_30MS = NetworkProfile("wan-30ms", rtt_s=30e-3, bandwidth_bps=_10GBE)
+# Co-located pair over the shared-memory ring (repro.net.shm): no link to
+# shape, so no delay and no rate cap.  Selecting this profile forces
+# ``transport="shm"`` on the data path (see repro.api.spec.NetworkSpec).
+SHM = NetworkProfile("shm", rtt_s=0.0)
 
-PROFILES = {p.name: p for p in (LOCAL, LAN_0_1MS, LAN_1MS, LAN_10MS, WAN_30MS)}
+PROFILES = {p.name: p for p in (LOCAL, LAN_0_1MS, LAN_1MS, LAN_10MS, WAN_30MS, SHM)}
 
 
 def register_profile(profile: NetworkProfile, replace: bool = False) -> NetworkProfile:

@@ -16,7 +16,13 @@ consumes one; the PULL side returns a credit on the same stream when the
 application dequeues the message.  In-flight messages per stream are thus
 bounded by ``hwm`` end-to-end, deterministically.
 
-Wire format: 1 type byte (0x00 data / 0x01 credit) + payload.
+Wire format: 1 type byte (0x00 data / 0x01 credit) + payload.  Types
+0x02/0x03/0x04/0x05 carry the shared-memory transport handshake and
+doorbell (see :mod:`repro.net.shm`): a co-located pusher may announce a
+shm ring over its freshly-connected channel; an acked ring replaces the
+channel as the data path (the channel stays open as the liveness/control
+path, ringing a 0x05 doorbell per published frame) and its frames merge
+into the same receive queue.
 
 Fault tolerance: with a :class:`ReconnectPolicy`, a PUSH stream that hits a
 transport error reconnects with exponential backoff and resends every
@@ -35,6 +41,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.net import shm as _shm
 from repro.net.buffers import BufferPool, PooledFrame
 from repro.net.channel import Channel, Listener, connect_channel
 from repro.net.emulation import NetworkProfile
@@ -43,6 +50,10 @@ from repro.net.framing import ConnectionClosed
 _DATA = b"\x00"
 _CREDIT = b"\x01"
 _POLL_S = 0.02  # writer wake-up period for stop checks
+_RING_WAIT_S = 0.02  # ring drain safety-net wait: wakeup is doorbell-driven
+# (see PullSocket._ring_loop), so this timer only covers a producer dying
+# between a ring write and its doorbell — it can be long without costing
+# latency, and long means an idle drain thread never steals the GIL.
 
 
 @dataclass(frozen=True)
@@ -456,6 +467,10 @@ class PullSocket:
         # queue needs no own bound.
         self._queue: queue.Queue = queue.Queue()
         self._channels: list[Channel] = []
+        # Shm rings announced by co-located pushers (drained alongside the
+        # TCP channels into the same queue); pruned like channels.
+        self._rings: list[_shm.RingReceiver] = []
+        self._shm_attaches = 0
         self._closed = False
         self._reader_lock = threading.Lock()
         # bytes_received of pruned (disconnected) channels — reconnect-heavy
@@ -494,8 +509,14 @@ class PullSocket:
                     pass  # close() raced us and already dropped the list
                 else:
                     self._retired_bytes += chan.bytes_received
+                rings = [r for r in self._rings if r.chan is chan]
+            # A dead control channel is the hard-crash signal for its
+            # ring: the producer is gone once the ring drains.
+            for ring in rings:
+                ring.control_lost()
 
     def _read_loop(self, chan: Channel) -> None:
+        ring = None  # this channel's ring, once a hello is accepted
         while True:
             try:
                 frame = chan.recv()
@@ -503,8 +524,14 @@ class PullSocket:
                 return
             if frame[:1] == _DATA:
                 self._queue.put((chan, frame[1:], None))
+            elif frame[:1] == _shm.SHM_DOORBELL:
+                if ring is not None:
+                    ring.doorbell.set()
+            elif frame[:1] == _shm.SHM_HELLO:
+                ring = self._accept_ring(chan, frame[1:])
 
     def _read_loop_pooled(self, chan: Channel) -> None:
+        ring = None  # this channel's ring, once a hello is accepted
         while True:
             buf = self.pool.acquire()
             try:
@@ -516,8 +543,86 @@ class PullSocket:
                 # The frame owns the buffer lease until the consumer
                 # releases it; the next frame gets its own buffer.
                 self._queue.put((chan, view[1:], buf))
+            elif view[:1] == _shm.SHM_DOORBELL:
+                buf.release()
+                if ring is not None:
+                    ring.doorbell.set()
+            elif view[:1] == _shm.SHM_HELLO:
+                hello = bytes(view[1:])
+                buf.release()
+                ring = self._accept_ring(chan, hello)
             else:
                 buf.release()
+
+    def _accept_ring(self, chan: Channel, hello: bytes) -> "_shm.RingReceiver | None":
+        """Handle a shm handshake: attach, ack/nack, start the drain.
+
+        Attach success is the co-location proof; any failure nacks with
+        the reason and the pusher falls back to TCP.  After an ack the
+        channel carries only ``0x05`` doorbells — the read loop keeps
+        running to ring them through (returned ring) and to observe EOF,
+        the peer-death signal.
+        """
+        try:
+            ring = _shm.RingReceiver.from_hello(hello)
+        except _shm.ShmAttachError as err:
+            try:
+                chan.send_oob(_shm.SHM_NACK + str(err).encode())
+            except (ConnectionError, OSError):
+                pass  # peer already gone; it will fall back on its own
+            return None
+        ring.chan = chan
+        with self._reader_lock:
+            if self._closed:
+                ring.close()
+                try:
+                    chan.send_oob(_shm.SHM_NACK + b"pull socket closed")
+                except (ConnectionError, OSError):
+                    pass
+                return None
+            self._rings.append(ring)
+            self._shm_attaches += 1
+        try:
+            chan.send_oob(_shm.SHM_ACK)
+        except (ConnectionError, OSError):
+            with self._reader_lock:
+                self._rings.remove(ring)
+            ring.close()
+            return None
+        threading.Thread(
+            target=self._ring_loop, args=(ring,), daemon=True, name="pull-ring"
+        ).start()
+        return ring
+
+    def _ring_loop(self, ring: "_shm.RingReceiver") -> None:
+        """Drain one ring into the shared queue (in-place views + leases).
+
+        Wakeup is doorbell-driven: the producer rings a byte down the
+        control channel per frame, the channel's read loop sets the event.
+        The timed wait is only a safety net (producer death between write
+        and doorbell, clean close without a final bell) — its period can
+        be long because nothing normally depends on it.
+        """
+        try:
+            while True:
+                ring.doorbell.clear()
+                item = ring.try_read()
+                if item is None:
+                    if ring.finished:
+                        return
+                    ring.doorbell.wait(_RING_WAIT_S)
+                    continue
+                view, lease = item
+                self._queue.put((ring, view, lease))
+        finally:
+            ring.close()
+            with self._reader_lock:
+                try:
+                    self._rings.remove(ring)
+                except ValueError:
+                    pass  # close() raced us and already dropped the list
+                else:
+                    self._retired_bytes += ring.bytes_received
 
     def _grant_credit(self, chan: Channel) -> None:
         try:
@@ -564,9 +669,14 @@ class PullSocket:
 
     @property
     def bytes_received(self) -> int:
-        """Total payload bytes received (pruned connections included)."""
+        """Total payload bytes received, TCP and shm alike (pruned
+        connections and drained rings included)."""
         with self._reader_lock:
-            return self._retired_bytes + sum(c.bytes_received for c in self._channels)
+            return (
+                self._retired_bytes
+                + sum(c.bytes_received for c in self._channels)
+                + sum(r.bytes_received for r in self._rings)
+            )
 
     @property
     def num_channels(self) -> int:
@@ -574,11 +684,38 @@ class PullSocket:
         with self._reader_lock:
             return len(self._channels)
 
+    @property
+    def num_rings(self) -> int:
+        """Currently-attached shm rings (finished ones are pruned)."""
+        with self._reader_lock:
+            return len(self._rings)
+
+    @property
+    def shm_attaches(self) -> int:
+        """Total shm handshakes accepted over this socket's lifetime."""
+        with self._reader_lock:
+            return self._shm_attaches
+
     def close(self) -> None:
-        """Release resources."""
+        """Release resources — including every outstanding buffer lease.
+
+        Queued-but-unconsumed frames are dropped and their pooled
+        buffers / ring leases released, so a mid-stream close (receiver
+        kill, epoch abort) never strands pool capacity or ring bytes.
+        """
         with self._reader_lock:
             self._closed = True
             channels = list(self._channels)
+            rings = list(self._rings)
         self._listener.close()
         for c in channels:
             c.close()
+        for r in rings:
+            r.close()
+        while True:
+            try:
+                _chan, _msg, buf = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if buf is not None:
+                buf.release()

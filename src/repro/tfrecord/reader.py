@@ -57,17 +57,33 @@ def _parse_record(buf: memoryview, offset: int, verify: bool) -> tuple[bytes, in
 
 
 class TFRecordReader:
-    """mmap-backed random/sequential/range access to one shard file."""
+    """mmap-backed random/sequential/range access to one shard file.
 
-    def __init__(self, path: str | Path, verify: bool = True) -> None:
+    ``verify`` controls CRC checking: ``True`` verifies each record on
+    every read, ``False`` never does, and ``"open"`` walks the whole shard
+    once at construction (fail-fast on corruption, while the open cost
+    sits at attach time) and then serves reads without re-verification —
+    the daemon's hot-path mode, where per-record CRC work would otherwise
+    dominate the mmap-slice serve loop.
+    """
+
+    def __init__(self, path: str | Path, verify: bool | str = True) -> None:
         self.path = Path(path)
-        self.verify = verify
+        self.verify = bool(verify) and verify != "open"
         self._fh = open(self.path, "rb")
         try:
             self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError:  # empty file cannot be mmap'ed
             self._mm = None
         self._view = memoryview(self._mm) if self._mm is not None else memoryview(b"")
+        if verify == "open":
+            try:
+                pos = 0
+                while pos < len(self._view):
+                    _data, pos = _parse_record_view(self._view, pos, True)
+            except TFRecordCorruption:
+                self.close()
+                raise
 
     @property
     def nbytes(self) -> int:

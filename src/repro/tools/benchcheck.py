@@ -1,13 +1,26 @@
-"""Validate ``BENCH_*.json`` perf snapshots (the CI trajectory gate).
+"""Validate and compare ``BENCH_*.json`` perf snapshots (the CI trajectory gate).
 
-Each PR commits its ``BENCH_e2e_loopback.json`` under ``benchmarks/results/``
-and CI re-runs the bench in smoke mode; this tool fails the build when a
+Each PR commits its bench snapshots under ``benchmarks/results/`` and CI
+re-runs the benches in smoke mode; this tool fails the build when a
 snapshot is missing, unparseable, or structurally wrong — so the tracked
 perf trajectory can't silently rot.
+
+Two snapshot envelopes are understood:
+
+* the e2e envelope (``emlio`` / ``pytorch_baseline`` sections with wall
+  time and throughput, plus ``speedup_x``), and
+* the micro envelope (a ``components`` table of named positive metrics,
+  as emitted by ``bench_micro_components.py``).
 
 Usage::
 
     python -m repro.tools.benchcheck PATH [PATH ...]
+    python -m repro.tools.benchcheck --compare BASELINE CURRENT \\
+        [--min-ratio R] [--metric DOTTED.PATH]
+
+``--compare`` exits nonzero when ``CURRENT``'s metric falls below
+``min-ratio × BASELINE``'s — the regression gate.  ``--min-ratio`` above
+1 turns it into an improvement gate (e.g. shm must beat tcp by 1.5x).
 """
 
 from __future__ import annotations
@@ -17,27 +30,40 @@ import json
 import sys
 from pathlib import Path
 
-#: Required top-level keys and the nested numeric fields they must carry.
+#: Required top-level keys of the e2e envelope and the nested numeric
+#: fields they must carry.
 _REQUIRED_SECTIONS = {
     "emlio": ("epoch_wall_s", "throughput_samples_per_s"),
     "pytorch_baseline": ("epoch_wall_s", "throughput_samples_per_s"),
 }
 
+#: The metric ``--compare`` reads when ``--metric`` is not given.
+DEFAULT_METRIC = "emlio.throughput_samples_per_s"
 
-def check_snapshot(path: str | Path) -> list[str]:
-    """Return every problem with one snapshot file (empty list = valid)."""
+
+def _load(path: str | Path) -> tuple[dict | None, list[str]]:
     path = Path(path)
     if not path.is_file():
-        return [f"{path}: missing"]
+        return None, [f"{path}: missing"]
     try:
         obj = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as err:
-        return [f"{path}: unreadable or malformed JSON ({err})"]
-    problems: list[str] = []
+        return None, [f"{path}: unreadable or malformed JSON ({err})"]
     if not isinstance(obj, dict):
-        return [f"{path}: top level must be a JSON object, got {type(obj).__name__}"]
+        return None, [f"{path}: top level must be a JSON object, got {type(obj).__name__}"]
+    return obj, []
+
+
+def check_snapshot(path: str | Path) -> list[str]:
+    """Return every problem with one snapshot file (empty list = valid)."""
+    obj, problems = _load(path)
+    if obj is None:
+        return problems
+    path = Path(path)
     if not isinstance(obj.get("bench"), str) or not obj.get("bench"):
         problems.append(f"{path}: missing 'bench' name")
+    if "components" in obj:
+        return problems + _check_micro(path, obj)
     if not isinstance(obj.get("samples"), int) or obj.get("samples", 0) <= 0:
         problems.append(f"{path}: 'samples' must be a positive integer")
     for section, fields in _REQUIRED_SECTIONS.items():
@@ -57,16 +83,107 @@ def check_snapshot(path: str | Path) -> list[str]:
     return problems
 
 
+def _check_micro(path: Path, obj: dict) -> list[str]:
+    """The micro envelope: a non-empty table of named positive metrics."""
+    problems: list[str] = []
+    components = obj.get("components")
+    if not isinstance(components, dict) or not components:
+        return [f"{path}: 'components' must be a non-empty object"]
+    for name, body in components.items():
+        if not isinstance(body, dict) or not body:
+            problems.append(f"{path}: component {name!r} must be a non-empty object")
+            continue
+        for field, value in body.items():
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"{path}: '{name}.{field}' must be a positive number, got {value!r}"
+                )
+    return problems
+
+
+def _lookup(obj: dict, dotted: str) -> float | None:
+    node = obj
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) and not isinstance(node, bool) else None
+
+
+def compare_snapshots(
+    baseline: str | Path,
+    current: str | Path,
+    min_ratio: float = 1.0,
+    metric: str = DEFAULT_METRIC,
+) -> tuple[float | None, list[str]]:
+    """Compare one metric across two snapshots.
+
+    Returns ``(ratio, problems)`` where ``ratio = current / baseline``;
+    ``problems`` is non-empty when a file or the metric is unusable, or
+    the ratio falls below ``min_ratio``.
+    """
+    base_obj, problems = _load(baseline)
+    cur_obj, cur_problems = _load(current)
+    problems += cur_problems
+    if base_obj is None or cur_obj is None:
+        return None, problems
+    base = _lookup(base_obj, metric)
+    cur = _lookup(cur_obj, metric)
+    if base is None or base <= 0:
+        problems.append(f"{baseline}: metric {metric!r} missing or non-positive")
+    if cur is None or cur <= 0:
+        problems.append(f"{current}: metric {metric!r} missing or non-positive")
+    if problems:
+        return None, problems
+    ratio = cur / base
+    if ratio < min_ratio:
+        problems.append(
+            f"{current}: {metric} regressed — {cur:.1f} vs baseline {base:.1f} "
+            f"(ratio {ratio:.3f} < required {min_ratio:.3f})"
+        )
+    return ratio, problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("paths", nargs="+", help="BENCH_*.json files to validate")
+    parser.add_argument("paths", nargs="*", help="BENCH_*.json files to validate")
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CURRENT"),
+        help="compare one metric across two snapshots instead of validating",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.0,
+        help="fail when CURRENT/BASELINE falls below this (default 1.0)",
+    )
+    parser.add_argument(
+        "--metric",
+        default=DEFAULT_METRIC,
+        help=f"dotted metric path for --compare (default {DEFAULT_METRIC})",
+    )
     args = parser.parse_args(argv)
+    if args.compare is None and not args.paths:
+        parser.error("pass snapshot paths to validate, or --compare BASELINE CURRENT")
     problems: list[str] = []
     for path in args.paths:
         problems += check_snapshot(path)
+    if args.compare is not None:
+        baseline, current = args.compare
+        ratio, cmp_problems = compare_snapshots(
+            baseline, current, min_ratio=args.min_ratio, metric=args.metric
+        )
+        problems += cmp_problems
+        if ratio is not None and not cmp_problems:
+            print(
+                f"benchcheck: {args.metric} ratio {ratio:.3f} "
+                f">= {args.min_ratio:.3f} ({current} vs {baseline})"
+            )
     for problem in problems:
         print(f"benchcheck: {problem}", file=sys.stderr)
-    if not problems:
+    if not problems and args.paths:
         print(f"benchcheck: {len(args.paths)} snapshot(s) OK")
     return 1 if problems else 0
 

@@ -141,6 +141,29 @@ def test_deploy_tokens_codec_end_to_end():
         assert len(labels) == 4
 
 
+def test_quickstart_auto_transport_selects_shm():
+    """ACCEPTANCE: the quickstart preset (transport="auto", co-located,
+    unshaped) upgrades its daemon→receiver pair to the shm ring."""
+    with EMLIO.deploy(preset("quickstart")) as dep:
+        n = sum(len(l) for _t, l in dep.epoch(0))
+        stats = dep.stats()
+    assert n == 64
+    assert stats["transports"] == {"0": "shm"}
+    assert stats["shm_attaches"] >= 1
+
+
+def test_deploy_forced_tcp_never_attaches_shm(small_imagenet):
+    """The default transport stays plain TCP byte-for-byte: no handshake,
+    no ring, even though the pair is co-located."""
+    spec = _tiny_spec(dataset=DatasetSpec(kind="existing", root="ignored"))
+    with EMLIO.deploy(spec, dataset=small_imagenet) as dep:
+        n = sum(len(l) for _t, l in dep.epoch(0))
+        stats = dep.stats()
+    assert n == 24
+    assert stats["transports"] == {"0": "tcp"}
+    assert stats["shm_attaches"] == 0
+
+
 def test_deploy_sharded_storage_splits_daemons(small_imagenet):
     spec = _tiny_spec(storage=StorageSpec(num_daemons=3))
     with EMLIO.deploy(spec, dataset=small_imagenet) as dep:

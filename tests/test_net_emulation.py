@@ -86,9 +86,15 @@ def test_link_shaper_unshaped_bandwidth():
 
 
 def test_builtin_profiles_cover_paper_regimes():
-    assert set(PROFILES) == {"local", "lan-0.1ms", "lan-1ms", "lan-10ms", "wan-30ms"}
+    assert set(PROFILES) == {
+        "local", "lan-0.1ms", "lan-1ms", "lan-10ms", "wan-30ms", "shm"
+    }
     assert PROFILES["wan-30ms"].rtt_s == pytest.approx(0.03)
     assert PROFILES["local"].rtt_s == 0.0
-    # All regimes ride the testbed's 10 GbE.
-    for p in PROFILES.values():
-        assert p.bandwidth_bps == pytest.approx(10e9 / 8)
+    # The shm profile is a co-located pair: nothing to shape.
+    assert PROFILES["shm"].rtt_s == 0.0
+    assert PROFILES["shm"].bandwidth_bps == float("inf")
+    # All emulated regimes ride the testbed's 10 GbE.
+    for name, p in PROFILES.items():
+        if name != "shm":
+            assert p.bandwidth_bps == pytest.approx(10e9 / 8)

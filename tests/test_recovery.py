@@ -947,6 +947,35 @@ def test_chaos_kill_receiver_after_partial_consumption(small_imagenet, shared_ro
 
 
 @pytest.mark.slow
+def test_chaos_kill_receiver_mid_epoch_on_shm_pair(small_imagenet, shared_roots, tmp_path):
+    """ACCEPTANCE: a receiver attached over the shared-memory ring dies
+    mid-epoch.  The producer sees the hard-crash signature (control-channel
+    EOF / dead alive flag), the control plane re-targets the undelivered
+    remainder onto the survivor — itself reached over shm — and the epoch
+    completes with exactly-once delivery."""
+    cfg = EMLIOConfig(batch_size=4, output_hw=(16, 16), transport="shm")
+    recovery = RecoveryConfig(
+        ledger_path=tmp_path / "ledger.txt", reconnect=FAST_RECONNECT,
+        membership=FAST_MEMBERSHIP,
+    )
+    with EMLIOService(
+        cfg, small_imagenet, storage_shards=shared_roots,
+        stall_timeout=30.0, recovery=recovery, num_nodes=2,
+    ) as svc:
+        svc.kill_receiver(1)  # kill before consumption: the full partition
+        # must move (shm serves so fast that a kill after the first
+        # consumed batch often finds nothing left to fail over)
+        labels = _collect_labels(svc.epoch(0))
+        assert svc.receiver_failovers == 1
+        assert sorted(labels) == _expected_labels(small_imagenet)
+        assert svc.ledger.completed_epochs() == {0: len(svc.plan.keys(epoch=0))}
+        # The re-targeted stream genuinely rode the ring to the survivor.
+        stats = svc.stats()
+        assert stats["transports"].get("0") == "shm"
+        assert stats["shm_attaches"] >= 1
+
+
+@pytest.mark.slow
 def test_chaos_dead_receiver_partition_moves_in_later_epochs(
     small_imagenet, shared_roots, tmp_path
 ):
