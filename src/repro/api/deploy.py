@@ -149,6 +149,71 @@ def _resolve_storage_shards(
     return split
 
 
+def _resolve_storage_runtime(
+    spec: ClusterSpec,
+    dataset: ShardedDataset,
+    config,
+    profile: NetworkProfile | None,
+) -> tuple[Callable | None, Callable[[], None] | None]:
+    """Resolve ``[storage]`` into ``(storage_factory, closer)``.
+
+    The factory is threaded into :class:`EMLIOService` and called once per
+    daemon root; ``closer`` releases any shared infrastructure the factory
+    depends on (today: the NFS :class:`StorageServer`).  ``(None, None)``
+    means the daemon's built-in localfs mmap path — deliberately identical
+    to pre-tier deployments.
+
+    Live-deploy only: binding the NFS server's socket here is exactly what
+    :meth:`EMLIO.plan` must not do.
+    """
+    storage = spec.storage
+    backend_entry = STORAGE_BACKENDS.get(storage.backend)
+    cache_bytes = storage.cache_bytes
+    verify = config.verify_reads
+
+    def wrap(backend):
+        if cache_bytes > 0:
+            from repro.storage.cache import CachedBackend
+
+            return CachedBackend(backend, cache_bytes)
+        return backend
+
+    if storage.backend == "localfs":
+        if cache_bytes == 0:
+            return None, None
+        from repro.storage.backend import LocalFSBackend
+
+        return (lambda root: wrap(LocalFSBackend(root, verify=verify))), None
+    if storage.backend == "nfs":
+        from repro.storage.backend import NFSBackend
+        from repro.storage.nfs import NFSMount
+        from repro.storage.server import StorageServer
+
+        # One shared server over the dataset root; split daemon roots
+        # ("<root>/.", ...) address shards by relative filename, so a
+        # single export serves every daemon.
+        server = StorageServer(str(dataset.root), profile=profile)
+
+        def nfs_factory(root: str):
+            mount = NFSMount("127.0.0.1", server.port, profile=profile)
+            return wrap(NFSBackend(mount, verify=verify))
+
+        return nfs_factory, server.close
+    if storage.backend == "objectstore":
+        from repro.storage.objectstore import ObjectStoreBackend
+
+        latency_s = storage.latency_ms / 1e3
+
+        def obj_factory(root: str):
+            return wrap(
+                ObjectStoreBackend(root, request_latency_s=latency_s, verify=verify)
+            )
+
+        return obj_factory, None
+    # Registry extension point: any ``factory(root) -> StorageBackend``.
+    return (lambda root: wrap(backend_entry(root))), None
+
+
 def _resolve_preprocess(spec: ClusterSpec) -> Callable | None:
     codec = CODECS.get(spec.pipeline.codec)
     if spec.pipeline.codec == "auto":
@@ -286,12 +351,14 @@ class Deployment:
         dataset: ShardedDataset,
         monitor=None,
         owned_dir: tempfile.TemporaryDirectory | None = None,
+        storage_closer: Callable[[], None] | None = None,
     ) -> None:
         self.spec = spec
         self.service = service
         self.dataset = dataset
         self.monitor = monitor
         self._owned_dir = owned_dir
+        self._storage_closer = storage_closer
         self._closed = False
         self._epoch_start_cbs: list[Callable[[int], None]] = []
         self._failover_cbs: list[Callable[[str, dict], None]] = []
@@ -394,6 +461,7 @@ class Deployment:
             "spec": self.spec.name,
             "cluster": self.service.cluster_status(),
             "pipeline": self.service.stats(),
+            "storage": self.service.storage_stats(),
             "energy": energy,
         }
 
@@ -413,6 +481,8 @@ class Deployment:
                 self._chaos.cancel()
             self.service.close()
         finally:
+            if self._storage_closer is not None:
+                self._storage_closer()
             if self.monitor is not None:
                 self.monitor.stop()
             if self._owned_dir is not None:
@@ -511,6 +581,9 @@ class EMLIO:
         ds, owned = _materialize_dataset(spec, dataset)
         try:
             storage_shards = _resolve_storage_shards(spec, ds)
+            storage_factory, storage_closer = _resolve_storage_runtime(
+                spec, ds, config, profile
+            )
             recovery = spec.recovery.to_config() if spec.recovery.enabled else None
             monitor = None
             if spec.energy.enabled:
@@ -536,16 +609,22 @@ class EMLIO:
                     num_nodes=spec.receivers.num_nodes,
                     preprocess_fn=preprocess,
                     elastic=spec.elastic.to_policy(),
+                    storage_factory=storage_factory,
                 )
             except BaseException:
                 if monitor is not None:
                     monitor.stop()
                 raise
         except BaseException:
+            if "storage_closer" in locals() and storage_closer is not None:
+                storage_closer()
             if owned is not None:
                 owned.cleanup()
             raise
-        deployment = Deployment(spec, service, ds, monitor=monitor, owned_dir=owned)
+        deployment = Deployment(
+            spec, service, ds, monitor=monitor, owned_dir=owned,
+            storage_closer=storage_closer,
+        )
         if on_epoch_start is not None:
             deployment.on_epoch_start(on_epoch_start)
         if on_failover is not None:

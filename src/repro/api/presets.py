@@ -100,6 +100,19 @@ RECOVERY_DRILL = ClusterSpec(
     ),
 )
 
+#: The tiered-storage quickstart: the quickstart topology served off the
+#: emulated object store (5 ms per range-GET) through a plan-informed
+#: hot-set cache.  Epoch 0 pays the remote latency once per planned range
+#: (prefetch + misses); warm epochs serve from the cache.
+STORAGE_TIERS = ClusterSpec(
+    name="storage-tiers",
+    dataset=DatasetSpec(kind="imagenet", n=64, records_per_shard=16, image_hw=(32, 32)),
+    pipeline=PipelineSpec(batch_size=8, epochs=2, hwm=16, prefetch=2, output_hw=(32, 32)),
+    storage=StorageSpec(
+        backend="objectstore", latency_ms=5.0, cache_bytes=8 * 1024 * 1024
+    ),
+)
+
 #: benchmarks/bench_e2e_loopback.py — the live 8 ms-RTT loopback bench.
 BENCH_LOOPBACK = ClusterSpec(
     name="bench-loopback",
@@ -115,6 +128,7 @@ for _spec in (
     GEO_WAN,
     LLM_TOKENS,
     RECOVERY_DRILL,
+    STORAGE_TIERS,
     BENCH_LOOPBACK,
 ):
     PRESETS.register(_spec.name, _spec)
@@ -133,5 +147,6 @@ __all__ = [
     "QUICKSTART",
     "RECOVERY_DRILL",
     "SHARDED_CLUSTER",
+    "STORAGE_TIERS",
     "preset",
 ]

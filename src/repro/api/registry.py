@@ -162,12 +162,22 @@ def _build_network_profiles() -> Registry:
 
 
 def _build_storage_backends() -> Registry:
-    from repro.storage.localfs import LocalStorage
-    from repro.storage.nfs import NFSMount
+    """Storage tiers the daemon read path routes through.
+
+    Each entry is the :class:`~repro.storage.backend.StorageBackend`
+    class (or any ``factory(root) -> StorageBackend`` callable) deploy
+    resolves ``storage.backend`` to.  ``localfs`` keeps the mmap fast
+    path, ``nfs`` serves range reads over the framed remote-file
+    protocol, ``objectstore`` emulates a range-GET store with
+    configurable request latency (``storage.latency_ms``).
+    """
+    from repro.storage.backend import LocalFSBackend, NFSBackend
+    from repro.storage.objectstore import ObjectStoreBackend
 
     reg = Registry("storage backend")
-    reg.register("localfs", LocalStorage)
-    reg.register("nfs", NFSMount)
+    reg.register("localfs", LocalFSBackend)
+    reg.register("nfs", NFSBackend)
+    reg.register("objectstore", ObjectStoreBackend)
     return reg
 
 

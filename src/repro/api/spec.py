@@ -211,16 +211,32 @@ class StorageSpec:
     with per-root shard ownership.  ``backend`` names a
     :data:`~repro.api.registry.STORAGE_BACKENDS` entry — the seam for
     non-local storage layers.
+
+    ``cache_bytes`` > 0 wraps each daemon's backend in a plan-informed
+    hot-set cache of that capacity (block-granular, Belady eviction by
+    next planned use, background prefetch at ``warm()``/epoch start).
+    ``latency_ms`` emulates per-request round-trip latency on the
+    ``objectstore`` backend — the knob that makes a local directory
+    behave like a remote range-GET store.
     """
 
     num_daemons: int = 1
     daemons: tuple[DaemonSpec, ...] = ()
     backend: str = "localfs"
+    cache_bytes: int = 0
+    latency_ms: float = 0.0
 
     def __post_init__(self) -> None:
         _require(self.num_daemons >= 1,
                  f"storage.num_daemons must be >= 1, got {self.num_daemons}")
         _require(bool(self.backend), "storage.backend must be non-empty")
+        _require(self.cache_bytes >= 0,
+                 f"storage.cache_bytes must be >= 0, got {self.cache_bytes}")
+        _require(self.latency_ms >= 0,
+                 f"storage.latency_ms must be >= 0, got {self.latency_ms}")
+        _require(self.latency_ms == 0 or self.backend == "objectstore",
+                 "storage.latency_ms is only meaningful with "
+                 f"backend = 'objectstore', got backend = {self.backend!r}")
         if self.daemons:
             _require(self.num_daemons == 1,
                      "set storage.num_daemons or storage.daemons, not both")

@@ -65,6 +65,10 @@ class EMLIOConfig:
         Data capacity of each shm ring.  Must hold the HWM worth of
         in-flight frames (roughly ``hwm × serialized batch size``, plus
         wrap slack) or the producer throttles on bytes before credits.
+    max_open_shards:
+        Cap on concurrently open shard handles per daemon (each localfs
+        handle pins an fd + mmap).  Least-recently-used handles beyond
+        the cap are closed; a re-touched shard simply reopens.
     """
 
     batch_size: int = 32
@@ -80,6 +84,7 @@ class EMLIOConfig:
     verify_reads: bool | str = True
     transport: str = "tcp"
     shm_ring_bytes: int = 8 * 1024 * 1024
+    max_open_shards: int = 64
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -112,6 +117,10 @@ class EMLIOConfig:
         if self.shm_ring_bytes < 64 * 1024:
             raise ValueError(
                 f"shm_ring_bytes must be >= 65536, got {self.shm_ring_bytes}"
+            )
+        if self.max_open_shards < 1:
+            raise ValueError(
+                f"max_open_shards must be >= 1, got {self.max_open_shards}"
             )
 
     def resolve_reorder_window(self, override: int | None = None) -> int:

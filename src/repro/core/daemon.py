@@ -4,9 +4,10 @@ One daemon runs next to each storage node's shards.  Per epoch and target
 compute node it launches ``T`` SendWorker threads; each worker walks its
 split of the batch plan, and for every assignment:
 
-1. ``mmap``-slices the ``count`` consecutive records at ``offset``
-   (:meth:`~repro.tfrecord.reader.TFRecordReader.read_range` — one
-   contiguous traversal, no per-record syscalls);
+1. range-reads the ``count`` consecutive records at ``offset`` through
+   its storage tier (:mod:`repro.storage.backend` — the local tier
+   ``mmap``-slices with no per-record syscalls; remote tiers fetch the
+   whole planned range in one request and CRC-verify locally);
 2. unpacks the examples and msgpack-serializes the whole batch into one
    :class:`~repro.serialize.payload.BatchPayload`, stamped with the
    per-(epoch, node) sequence number the receiver dedups on;
@@ -31,6 +32,7 @@ dropped, exactly like a crash.
 from __future__ import annotations
 
 import threading
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Collection
@@ -43,7 +45,7 @@ from repro.net.emulation import NetworkProfile
 from repro.net.mq import PushSocket, ReconnectPolicy
 from repro.net.shm import ShmHandshakeRefused, ShmPushSocket, shm_eligible
 from repro.serialize.payload import BatchPayload, encode_batch_parts
-from repro.tfrecord.reader import TFRecordReader
+from repro.storage.backend import LocalFSBackend, ShardHandle, StorageBackend
 from repro.tfrecord.sharder import unpack_example
 from repro.util.clock import MonotonicClock
 from repro.util.logging import TimestampLogger
@@ -120,6 +122,12 @@ class EMLIODaemon:
         Chaos hook called as ``fault_injector(assignment, push)`` before
         each batch is sent — tests use it to drop connections or kill the
         daemon at a deterministic point in the epoch.
+    backend:
+        Storage tier the daemon reads shards through
+        (:class:`~repro.storage.backend.StorageBackend`).  ``None`` uses
+        the local mmap fast path over ``dataset_root`` — byte-identical
+        to the pre-tier behaviour.  The daemon owns the backend and
+        closes it on :meth:`close`.
     """
 
     def __init__(
@@ -134,6 +142,7 @@ class EMLIODaemon:
         shard_filter: set[str] | None = None,
         reconnect: ReconnectPolicy | None = None,
         fault_injector: Callable[[BatchAssignment, PushSocket], None] | None = None,
+        backend: StorageBackend | None = None,
     ) -> None:
         self.dataset_root = Path(dataset_root)
         self.plan = plan
@@ -160,7 +169,15 @@ class EMLIODaemon:
         self._claim_lock = threading.Lock()
         self._committed: set[tuple[int, int, int]] = set()
         self._relinquished: set[tuple[int, int, int]] = set()
-        self._readers: dict[str, TFRecordReader] = {}
+        self.backend = (
+            backend
+            if backend is not None
+            else LocalFSBackend(self.dataset_root, verify=config.verify_reads)
+        )
+        # Shard handles, most-recently-used last; bounded by
+        # config.max_open_shards (each localfs handle pins an fd + mmap).
+        self._readers: OrderedDict[str, ShardHandle] = OrderedDict()
+        self._readers_in_use: Counter[str] = Counter()
         self._readers_lock = threading.Lock()
         for node_id in {a.node_id for a in plan.assignments}:
             if node_id not in self.node_endpoints:
@@ -236,16 +253,85 @@ class EMLIODaemon:
     def _is_dropped(self, node_id: int) -> bool:
         return node_id in self._dropped_nodes
 
-    def _reader(self, shard_path: str) -> TFRecordReader:
-        """One shared mmap reader per shard file."""
+    def _evict_readers_locked(self, keep: str = "") -> None:
+        """Close least-recently-used idle handles beyond ``max_open_shards``."""
+        if len(self._readers) <= self.config.max_open_shards:
+            return
+        for path in list(self._readers):  # LRU first
+            if len(self._readers) <= self.config.max_open_shards:
+                return
+            if path == keep or self._readers_in_use[path] > 0:
+                continue  # in use right now; retried on the next release
+            self._readers.pop(path).close()
+
+    def _handle_locked(self, shard_path: str) -> ShardHandle:
+        handle = self._readers.get(shard_path)
+        if handle is None:
+            handle = self.backend.open_shard(shard_path)
+            self._readers[shard_path] = handle
+        else:
+            self._readers.move_to_end(shard_path)
+        self._evict_readers_locked(keep=shard_path)
+        return handle
+
+    def _reader(self, shard_path: str) -> ShardHandle:
+        """One shared shard handle per shard file, LRU-bounded."""
         with self._readers_lock:
-            reader = self._readers.get(shard_path)
-            if reader is None:
-                reader = TFRecordReader(
-                    self.dataset_root / shard_path, verify=self.config.verify_reads
-                )
-                self._readers[shard_path] = reader
-            return reader
+            return self._handle_locked(shard_path)
+
+    def _acquire_reader(self, shard_path: str) -> ShardHandle:
+        """Get a handle pinned against LRU eviction until release.
+
+        Pinning only needs to cover the ``read_range_views`` call itself:
+        once record views exist they keep the underlying buffer (mmap or
+        fetched block) alive on their own, so a later LRU close cannot
+        invalidate in-flight batches.
+        """
+        with self._readers_lock:
+            handle = self._handle_locked(shard_path)
+            self._readers_in_use[shard_path] += 1
+            return handle
+
+    def _release_reader(self, shard_path: str) -> None:
+        with self._readers_lock:
+            self._readers_in_use[shard_path] -= 1
+            if self._readers_in_use[shard_path] <= 0:
+                del self._readers_in_use[shard_path]
+            self._evict_readers_locked()
+
+    def schedule_prefetch(self, start_epoch: int = 0) -> int:
+        """Feed the plan's remaining serve order to the backend's cache.
+
+        The plan *is* the future: every assignment from ``start_epoch``
+        onward names the exact ``(shard_path, offset, nbytes, count)``
+        range this daemon will read, in order.  Tiers without a cache
+        accept the plan as a no-op; a
+        :class:`~repro.storage.cache.CachedBackend` starts background
+        prefetch and orders eviction by next planned use.
+        """
+        ranges = [
+            (a.shard_path, a.offset, a.nbytes, a.count)
+            for a in self.plan.assignments
+            if a.epoch >= start_epoch
+            and (self.shard_filter is None or a.shard in self.shard_filter)
+            and a.node_id not in self._dropped_nodes
+        ]
+        return self.backend.schedule_prefetch(ranges)
+
+    def cache_counters(self) -> tuple[int, int, int]:
+        """``(cache_hits, cache_misses, prefetch_depth)`` for heartbeats."""
+        return self.backend.cache_counters()
+
+    def hot_shards(self) -> set[str]:
+        """Shard paths whose bytes sit in this daemon's cache tier."""
+        return self.backend.hot_shards()
+
+    def storage_snapshot(self) -> dict:
+        """Storage-tier counters (reads, bytes, cache) plus open handles."""
+        snap = self.backend.snapshot()
+        with self._readers_lock:
+            snap["open_shards"] = len(self._readers)
+        return snap
 
     def warm(self) -> None:
         """Pre-open this daemon's shard readers (mmap + verify-at-open).
@@ -256,6 +342,7 @@ class EMLIODaemon:
         ``serve_epoch``: a corrupt or missing shard must fail the epoch it
         would have served, with the epoch path's error reporting.
         """
+        self.schedule_prefetch(start_epoch=0)
         shards = {
             a.shard_path
             for a in self.plan.assignments
@@ -273,7 +360,9 @@ class EMLIODaemon:
             if self.shard_filter is not None and a.shard not in self.shard_filter:
                 continue
             try:
-                records = self._reader(a.shard_path).read_range_views(a.offset, a.count)
+                records = self._reader(a.shard_path).read_range_views(
+                    a.offset, a.count, nbytes=a.nbytes
+                )
                 pairs = [unpack_example(r, zero_copy=True) for r in records]
                 encode_batch_parts(
                     BatchPayload(
@@ -397,12 +486,16 @@ class EMLIODaemon:
             if self.fault_injector is not None:
                 self.fault_injector(a, push)
             t0 = self._clock.now()
-            reader = self._reader(a.shard_path)
-            # Zero-copy serve path: record views over the mmap'ed shard,
-            # samples as sub-views of those records, scatter-gather encode.
-            # The views stay valid until close() — readers are cached for
-            # the daemon's lifetime — so the transport may replay them.
-            records = reader.read_range_views(a.offset, a.count)
+            reader = self._acquire_reader(a.shard_path)
+            try:
+                # Zero-copy serve path: record views over the tier's buffer
+                # (mmap'ed shard or fetched block), samples as sub-views,
+                # scatter-gather encode.  The views keep that buffer alive
+                # on their own, so the transport may replay them even after
+                # the handle is LRU-evicted.
+                records = reader.read_range_views(a.offset, a.count, nbytes=a.nbytes)
+            finally:
+                self._release_reader(a.shard_path)
             t1 = self._clock.now()
             samples = []
             labels = []
@@ -462,6 +555,9 @@ class EMLIODaemon:
         """
         cfg = self.config
         self.logger.log("epoch_start", epoch=epoch)
+        # Re-feed the plan from this epoch forward: prefetch runs ahead of
+        # the serve loop and eviction lookahead stays aligned with reality.
+        self.schedule_prefetch(start_epoch=epoch)
         pushes: list[tuple[int, PushSocket]] = []
         threads: list[threading.Thread] = []
         errors: list[BaseException] = []
@@ -531,3 +627,5 @@ class EMLIODaemon:
             for reader in self._readers.values():
                 reader.close()
             self._readers.clear()
+            self._readers_in_use.clear()
+        self.backend.close()

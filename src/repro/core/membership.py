@@ -126,9 +126,19 @@ class Member:
     death_reason: str = ""  # "hung" | "missed" | explicit failure detail
     queue_depth: int = 0  # received-but-unconsumed payloads, from beats
     rate: float = 0.0  # observed throughput: EWMA of progress deltas per second
+    cache_hits: int = 0  # cumulative storage-cache hits, from beats
+    cache_misses: int = 0  # cumulative storage-cache misses, from beats
+    prefetch_depth: int = 0  # planned ranges still queued for prefetch
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Hit fraction of the member's storage cache; None before any read."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else None
 
     def snapshot(self) -> dict:
         """JSON-able copy for status tooling."""
+        rate = self.cache_hit_rate
         return {
             "member_id": self.member_id,
             "role": self.role,
@@ -138,6 +148,10 @@ class Member:
             "progress": self.progress,
             "queue_depth": self.queue_depth,
             "rate": round(self.rate, 3),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": None if rate is None else round(rate, 3),
+            "prefetch_depth": self.prefetch_depth,
             "beats": self.beats,
             "last_seen": self.last_seen,
         }
@@ -241,6 +255,9 @@ class ClusterView:
             m.last_seen = now
             m.state = hb.state
             m.queue_depth = hb.queue_depth
+            m.cache_hits = hb.cache_hits
+            m.cache_misses = hb.cache_misses
+            m.prefetch_depth = hb.prefetch_depth
             advanced = hb.progress != m.progress
             if advanced:
                 m.progress = hb.progress

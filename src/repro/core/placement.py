@@ -61,16 +61,22 @@ class MemberLoad:
     queue_depth:
         Received-but-unconsumed payloads (receiver backpressure), added to
         a member's outstanding work before weighting.
+    cached_shards:
+        Shard paths whose bytes this member's storage cache already holds
+        (daemon roots only).  A pure tie-breaker: when load costs are
+        equal, placement prefers the root that won't have to re-fetch.
     """
 
     throughput: float = 0.0
     queue_depth: int = 0
+    cached_shards: frozenset = frozenset()
 
     def __post_init__(self) -> None:
         if self.throughput < 0:
             raise ValueError(f"throughput must be >= 0, got {self.throughput}")
         if self.queue_depth < 0:
             raise ValueError(f"queue_depth must be >= 0, got {self.queue_depth}")
+        object.__setattr__(self, "cached_shards", frozenset(self.cached_shards))
 
 
 @dataclass(frozen=True)
@@ -249,6 +255,24 @@ class PlacementEngine:
         load = self.node_loads.get(node)
         return load.queue_depth if load is not None else 0
 
+    def _root_cost(
+        self,
+        root: str,
+        shard_path: str,
+        placed: int,
+        weights: Mapping[str, float],
+    ) -> tuple[float, int]:
+        """``(load cost, locality)`` for placing one shard on one root.
+
+        Locality is 0 when the root's cache already holds the shard's
+        bytes, 1 otherwise — strictly subordinate to load, so it only
+        decides between otherwise-equal candidates.
+        """
+        load = self.root_loads.get(root)
+        qd = load.queue_depth if load is not None else 0
+        hot = 0 if load is not None and shard_path in load.cached_shards else 1
+        return ((placed + qd) / weights.get(root, 1.0), hot)
+
     def _place_root(
         self,
         shard_path: str,
@@ -259,12 +283,15 @@ class PlacementEngine:
         """Cheapest reachable survivor root for one shard, or None.
 
         Cost is (batches already placed here + reported queue depth) over
-        the root's throughput weight — least-*loaded*, not least-counted.
+        the root's throughput weight — least-*loaded*, not least-counted —
+        with cache locality breaking ties: among equally loaded roots the
+        one whose hot-set cache already holds the shard's bytes wins, so a
+        failover or scale-out re-plan doesn't re-fetch what a survivor
+        already prefetched.
         """
 
         def cost(r: str):
-            qd = self.root_loads.get(r).queue_depth if r in self.root_loads else 0
-            return ((placed.get(r, 0) + qd) / weights.get(r, 1.0), r)
+            return (*self._root_cost(r, shard_path, placed.get(r, 0), weights), r)
 
         for root in sorted(survivors, key=cost):
             if self.reachable(root, shard_path):
@@ -560,8 +587,10 @@ class PlacementEngine:
                 continue
 
             def cost(r: str):
-                qd = self.root_loads.get(r).queue_depth if r in self.root_loads else 0
-                return ((assigned[r] + qd) / weights[r], r)
+                return (
+                    *self._root_cost(r, shard_paths[shard], assigned[r], weights),
+                    r,
+                )
 
             root = min(candidates, key=cost)
             ownership[root].add(shard)

@@ -48,7 +48,7 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator
 
@@ -132,6 +132,11 @@ class EMLIOService:
         Elastic-membership policy (admission, member bounds, rebalance
         threshold) consulted by :meth:`add_receiver`/:meth:`add_daemon`
         and the scale-out re-planner; ``None`` keeps an open default.
+    storage_factory:
+        ``root -> StorageBackend`` called once per daemon (original,
+        failover, and scale-out alike) so every daemon reads its shards
+        through a tiered backend; each daemon owns and closes its
+        instance.  ``None`` keeps the local mmap fast path.
     """
 
     def __init__(
@@ -147,6 +152,7 @@ class EMLIOService:
         num_nodes: int = 1,
         preprocess_fn=None,
         elastic: ElasticPolicy | None = None,
+        storage_factory=None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -191,6 +197,7 @@ class EMLIOService:
         self._endpoints = {i: ("127.0.0.1", r.port) for i, r in enumerate(self.receivers)}
         self._reconnect = recovery.reconnect if recovery is not None else None
         self._cpu_tracker = cpu_tracker
+        self._storage_factory = storage_factory
         self.daemons: list[EMLIODaemon] = []
         if storage_shards is None:
             self.daemons.append(self._make_daemon(str(dataset.root), None))
@@ -301,6 +308,11 @@ class EMLIOService:
             # original ownership set) — a shard filter would drop them.
             shard_filter=None if plan is not None else shards,
             reconnect=self._reconnect,
+            backend=(
+                self._storage_factory(root)
+                if self._storage_factory is not None
+                else None
+            ),
         )
         daemon.warm()
         return daemon
@@ -349,7 +361,24 @@ class EMLIOService:
                     )
         for root, rate in self._root_rates.items():
             root_loads.setdefault(root, MemberLoad(throughput=rate))
+        # Cache locality comes from direct inspection of the daemons'
+        # storage tiers (the supervisor co-owns them), not from beats:
+        # placement needs the *which shards*, beats only carry counts.
+        for root, shards in self._hot_shards().items():
+            prev = root_loads.get(root, MemberLoad())
+            root_loads[root] = replace(prev, cached_shards=frozenset(shards))
         return node_loads, root_loads
+
+    def _hot_shards(self) -> dict[str, set[str]]:
+        """``root -> shard paths`` resident in its live daemons' caches."""
+        hot: dict[str, set[str]] = {}
+        for d in self.daemons + self._failover_daemons:
+            if d.killed:
+                continue
+            shards = d.hot_shards()
+            if shards:
+                hot.setdefault(str(d.dataset_root), set()).update(shards)
+        return hot
 
     def _engine(self, roots: dict[str, set[str] | None]) -> PlacementEngine:
         """A placement engine over the given roots with fresh load signals."""
@@ -658,6 +687,9 @@ class EMLIOService:
                 # Ticks advance through HWM backpressure waits too, so a
                 # daemon throttled by a slow receiver is busy, not hung.
                 progress_fn=lambda d=daemon: d.stats.batches_sent + d.stats.ticks,
+                # Storage-cache hit/miss/prefetch-depth ride the beats so
+                # the ClusterView (and the status CLI) see tier behaviour.
+                cache_fn=lambda d=daemon: d.cache_counters(),
             )
             entry.publisher.start()
         entry.thread = threading.Thread(
@@ -1127,6 +1159,41 @@ class EMLIOService:
             for tensors, labels in self.epoch(e):
                 yield e, tensors, labels
 
+    def storage_stats(self) -> dict:
+        """Per-daemon storage-tier snapshots plus a per-tier aggregate.
+
+        The aggregate answers "where did the bytes come from": tier reads
+        count requests that actually hit the tier, cache hits are reads
+        the hot set absorbed — remote-vs-cached I/O as the energy
+        attribution path needs it.
+        """
+        daemons: list[dict] = []
+        tiers: dict[str, dict[str, int]] = {}
+        for d in self.daemons + self._failover_daemons:
+            snap = d.storage_snapshot()
+            snap["root"] = str(d.dataset_root)
+            daemons.append(snap)
+            agg = tiers.setdefault(
+                snap.get("tier", "?"),
+                {
+                    "reads": 0,
+                    "bytes_read": 0,
+                    "cache_hits": 0,
+                    "cache_misses": 0,
+                    "prefetched": 0,
+                    "evictions": 0,
+                },
+            )
+            agg["reads"] += snap.get("reads", 0)
+            agg["bytes_read"] += snap.get("bytes_read", 0)
+            cache = snap.get("cache")
+            if cache:
+                agg["cache_hits"] += cache.get("hits", 0)
+                agg["cache_misses"] += cache.get("misses", 0)
+                agg["prefetched"] += cache.get("prefetched", 0)
+                agg["evictions"] += cache.get("evictions", 0)
+        return {"daemons": daemons, "tiers": tiers}
+
     def stats(self) -> dict[str, dict]:
         # node_id -> transport actually used ("shm"/"tcp"), merged across
         # daemons; an shm attach anywhere on a node means the node got shm.
@@ -1145,6 +1212,7 @@ class EMLIOService:
             "receiver_failovers": self.receiver_failovers,
             "transports": {str(n): t for n, t in sorted(transports.items())},
             "shm_attaches": sum(r.shm_attaches for r in self.receivers),
+            "storage": self.storage_stats(),
         }
 
     def cluster_status(self) -> dict:

@@ -65,6 +65,12 @@ class Heartbeat:
         Payloads received but not yet consumed (receiver backpressure) —
         the load signal the placement engine weighs re-plans by.  ``0``
         for members with no queue (or pre-queue-depth publishers).
+    cache_hits / cache_misses:
+        Cumulative storage-cache counters (daemons with a tiered cache);
+        ``0`` for members without one (or pre-cache publishers).
+    prefetch_depth:
+        Planned ranges still queued for background prefetch — a gauge of
+        how far the cache trails the plan.
     state:
         One of ``serving | idle | failed | leaving``.
     detail:
@@ -77,6 +83,9 @@ class Heartbeat:
     seq: int = 0
     progress: int = 0
     queue_depth: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prefetch_depth: int = 0
     state: str = STATE_SERVING
     detail: str = ""
 
@@ -95,6 +104,9 @@ def encode_heartbeat(hb: Heartbeat) -> bytes:
             "seq": hb.seq,
             "progress": hb.progress,
             "qd": hb.queue_depth,
+            "ch": hb.cache_hits,
+            "cm": hb.cache_misses,
+            "pf": hb.prefetch_depth,
             "state": hb.state,
             "detail": hb.detail,
         },
@@ -113,6 +125,9 @@ def decode_heartbeat(data: bytes) -> Heartbeat:
             seq=int(obj.get("seq", 0)),
             progress=int(obj.get("progress", 0)),
             queue_depth=int(obj.get("qd", 0)),
+            cache_hits=int(obj.get("ch", 0)),
+            cache_misses=int(obj.get("cm", 0)),
+            prefetch_depth=int(obj.get("pf", 0)),
             state=obj.get("state", STATE_SERVING),
             detail=obj.get("detail", ""),
         )
@@ -210,6 +225,10 @@ class HeartbeatPublisher:
     queue_depth_fn:
         Sampled at each tick for the ``queue_depth`` field (received but
         unconsumed payloads); defaults to 0.
+    cache_fn:
+        Sampled at each tick for the cache fields; returns
+        ``(cache_hits, cache_misses, prefetch_depth)``.  Defaults to
+        all-zero (members without a storage cache).
     state_fn:
         Sampled at each tick for the ``state`` field; defaults to
         ``serving``.
@@ -225,6 +244,7 @@ class HeartbeatPublisher:
         state_fn: Callable[[], str] | None = None,
         incarnation: int = 0,
         queue_depth_fn: Callable[[], int] | None = None,
+        cache_fn: Callable[[], tuple[int, int, int]] | None = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -234,6 +254,7 @@ class HeartbeatPublisher:
         self.interval_s = interval_s
         self.progress_fn = progress_fn or (lambda: 0)
         self.queue_depth_fn = queue_depth_fn or (lambda: 0)
+        self.cache_fn = cache_fn or (lambda: (0, 0, 0))
         self.state_fn = state_fn
         self.incarnation = incarnation
         self.beats_sent = 0
@@ -260,6 +281,7 @@ class HeartbeatPublisher:
                     self._chan = connect_channel(*self.endpoint, timeout=2.0)
                 except OSError:
                     return False
+            hits, misses, prefetch_depth = self.cache_fn()
             hb = Heartbeat(
                 member_id=self.member_id,
                 role=self.role,
@@ -267,6 +289,9 @@ class HeartbeatPublisher:
                 seq=self._seq,
                 progress=int(self.progress_fn()),
                 queue_depth=int(self.queue_depth_fn()),
+                cache_hits=int(hits),
+                cache_misses=int(misses),
+                prefetch_depth=int(prefetch_depth),
                 state=state,
                 detail=detail,
             )

@@ -35,6 +35,9 @@ class StorageServer:
         profile: NetworkProfile | None = None,
     ) -> None:
         self.storage = LocalStorage(root)
+        self._channels: list[Channel] = []
+        self._chan_lock = threading.Lock()
+        self._closed = False
         self._listener = Listener(host=host, port=port, profile=profile)
         self._listener.serve_forever(self._serve)
         self.requests_served = 0
@@ -51,6 +54,11 @@ class StorageServer:
         return self._listener.port
 
     def _serve(self, chan: Channel) -> None:
+        with self._chan_lock:
+            if self._closed:
+                chan.close()
+                return
+            self._channels.append(chan)
         try:
             while True:
                 try:
@@ -62,6 +70,9 @@ class StorageServer:
                     self.requests_served += 1
         finally:
             chan.close()
+            with self._chan_lock:
+                if chan in self._channels:
+                    self._channels.remove(chan)
 
     def _handle(self, req: dict) -> dict:
         try:
@@ -80,5 +91,16 @@ class StorageServer:
             return {"ok": False, "error": f"{type(err).__name__}: {err}"}
 
     def close(self) -> None:
-        """Release resources."""
+        """Stop serving and sever every established connection.
+
+        Dropping live channels matters for fault emulation: a "dead"
+        server whose accepted connections keep answering reads is not
+        dead — clients mid-epoch must observe connection errors, exactly
+        as they would if the process crashed.
+        """
+        with self._chan_lock:
+            self._closed = True
+            channels = list(self._channels)
         self._listener.close()
+        for chan in channels:
+            chan.close()

@@ -16,11 +16,14 @@ Usage::
 
     python -m repro.tools.benchcheck PATH [PATH ...]
     python -m repro.tools.benchcheck --compare BASELINE CURRENT \\
-        [--min-ratio R] [--metric DOTTED.PATH]
+        [--min-ratio R] [--metric DOTTED.PATH] [--baseline-metric DOTTED.PATH]
 
 ``--compare`` exits nonzero when ``CURRENT``'s metric falls below
 ``min-ratio × BASELINE``'s — the regression gate.  ``--min-ratio`` above
 1 turns it into an improvement gate (e.g. shm must beat tcp by 1.5x).
+``--baseline-metric`` reads a different path from the baseline file, so
+passing one snapshot as both sides gates a within-file ratio (warm-cache
+vs cold-remote throughput).
 """
 
 from __future__ import annotations
@@ -115,30 +118,38 @@ def compare_snapshots(
     current: str | Path,
     min_ratio: float = 1.0,
     metric: str = DEFAULT_METRIC,
+    baseline_metric: str | None = None,
 ) -> tuple[float | None, list[str]]:
     """Compare one metric across two snapshots.
 
     Returns ``(ratio, problems)`` where ``ratio = current / baseline``;
     ``problems`` is non-empty when a file or the metric is unusable, or
     the ratio falls below ``min_ratio``.
+
+    ``baseline_metric`` reads a *different* dotted path from the baseline
+    file — the cross-metric gate.  Passing the same file twice then turns
+    ``--compare`` into a within-snapshot ratio check (e.g. warm-cache vs
+    cold-remote throughput inside one micro envelope).
     """
+    base_metric = baseline_metric if baseline_metric is not None else metric
     base_obj, problems = _load(baseline)
     cur_obj, cur_problems = _load(current)
     problems += cur_problems
     if base_obj is None or cur_obj is None:
         return None, problems
-    base = _lookup(base_obj, metric)
+    base = _lookup(base_obj, base_metric)
     cur = _lookup(cur_obj, metric)
     if base is None or base <= 0:
-        problems.append(f"{baseline}: metric {metric!r} missing or non-positive")
+        problems.append(f"{baseline}: metric {base_metric!r} missing or non-positive")
     if cur is None or cur <= 0:
         problems.append(f"{current}: metric {metric!r} missing or non-positive")
     if problems:
         return None, problems
     ratio = cur / base
     if ratio < min_ratio:
+        vs = metric if base_metric == metric else f"baseline {base_metric}"
         problems.append(
-            f"{current}: {metric} regressed — {cur:.1f} vs baseline {base:.1f} "
+            f"{current}: {metric} regressed — {cur:.1f} vs {vs} {base:.1f} "
             f"(ratio {ratio:.3f} < required {min_ratio:.3f})"
         )
     return ratio, problems
@@ -164,6 +175,12 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_METRIC,
         help=f"dotted metric path for --compare (default {DEFAULT_METRIC})",
     )
+    parser.add_argument(
+        "--baseline-metric",
+        default=None,
+        help="dotted metric path read from BASELINE instead of --metric "
+        "(cross-metric gates, e.g. warm vs cold within one snapshot)",
+    )
     args = parser.parse_args(argv)
     if args.compare is None and not args.paths:
         parser.error("pass snapshot paths to validate, or --compare BASELINE CURRENT")
@@ -173,12 +190,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.compare is not None:
         baseline, current = args.compare
         ratio, cmp_problems = compare_snapshots(
-            baseline, current, min_ratio=args.min_ratio, metric=args.metric
+            baseline, current, min_ratio=args.min_ratio, metric=args.metric,
+            baseline_metric=args.baseline_metric,
         )
         problems += cmp_problems
         if ratio is not None and not cmp_problems:
+            base_label = args.baseline_metric or args.metric
             print(
-                f"benchcheck: {args.metric} ratio {ratio:.3f} "
+                f"benchcheck: {args.metric} / {base_label} ratio {ratio:.3f} "
                 f">= {args.min_ratio:.3f} ({current} vs {baseline})"
             )
     for problem in problems:

@@ -38,8 +38,13 @@ def _render_members(members: list[dict], out=None) -> None:
         return
     # RATE/S is the progress *delta* (observed throughput, EWMA), not the
     # raw counter — a watch wants "how fast", the counter is in --json.
-    rows = [("MEMBER", "ROLE", "STATUS", "STATE", "RATE/S", "QDEPTH", "BEATS")]
+    rows = [("MEMBER", "ROLE", "STATUS", "STATE", "RATE/S", "QDEPTH", "HIT%", "BEATS")]
     for m in sorted(members, key=lambda m: (m["role"], m["member_id"])):
+        hits = m.get("cache_hits", 0)
+        misses = m.get("cache_misses", 0)
+        # "-" for members that never touched a storage cache (receivers,
+        # uncached daemons) — 0% would wrongly read as "all misses".
+        hit_pct = "-" if hits + misses == 0 else f"{100 * hits / (hits + misses):.0f}%"
         rows.append(
             (
                 m["member_id"],
@@ -48,6 +53,7 @@ def _render_members(members: list[dict], out=None) -> None:
                 m.get("state", "-"),
                 f"{m.get('rate', 0.0):.1f}",
                 str(m.get("queue_depth", 0)),
+                hit_pct,
                 str(m.get("beats", 0)),
             )
         )

@@ -104,6 +104,36 @@ def test_view_tracks_rate_and_queue_depth():
     assert view.members()["r:0"].rate < stuck
 
 
+def test_heartbeat_cache_counters_roundtrip():
+    hb = Heartbeat(
+        "daemon:0@r", "daemon", cache_hits=3, cache_misses=1, prefetch_depth=2
+    )
+    assert decode_heartbeat(encode_heartbeat(hb)) == hb
+
+
+def test_heartbeat_cache_fields_default_for_old_publishers():
+    # A pre-cache beat (no "ch"/"cm"/"pf" fields) still decodes.
+    hb = decode_heartbeat(b'{"id": "m", "role": "daemon"}')
+    assert (hb.cache_hits, hb.cache_misses, hb.prefetch_depth) == (0, 0, 0)
+
+
+def test_view_tracks_cache_counters():
+    view = ClusterView(
+        MembershipConfig(interval_s=1.0, dead_threshold=100, hung_after_s=0.0)
+    )
+    view.observe(
+        Heartbeat("d:0", "daemon", cache_hits=9, cache_misses=3, prefetch_depth=4)
+    )
+    m = view.members()["d:0"]
+    assert (m.cache_hits, m.cache_misses, m.prefetch_depth) == (9, 3, 4)
+    snap = m.snapshot()
+    assert snap["cache_hit_rate"] == 0.75
+    assert snap["prefetch_depth"] == 4
+    # A member whose cache never saw a read has no rate, not a zero rate.
+    view.observe(Heartbeat("r:0", "receiver"))
+    assert view.members()["r:0"].snapshot()["cache_hit_rate"] is None
+
+
 # -- scale-out selection -------------------------------------------------------
 
 
@@ -245,6 +275,39 @@ def test_plan_shard_ownership_respects_reachability_and_only():
             plan, DeliveryLedger(None), {"a": None},
             reachable=lambda root, path: False,
         ).plan_shard_ownership(["a"])
+
+
+# -- cache-locality tie-breaking (daemon failover) -----------------------------
+
+
+def test_failover_prefers_root_with_cached_bytes_when_load_ties():
+    plan = _mk_plan({0: 4})  # one shard: s0 -> s0.tfrecord
+    roots = {"dead": {"s0"}, "a": set(), "b": set()}
+    engine = _engine(
+        plan, roots=roots,
+        root_loads={"b": MemberLoad(cached_shards={"s0.tfrecord"})},
+    )
+    # Loads tie (no throughput or queue signal anywhere): the survivor
+    # whose hot-set cache already holds the shard's bytes takes over.
+    assert engine.plan_failover("dead", epoch=0) == {"b": {"s0"}}
+    # Without the cache signal the deterministic name tie-break picks "a".
+    assert _engine(plan, roots=roots).plan_failover("dead", epoch=0) == {"a": {"s0"}}
+
+
+def test_cache_locality_stays_subordinate_to_load():
+    plan = _mk_plan({0: 4})
+    roots = {"dead": {"s0"}, "a": set(), "b": set()}
+    engine = _engine(
+        plan, roots=roots,
+        root_loads={
+            "a": MemberLoad(throughput=1.0),
+            "b": MemberLoad(
+                throughput=1.0, queue_depth=8, cached_shards={"s0.tfrecord"}
+            ),
+        },
+    )
+    # b holds the bytes but sits on a deep queue: load wins, a takes over.
+    assert engine.plan_failover("dead", epoch=0) == {"a": {"s0"}}
 
 
 # -- elastic policy ------------------------------------------------------------

@@ -199,6 +199,18 @@ def test_cluster_cli_renders_rates_queue_depth_and_rebalance(tmp_path, capsys):
     assert "RATE/S" in out and "QDEPTH" in out
     assert "12.3" in out and " 3 " in out.replace("\n", " ")
 
+    # A daemon with cache counters renders a HIT%; members without any
+    # cache reads render "-" (the receiver above has no counters at all).
+    daemon = dict(
+        member, member_id="daemon:0@/data", role="daemon",
+        cache_hits=9, cache_misses=3,
+    )
+    _render_members([member, daemon])
+    out = capsys.readouterr().out
+    assert "HIT%" in out
+    assert "75%" in out
+    assert out.count("-") >= 1  # the cache-less receiver's HIT% column
+
     snap = {
         "membership": {"members": [member]},
         "num_nodes": 3, "dead_nodes": [], "endpoints": {},
