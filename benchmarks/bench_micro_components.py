@@ -25,9 +25,16 @@ from repro.codec.sjpg import sjpg_decode, sjpg_encode
 from repro.core.config import EMLIOConfig
 from repro.core.planner import Planner
 from repro.data.samples import smooth_image
+from repro.net.buffers import ColumnarSamples
 from repro.serialize.msgpack import packb, unpackb
-from repro.serialize.payload import BatchPayload, decode_batch, encode_batch
+from repro.serialize.payload import (
+    BatchPayload,
+    decode_batch,
+    encode_batch,
+    encode_batch_parts,
+)
 from repro.tfrecord.crc32c import crc32c
+from repro.tfrecord.sharder import pack_example, scan_example_spans
 from repro.tfrecord.writer import frame_record
 
 
@@ -95,6 +102,87 @@ def test_bench_planner(benchmark, small_imagenet_ds):
 
     plan_result = benchmark(plan)
     assert len(plan_result.assignments) > 0
+
+
+# Payload-schema geometry: a daemon-realistic batch — 64 samples of 2 KiB,
+# served either row-wise (v2: per-record views into encode, per-record bins
+# out of decode) or columnar (v3: one framed region + a scanned offsets
+# vector in, offset slicing out).  Large enough that v2's per-record costs
+# dominate; v3's segment count stays O(1) regardless.
+_PAYLOAD_B = 64
+_PAYLOAD_SAMPLE_BYTES = 2048
+
+
+def _payload_pair() -> tuple[BatchPayload, BatchPayload]:
+    """(row-layout, columnar) twins of the same batch.
+
+    The columnar twin is built the way the daemon's serve path builds it:
+    records framed into one contiguous region, sample spans located by the
+    framing scanner, the region itself becoming the wire blob.
+    """
+    samples = [
+        bytes([i % 256]) * _PAYLOAD_SAMPLE_BYTES for i in range(_PAYLOAD_B)
+    ]
+    labels = list(range(_PAYLOAD_B))
+    row = BatchPayload(
+        epoch=0, batch_index=1, shard="shard_00000", samples=samples, labels=labels
+    )
+    region = b"".join(
+        frame_record(pack_example(s, l)) for s, l in zip(samples, labels)
+    )
+    offsets, scanned = scan_example_spans(region, _PAYLOAD_B)
+    columnar = BatchPayload(
+        epoch=0,
+        batch_index=1,
+        shard="shard_00000",
+        samples=ColumnarSamples(memoryview(region), offsets),
+        labels=scanned,
+    )
+    return row, columnar
+
+
+def _roundtrip(payload: BatchPayload, version: int) -> BatchPayload:
+    """The wire path both ends walk: scatter-gather encode, splice (the
+    kernel's job on a real socket), zero-copy decode."""
+    wire = b"".join(bytes(p) for p in encode_batch_parts(payload, version=version))
+    return decode_batch(wire, zero_copy=True)
+
+
+def _payload_schema_components(ops_per_s) -> dict:
+    """v2-vs-v3 payload codec micro-components (smoke-mode table entries)."""
+    row, columnar = _payload_pair()
+    wire2 = encode_batch(row, version=2)
+    wire3 = encode_batch(columnar, version=3)
+    return {
+        "payload_encode_v2": {
+            "batches_per_s": ops_per_s(lambda: encode_batch_parts(row, version=2))
+        },
+        "payload_encode_v3": {
+            "batches_per_s": ops_per_s(lambda: encode_batch_parts(columnar, version=3))
+        },
+        "payload_decode_v2": {
+            "batches_per_s": ops_per_s(lambda: decode_batch(wire2, zero_copy=True))
+        },
+        "payload_decode_v3": {
+            "batches_per_s": ops_per_s(lambda: decode_batch(wire3, zero_copy=True))
+        },
+        "payload_roundtrip_v2": {"batches_per_s": ops_per_s(lambda: _roundtrip(row, 2))},
+        "payload_roundtrip_v3": {
+            "batches_per_s": ops_per_s(lambda: _roundtrip(columnar, 3))
+        },
+    }
+
+
+def test_bench_payload_roundtrip_v2(benchmark):
+    row, _columnar = _payload_pair()
+    decoded = benchmark(_roundtrip, row, 2)
+    assert decoded == row
+
+
+def test_bench_payload_roundtrip_v3(benchmark):
+    row, columnar = _payload_pair()
+    decoded = benchmark(_roundtrip, columnar, 3)
+    assert decoded == row
 
 
 # Raw-transport geometry: frames the size of a bench-loopback ring frame
@@ -180,6 +268,7 @@ def main() -> int:
         "sjpg_encode": {"ops_per_s": ops_per_s(lambda: sjpg_encode(img, 80), rounds=10)},
         "sjpg_decode": {"ops_per_s": ops_per_s(lambda: sjpg_decode(enc), rounds=10)},
     }
+    components.update(_payload_schema_components(ops_per_s))
     # Transport: best of three rounds each (min is the right statistic for
     # a fixed workload — everything above it is scheduler noise).
     mb = _FRAMES * _FRAME_BYTES / 1e6

@@ -111,11 +111,13 @@ def _resolve_profile(spec: ClusterSpec) -> NetworkProfile | None:
 
 
 def _resolve_config(spec: ClusterSpec):
-    """The pipeline config with the network section's transport folded in."""
+    """The pipeline config with the network section's transport and the
+    storage section's read-verification policy folded in."""
     return replace(
         spec.pipeline.to_config(),
         transport=spec.network.effective_transport,
         shm_ring_bytes=spec.network.shm_ring_bytes,
+        verify_reads=spec.storage.verify_reads,
     )
 
 

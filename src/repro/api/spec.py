@@ -134,11 +134,13 @@ class PipelineSpec:
     daemon_threads: int = 1
     streams_per_node: int = 2
     prefetch: int = 2
+    workers: int = 1
     output_hw: tuple[int, int] = (64, 64)
     coverage: str = "partition"
     seed: int = 0
     reorder_window: int = 0
     codec: str = "auto"
+    payload_version: int = 3
 
     def __post_init__(self) -> None:
         _require(bool(self.codec) and isinstance(self.codec, str),
@@ -157,10 +159,12 @@ class PipelineSpec:
             daemon_threads=self.daemon_threads,
             streams_per_node=self.streams_per_node,
             prefetch=self.prefetch,
+            workers=self.workers,
             output_hw=self.output_hw,
             coverage=self.coverage,
             seed=self.seed,
             reorder_window=self.reorder_window,
+            payload_version=self.payload_version,
         )
 
     @classmethod
@@ -218,6 +222,11 @@ class StorageSpec:
     ``latency_ms`` emulates per-request round-trip latency on the
     ``objectstore`` backend — the knob that makes a local directory
     behave like a remote range-GET store.
+
+    ``verify_reads`` sets the daemons' CRC policy: ``True`` checks every
+    record as it is read (the default), ``"open"`` walks the whole shard's
+    CRCs once at open and trusts the mapping afterwards, ``False`` skips
+    verification entirely.
     """
 
     num_daemons: int = 1
@@ -225,10 +234,14 @@ class StorageSpec:
     backend: str = "localfs"
     cache_bytes: int = 0
     latency_ms: float = 0.0
+    verify_reads: bool | str = True
 
     def __post_init__(self) -> None:
         _require(self.num_daemons >= 1,
                  f"storage.num_daemons must be >= 1, got {self.num_daemons}")
+        _require(isinstance(self.verify_reads, bool) or self.verify_reads == "open",
+                 "storage.verify_reads must be true, false, or 'open', "
+                 f"got {self.verify_reads!r}")
         _require(bool(self.backend), "storage.backend must be non-empty")
         _require(self.cache_bytes >= 0,
                  f"storage.cache_bytes must be >= 0, got {self.cache_bytes}")

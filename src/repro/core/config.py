@@ -31,6 +31,11 @@ class EMLIOConfig:
         Parallel TCP/MQ streams per (daemon, node) pair.
     prefetch:
         Q — receiver-side DALI prefetch queue depth (Algorithm 3).
+    workers:
+        Receiver-side preprocess worker threads (the DALI-style pool).
+        1 keeps the single prefetch thread; >1 decodes/augments batches
+        concurrently — sjpg/scipy/numpy release the GIL — with
+        order-preserving reassembly on output.
     output_hw:
         Spatial size of preprocessed tensors.
     coverage:
@@ -69,6 +74,11 @@ class EMLIOConfig:
         Cap on concurrently open shard handles per daemon (each localfs
         handle pins an fd + mmap).  Least-recently-used handles beyond
         the cap are closed; a re-touched shard simply reopens.
+    payload_version:
+        Wire schema the daemon emits (see :mod:`repro.serialize.payload`).
+        3 (default) is the columnar layout; 2 forces the row layout — the
+        mixed-version fallback knob.  Receivers decode either, so nodes
+        on different versions interoperate.
     """
 
     batch_size: int = 32
@@ -77,6 +87,7 @@ class EMLIOConfig:
     daemon_threads: int = 1
     streams_per_node: int = 2
     prefetch: int = 2
+    workers: int = 1
     output_hw: tuple[int, int] = (64, 64)
     coverage: str = "partition"
     seed: int = 0
@@ -85,6 +96,7 @@ class EMLIOConfig:
     transport: str = "tcp"
     shm_ring_bytes: int = 8 * 1024 * 1024
     max_open_shards: int = 64
+    payload_version: int = 3
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -99,6 +111,8 @@ class EMLIOConfig:
             raise ValueError(f"streams_per_node must be >= 1, got {self.streams_per_node}")
         if self.prefetch < 1:
             raise ValueError(f"prefetch must be >= 1, got {self.prefetch}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.coverage not in ("partition", "replicate"):
             raise ValueError(f"coverage must be 'partition' or 'replicate', got {self.coverage!r}")
         if self.reorder_window < AUTO_REORDER:
@@ -121,6 +135,10 @@ class EMLIOConfig:
         if self.max_open_shards < 1:
             raise ValueError(
                 f"max_open_shards must be >= 1, got {self.max_open_shards}"
+            )
+        if self.payload_version not in (2, 3):
+            raise ValueError(
+                f"payload_version must be 2 or 3, got {self.payload_version!r}"
             )
 
     def resolve_reorder_window(self, override: int | None = None) -> int:

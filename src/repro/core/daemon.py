@@ -43,10 +43,11 @@ from repro.core.recovery import DaemonKilled, EpochServeError, NodeUnreachable
 from repro.energy.power_models import BusyWindowTracker
 from repro.net.emulation import NetworkProfile
 from repro.net.mq import PushSocket, ReconnectPolicy
+from repro.net.buffers import ColumnarSamples
 from repro.net.shm import ShmHandshakeRefused, ShmPushSocket, shm_eligible
 from repro.serialize.payload import BatchPayload, encode_batch_parts
 from repro.storage.backend import LocalFSBackend, ShardHandle, StorageBackend
-from repro.tfrecord.sharder import unpack_example
+from repro.tfrecord.sharder import scan_example_spans, unpack_example
 from repro.util.clock import MonotonicClock
 from repro.util.logging import TimestampLogger
 
@@ -360,20 +361,18 @@ class EMLIODaemon:
             if self.shard_filter is not None and a.shard not in self.shard_filter:
                 continue
             try:
-                records = self._reader(a.shard_path).read_range_views(
-                    a.offset, a.count, nbytes=a.nbytes
-                )
-                pairs = [unpack_example(r, zero_copy=True) for r in records]
+                samples, labels = self._read_batch(a, self._reader(a.shard_path))
                 encode_batch_parts(
                     BatchPayload(
                         epoch=a.epoch,
                         batch_index=a.batch_index,
                         shard=a.shard,
-                        samples=[s for s, _l in pairs],
-                        labels=[l for _s, l in pairs],
+                        samples=samples,
+                        labels=labels,
                         node_id=a.node_id,
                         seq=a.batch_index,
-                    )
+                    ),
+                    version=self.config.payload_version,
                 )
             except (OSError, ValueError):
                 pass  # surfaces again, properly, on the serve path
@@ -460,6 +459,37 @@ class EMLIODaemon:
             self.stats.tick()  # throttled-but-alive, for heartbeat progress
             self._clock.sleep(_KILL_POLL_S)
 
+    def _read_batch(self, a: BatchAssignment, reader: ShardHandle):
+        """Read one assignment's samples + labels through the tier.
+
+        Columnar fast path (``payload_version >= 3``): one ``read_region``
+        of the planned byte range, one framing scan — the batch goes out
+        as a :class:`~repro.net.buffers.ColumnarSamples` over the region
+        itself, so the encoder emits O(1) segments and nothing walks the
+        records in Python.  Any layout the scanner rejects (or a handle
+        without ``read_region``) degrades to the per-record zero-copy
+        path, which also re-raises CRC failures with proper diagnostics.
+        """
+        if self.config.payload_version >= 3:
+            read_region = getattr(reader, "read_region", None)
+            if read_region is not None:
+                try:
+                    region, needs_verify = read_region(a.offset, a.count, a.nbytes)
+                    offsets, labels = scan_example_spans(
+                        region, a.count, verify=needs_verify
+                    )
+                    return ColumnarSamples(region, offsets), labels
+                except ValueError:
+                    pass
+        records = reader.read_range_views(a.offset, a.count, nbytes=a.nbytes)
+        samples = []
+        labels = []
+        for record in records:
+            sample, label = unpack_example(record, zero_copy=True)
+            samples.append(sample)
+            labels.append(label)
+        return samples, labels
+
     def _send_worker(
         self,
         assignments: list[BatchAssignment],
@@ -488,21 +518,16 @@ class EMLIODaemon:
             t0 = self._clock.now()
             reader = self._acquire_reader(a.shard_path)
             try:
-                # Zero-copy serve path: record views over the tier's buffer
-                # (mmap'ed shard or fetched block), samples as sub-views,
-                # scatter-gather encode.  The views keep that buffer alive
-                # on their own, so the transport may replay them even after
-                # the handle is LRU-evicted.
-                records = reader.read_range_views(a.offset, a.count, nbytes=a.nbytes)
+                # Zero-copy serve path: views over the tier's buffer
+                # (mmap'ed shard or fetched block) — one contiguous region
+                # under the columnar schema, per-record sub-views otherwise.
+                # The views keep that buffer alive on their own, so the
+                # transport may replay them even after the handle is
+                # LRU-evicted.
+                samples, labels = self._read_batch(a, reader)
             finally:
                 self._release_reader(a.shard_path)
             t1 = self._clock.now()
-            samples = []
-            labels = []
-            for record in records:
-                sample, label = unpack_example(record, zero_copy=True)
-                samples.append(sample)
-                labels.append(label)
             if tuple(labels) != a.labels:
                 raise RuntimeError(
                     f"shard {a.shard} labels diverge from plan at batch "
@@ -517,7 +542,8 @@ class EMLIODaemon:
                     labels=labels,
                     node_id=a.node_id,
                     seq=a.batch_index,
-                )
+                ),
+                version=self.config.payload_version,
             )
             nbytes = sum(len(p) for p in parts)
             t2 = self._clock.now()

@@ -129,6 +129,9 @@ class Member:
     cache_hits: int = 0  # cumulative storage-cache hits, from beats
     cache_misses: int = 0  # cumulative storage-cache misses, from beats
     prefetch_depth: int = 0  # planned ranges still queued for prefetch
+    decode_ns: int = 0  # mean payload-deserialize ns per batch, from beats
+    preprocess_ns: int = 0  # mean decode/augment ns per batch, from beats
+    starved_ns: int = 0  # mean consumer-starved ns per batch, from beats
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -152,6 +155,9 @@ class Member:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": None if rate is None else round(rate, 3),
             "prefetch_depth": self.prefetch_depth,
+            "decode_ns": self.decode_ns,
+            "preprocess_ns": self.preprocess_ns,
+            "starved_ns": self.starved_ns,
             "beats": self.beats,
             "last_seen": self.last_seen,
         }
@@ -258,6 +264,9 @@ class ClusterView:
             m.cache_hits = hb.cache_hits
             m.cache_misses = hb.cache_misses
             m.prefetch_depth = hb.prefetch_depth
+            m.decode_ns = hb.decode_ns
+            m.preprocess_ns = hb.preprocess_ns
+            m.starved_ns = hb.starved_ns
             advanced = hb.progress != m.progress
             if advanced:
                 m.progress = hb.progress

@@ -25,6 +25,7 @@ from __future__ import annotations
 import collections
 import queue
 import threading
+import time
 from typing import Iterable, Iterator
 
 import numpy as np
@@ -34,7 +35,7 @@ from repro.core.planner import BatchPlan
 from repro.core.provider import BatchProvider, ProviderAborted
 from repro.core.recovery import DeliveryLedger
 from repro.gpu.device import SimulatedGPU
-from repro.gpu.pipeline import EndOfData, Pipeline
+from repro.gpu.pipeline import EndOfData, Pipeline, PipelineStats
 from repro.net.emulation import NetworkProfile
 from repro.net.mq import PullSocket
 from repro.serialize.payload import decode_batch
@@ -96,6 +97,10 @@ class EMLIOReceiver:
             host=host, port=port, hwm=config.hwm, profile=profile, pooled=True
         )
         self._payload_q: queue.Queue = queue.Queue()
+        # One stats object across every epoch's pipeline: per-stage decode /
+        # preprocess / starved timing accumulates deployment-wide and feeds
+        # heartbeats + Deployment.status()["pipeline"].
+        self.pipeline_stats = PipelineStats()
         # Future-epoch payloads parked by one epoch's provider for the next
         # (daemons may pipeline epoch e+1 while epoch e still drains).
         self._holdover: collections.deque = collections.deque()
@@ -273,7 +278,9 @@ class EMLIOReceiver:
             # lease travels with them (LeasedSamples) and is released by
             # the final consumer — pipeline after preprocess, or provider
             # on dedup/stale drop.
+            t0 = time.perf_counter()
             payload = decode_batch(frame.data, zero_copy=True, release=frame.release)
+            self.pipeline_stats.record_decode(time.perf_counter() - t0)
             if payload.node_id != self.node_id:
                 frame.release()
                 raise RuntimeError(
@@ -351,8 +358,10 @@ class EMLIOReceiver:
             gpu=self.gpu,
             output_hw=self.config.output_hw,
             prefetch=self.config.prefetch,
+            workers=self.config.workers,
             seed=self.config.seed + epoch_index,
             preprocess_fn=self.preprocess_fn,
+            stats=self.pipeline_stats,
         )
         pipe.warmup()  # line 4
         self.logger.log("epoch_start", epoch=epoch_index)

@@ -265,6 +265,9 @@ class EMLIOService:
             state_fn=lambda r=r: STATE_SERVING if r.epoch_active else STATE_IDLE,
             # Backpressure signal the placement engine weighs re-plans by.
             queue_depth_fn=lambda r=r: r.queue_depth,
+            # Per-stage pipeline costs (decode / preprocess / starved ns
+            # per batch) for `repro.tools.cluster`'s bottleneck column.
+            stages_fn=lambda r=r: tuple(r.pipeline_stats.per_batch_ns().values()),
         )
 
     @property
@@ -1194,6 +1197,39 @@ class EMLIOService:
                 agg["evictions"] += cache.get("evictions", 0)
         return {"daemons": daemons, "tiers": tiers}
 
+    def pipeline_stage_stats(self) -> dict:
+        """Per-stage consume-pipeline timing aggregated across receivers.
+
+        Sums each receiver's cumulative stage totals, then reports mean
+        per-batch nanoseconds — the deployment-wide view of where a
+        consumed batch's time goes (payload decode, preprocess work,
+        consumer starvation), plus per-node detail.
+        """
+        decode_s = preprocess_s = wait_s = 0.0
+        decode_batches = batches = 0
+        per_node = {}
+        for i, r in enumerate(self.receivers):
+            snap = r.pipeline_stats.snapshot()
+            decode_s += snap["decode_s"]
+            preprocess_s += snap["preprocess_s"]
+            wait_s += snap["wait_s"]
+            decode_batches += snap["decode_batches"]
+            batches += snap["batches"]
+            per_node[str(i)] = {
+                "decode_ns": snap["decode_ns"],
+                "preprocess_ns": snap["preprocess_ns"],
+                "starved_ns": snap["starved_ns"],
+                "batches": snap["batches"],
+            }
+        return {
+            "decode_ns": int(decode_s / decode_batches * 1e9) if decode_batches else 0,
+            "preprocess_ns": int(preprocess_s / batches * 1e9) if batches else 0,
+            "starved_ns": int(wait_s / batches * 1e9) if batches else 0,
+            "batches": batches,
+            "workers": self.config.workers,
+            "nodes": per_node,
+        }
+
     def stats(self) -> dict[str, dict]:
         # node_id -> transport actually used ("shm"/"tcp"), merged across
         # daemons; an shm attach anywhere on a node means the node got shm.
@@ -1213,6 +1249,7 @@ class EMLIOService:
             "transports": {str(n): t for n, t in sorted(transports.items())},
             "shm_attaches": sum(r.shm_attaches for r in self.receivers),
             "storage": self.storage_stats(),
+            "stages": self.pipeline_stage_stats(),
         }
 
     def cluster_status(self) -> dict:

@@ -96,6 +96,30 @@ class SimulatedGPU:
             self.tracker.add_busy(modeled_s)
         return result
 
+    def submit_overlapped(self, kernel: Callable[[], Any], modeled_s: float) -> Any:
+        """Run ``kernel`` host-side, then occupy the stream for ``modeled_s``.
+
+        The worker-pool submission path: the *real* numpy work runs outside
+        the stream lock — N preprocess workers overlap on host CPU, exactly
+        the DALI model where decode/augment kernels are prepared in parallel
+        and only their launches serialize on the stream.  The lock is taken
+        just for the modeled occupancy (a sleep in realtime mode, pure
+        accounting otherwise), so modeled GPU time stays serial while host
+        work scales with the pool.
+        """
+        if modeled_s < 0:
+            raise ValueError(f"modeled_s must be >= 0, got {modeled_s}")
+        result = kernel()
+        with self._stream_lock:
+            if self.realtime and modeled_s > 0:
+                self._clock.sleep(modeled_s)
+        with self._acct_lock:
+            self.busy_s += modeled_s
+            self.kernels_run += 1
+        if self.tracker is not None:
+            self.tracker.add_busy(modeled_s)
+        return result
+
     def snapshot(self) -> dict[str, float]:
         """Point-in-time copy of the counters."""
         with self._acct_lock:

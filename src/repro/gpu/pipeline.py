@@ -6,8 +6,11 @@ Reproduces the DALI behaviours EMLIO depends on (paper §4.4, Algorithm 3):
   BatchProvider plugs in here; baselines plug in their own readers);
 * prefetch queue depth ``Q`` with warm-up (Algorithm 3 line 4 runs ``Q``
   iterations to fill internal buffers);
-* ``exec_async``/``exec_pipelined`` — a background worker thread decodes and
-  augments *ahead* of the consumer, overlapping preprocess with training.
+* ``exec_async``/``exec_pipelined`` — background workers decode and
+  augment *ahead* of the consumer, overlapping preprocess with training;
+* ``workers`` — DALI's ``num_threads``: with N > 1 a bounded pool
+  preprocesses batches concurrently (sjpg/scipy/numpy release the GIL)
+  and a sequence-ordered reassembly stage keeps output in source order.
 
 ``run()`` returns the next preprocessed batch (float32 NCHW + labels),
 blocking until one is ready — the ``pipe.run()`` of Algorithm 3 line 7.
@@ -35,12 +38,20 @@ class EndOfData(Exception):
 
 @dataclass
 class PipelineStats:
-    """Counters for overlap analysis."""
+    """Counters for overlap analysis, per stage of the consume path.
+
+    ``decode_s``/``decode_batches`` are recorded by whoever deserializes
+    payloads ahead of the pipeline (the receiver's socket thread), so one
+    shared ``PipelineStats`` describes the whole decode → preprocess →
+    consume chain; :meth:`per_batch_ns` is the heartbeat-friendly view.
+    """
 
     batches: int = 0
     samples: int = 0
-    wait_s: float = 0.0  # consumer time blocked on run()
+    wait_s: float = 0.0  # consumer time blocked on run() — "starved"
     preprocess_s: float = 0.0  # worker time spent in decode/augment
+    decode_s: float = 0.0  # payload deserialize time (receiver side)
+    decode_batches: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_batch(self, n: int, preprocess_s: float) -> None:
@@ -52,6 +63,56 @@ class PipelineStats:
     def record_wait(self, seconds: float) -> None:
         with self._lock:
             self.wait_s += seconds
+
+    def record_decode(self, seconds: float) -> None:
+        with self._lock:
+            self.decode_s += seconds
+            self.decode_batches += 1
+
+    def per_batch_ns(self) -> dict[str, int]:
+        """Mean per-batch stage costs in integer nanoseconds.
+
+        ``decode_ns`` averages over decoded payloads, ``preprocess_ns`` and
+        ``starved_ns`` over consumed batches; all 0 until the first batch.
+        """
+        with self._lock:
+            return {
+                "decode_ns": (
+                    int(self.decode_s / self.decode_batches * 1e9)
+                    if self.decode_batches
+                    else 0
+                ),
+                "preprocess_ns": (
+                    int(self.preprocess_s / self.batches * 1e9) if self.batches else 0
+                ),
+                "starved_ns": (
+                    int(self.wait_s / self.batches * 1e9) if self.batches else 0
+                ),
+            }
+
+    def snapshot(self) -> dict:
+        """Point-in-time totals plus the per-batch stage view."""
+        with self._lock:
+            decode_ns = (
+                int(self.decode_s / self.decode_batches * 1e9)
+                if self.decode_batches
+                else 0
+            )
+            preprocess_ns = (
+                int(self.preprocess_s / self.batches * 1e9) if self.batches else 0
+            )
+            starved_ns = int(self.wait_s / self.batches * 1e9) if self.batches else 0
+            return {
+                "batches": self.batches,
+                "samples": self.samples,
+                "wait_s": self.wait_s,
+                "preprocess_s": self.preprocess_s,
+                "decode_s": self.decode_s,
+                "decode_batches": self.decode_batches,
+                "decode_ns": decode_ns,
+                "preprocess_ns": preprocess_ns,
+                "starved_ns": starved_ns,
+            }
 
 
 class Pipeline:
@@ -68,17 +129,30 @@ class Pipeline:
         Spatial size of the produced tensors.
     prefetch:
         Queue depth Q.
+    workers:
+        Preprocess threads (DALI ``num_threads``).  1 (default) keeps the
+        single fetch+preprocess thread; N > 1 adds a pool: one fetch
+        thread stamps each batch with a sequence number (the source stays
+        serial — EMLIO's provider is stateful), N workers preprocess
+        concurrently, and output is reassembled in sequence order, so
+        consumers observe the exact single-worker batch order.
     exec_async:
-        When True (DALI default), a worker thread prefetches; when False,
+        When True (DALI default), worker threads prefetch; when False,
         ``run()`` preprocesses synchronously (used to measure the benefit
-        of pipelining in ablations).
+        of pipelining in ablations; ``workers`` is then moot).
     seed:
-        Seed for augmentation randomness.
+        Seed for augmentation randomness.  Under a pool, each batch's rng
+        derives from ``(seed, sequence)`` so augmentation is deterministic
+        regardless of which worker picks the batch up.
     preprocess_fn:
         ``(samples, output_hw, rng) -> batch array`` replacing the default
         image path (decode → crop/resize → normalize).  Codec registries
         resolve spec strings to these — e.g. the ``tokens`` codec stacks
         framed-token records with no resize at all.
+    stats:
+        Optional shared :class:`PipelineStats` — the receiver passes one
+        that outlives per-epoch pipelines (and carries its decode timing),
+        so stage costs accumulate across the deployment.
     """
 
     def __init__(
@@ -87,40 +161,71 @@ class Pipeline:
         gpu: SimulatedGPU | None = None,
         output_hw: tuple[int, int] = (64, 64),
         prefetch: int = 2,
+        workers: int = 1,
         exec_async: bool = True,
         seed: int = 0,
         preprocess_fn: Callable[[list[bytes], tuple[int, int], np.random.Generator], np.ndarray]
         | None = None,
+        stats: PipelineStats | None = None,
     ) -> None:
         if prefetch < 1:
             raise ValueError(f"prefetch must be >= 1, got {prefetch}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.external_source = external_source
         self.gpu = gpu or SimulatedGPU()
         self.output_hw = output_hw
         self.prefetch = prefetch
+        self.workers = workers
         self.exec_async = exec_async
+        self.seed = seed
         self.preprocess_fn = preprocess_fn or preprocess_batch
-        self.stats = PipelineStats()
+        self.stats = stats if stats is not None else PipelineStats()
         self._rng = np.random.default_rng(seed)
         self._clock = MonotonicClock()
         self._out: queue.Queue = queue.Queue(maxsize=prefetch)
-        self._worker: threading.Thread | None = None
+        self._in: queue.Queue = queue.Queue(maxsize=workers)
+        self._worker: threading.Thread | None = None  # fetch (or only) thread
+        self._pool: list[threading.Thread] = []
+        self._pending: dict[int, object] = {}
+        self._next_emit = 0
+        self._emit_lock = threading.Lock()
         self._stopped = threading.Event()
         self._built = False
 
     # -- lifecycle -------------------------------------------------------------
 
     def build(self) -> "Pipeline":
-        """Start the prefetch worker (idempotent)."""
+        """Start the prefetch worker(s) (idempotent)."""
         if self._built:
             return self
         self._built = True
-        if self.exec_async:
+        if not self.exec_async:
+            return self
+        if self.workers == 1:
             self._worker = threading.Thread(
                 target=self._prefetch_loop, daemon=True, name="dali-worker"
             )
             self._worker.start()
+            return self
+        self._pool = [
+            threading.Thread(
+                target=self._pool_worker, daemon=True, name=f"dali-preproc-{i}"
+            )
+            for i in range(self.workers)
+        ]
+        for t in self._pool:
+            t.start()
+        self._worker = threading.Thread(
+            target=self._fetch_loop, daemon=True, name="dali-worker"
+        )
+        self._worker.start()
         return self
+
+    def _threads_alive(self) -> bool:
+        if self._worker is not None and self._worker.is_alive():
+            return True
+        return any(t.is_alive() for t in self._pool)
 
     def warmup(self) -> None:
         """Algorithm 3 line 4: wait until Q batches are buffered (or the
@@ -133,26 +238,30 @@ class Pipeline:
             self._out.qsize() < self.prefetch
             and not self._stopped.is_set()
             and self._clock.now() < deadline
-            # Worker gone (EndOfData / source error already queued): no
-            # further batches are coming, waiting for Q of them would only
-            # burn the deadline.
-            and self._worker is not None
-            and self._worker.is_alive()
+            # All threads gone (EndOfData / source error already queued):
+            # no further batches are coming, waiting for Q of them would
+            # only burn the deadline.
+            and self._threads_alive()
         ):
-            self._clock.sleep(0.001)
+            # Fine-grained poll: warmup overlaps the measured window in
+            # steady-state runs, and a 1 ms tick would overshoot the last
+            # batch's arrival by most of a batch time.
+            self._clock.sleep(0.0002)
 
-    def _preprocess(self, samples: list[bytes], labels: list[int]):
+    def _preprocess(self, samples, labels, rng=None, overlapped: bool = False):
         start = self._clock.now()
         mpix = batch_megapixels(samples)
         modeled = self.gpu.cost_model.decode_time(mpix) + self.gpu.cost_model.augment_time(mpix)
-        tensors = self.gpu.submit(
-            lambda: self.preprocess_fn(samples, self.output_hw, self._rng), modeled
-        )
+        rng = self._rng if rng is None else rng
+        submit = self.gpu.submit_overlapped if overlapped else self.gpu.submit
+        tensors = submit(lambda: self.preprocess_fn(samples, self.output_hw, rng), modeled)
         # Tensors are materialized — the encoded sample views are dead, so
         # hand the receive buffer back to its pool (no-op for plain lists).
         release_samples(samples)
         self.stats.record_batch(len(samples), self._clock.now() - start)
         return tensors, np.asarray(labels, dtype=np.int64)
+
+    # -- single-worker path (workers == 1) -------------------------------------
 
     def _prefetch_loop(self) -> None:
         while not self._stopped.is_set():
@@ -172,6 +281,77 @@ class Pipeline:
                 self._out.put(err)
                 return
             self._out.put(item)
+
+    # -- pooled path (workers > 1) ---------------------------------------------
+
+    def _emit(self, seq: int, item) -> None:
+        """Sequence-ordered reassembly: buffer until ``seq`` is next, then
+        flush every consecutive ready item to the output queue.
+
+        The blocking put happens under the emit lock — safe because the
+        consumer only ever *takes* from ``_out`` (never this lock), so a
+        full queue always drains.
+        """
+        with self._emit_lock:
+            self._pending[seq] = item
+            while self._next_emit in self._pending:
+                self._out.put(self._pending.pop(self._next_emit))
+                self._next_emit += 1
+
+    def _put_in(self, entry) -> bool:
+        while not self._stopped.is_set():
+            try:
+                self._in.put(entry, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _shutdown_pool(self) -> None:
+        """Hand every pool worker its poison pill (best effort on stop)."""
+        for _ in self._pool:
+            while True:
+                try:
+                    self._in.put(None, timeout=0.05)
+                    break
+                except queue.Full:
+                    if self._stopped.is_set() or not any(
+                        t.is_alive() for t in self._pool
+                    ):
+                        return
+
+    def _fetch_loop(self) -> None:
+        seq = 0
+        while not self._stopped.is_set():
+            try:
+                samples, labels = self.external_source()
+            except EndOfData:
+                self._emit(seq, EndOfData)
+                break
+            except Exception as err:
+                self._emit(seq, err)
+                break
+            if not self._put_in((seq, samples, labels)):
+                break
+            seq += 1
+        self._shutdown_pool()
+
+    def _pool_worker(self) -> None:
+        while True:
+            entry = self._in.get()
+            if entry is None:
+                return
+            seq, samples, labels = entry
+            try:
+                item = self._preprocess(
+                    samples,
+                    labels,
+                    rng=np.random.default_rng((self.seed, seq)),
+                    overlapped=True,
+                )
+            except Exception as err:
+                item = err
+            self._emit(seq, item)
 
     # -- consumption -------------------------------------------------------------
 
@@ -208,17 +388,27 @@ class Pipeline:
                 return
 
     def teardown(self) -> None:
-        """Stop the worker and drop buffered batches (Algorithm 3 line 11)."""
+        """Stop the workers and drop buffered batches (Algorithm 3 line 11)."""
         self._stopped.set()
-        if self._worker is not None:
-            # Keep draining so a worker blocked on a full queue can exit.
-            deadline = self._clock.now() + 10.0
-            while self._worker.is_alive() and self._clock.now() < deadline:
+        threads = [t for t in [self._worker, *self._pool] if t is not None]
+        if not threads:
+            return
+        # Keep draining (and feeding pool pills) so threads blocked on a
+        # full queue — or waiting for work — can exit.
+        deadline = self._clock.now() + 10.0
+        while any(t.is_alive() for t in threads) and self._clock.now() < deadline:
+            try:
+                self._out.get_nowait()
+            except queue.Empty:
+                pass
+            for _ in self._pool:
                 try:
-                    self._out.get_nowait()
-                except queue.Empty:
-                    pass
-                self._worker.join(timeout=0.02)
+                    self._in.put_nowait(None)
+                except queue.Full:
+                    break
+            for t in threads:
+                if t.is_alive():
+                    t.join(timeout=0.02)
 
     def __enter__(self) -> "Pipeline":
         self.build()

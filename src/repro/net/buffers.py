@@ -27,7 +27,14 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
-__all__ = ["BufferPool", "PooledBuffer", "PooledFrame", "LeasedSamples", "release_samples"]
+__all__ = [
+    "BufferPool",
+    "ColumnarSamples",
+    "PooledBuffer",
+    "PooledFrame",
+    "LeasedSamples",
+    "release_samples",
+]
 
 
 class PooledBuffer:
@@ -133,6 +140,73 @@ class LeasedSamples(list):
     def __init__(self, samples, release: Callable[[], None] | None = None) -> None:
         super().__init__(samples)
         self._release = release
+
+    def release(self) -> None:
+        """Release the underlying receive buffer (idempotent)."""
+        release, self._release = self._release, None
+        if release is not None:
+            release()
+
+
+class ColumnarSamples:
+    """A batch's samples as one blob plus per-sample (start, end) offsets.
+
+    The columnar payload layout (schema v3, see
+    :mod:`repro.serialize.payload`): ``blob`` is a single contiguous
+    byte buffer — on the daemon side the framed mmap region itself, on the
+    receive side the in-place payload bin — and ``offsets`` is a flat
+    ``2B``-long vector of u32 ``(start, end)`` pairs addressing each
+    sample's bytes inside it.  Sample views materialize lazily on access
+    by offset slicing, so decoding a batch does zero per-record work.
+
+    Like :class:`LeasedSamples`, carries the receive-buffer lease: the
+    final consumer calls ``release()`` once the views are dead.
+    """
+
+    __slots__ = ("blob", "offsets", "_release")
+
+    def __init__(self, blob, offsets, release: Callable[[], None] | None = None) -> None:
+        self.blob = blob
+        self.offsets = offsets
+        self._release = release
+
+    def __len__(self) -> int:
+        return len(self.offsets) // 2
+
+    def __getitem__(self, i):
+        n = len(self)
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(n))]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"sample index {i} out of range for batch of {n}")
+        return self.blob[self.offsets[2 * i] : self.offsets[2 * i + 1]]
+
+    def __iter__(self):
+        blob, offsets = self.blob, self.offsets
+        for i in range(0, len(offsets), 2):
+            yield blob[offsets[i] : offsets[i + 1]]
+
+    @property
+    def nbytes(self) -> int:
+        """Total sample bytes (excluding any inter-sample framing)."""
+        offsets = self.offsets
+        return int(sum(offsets[i + 1] - offsets[i] for i in range(0, len(offsets), 2)))
+
+    def __eq__(self, other):
+        """Sequence equality by sample bytes — a columnar batch equals the
+        row-layout list holding the same samples (mirrors LeasedSamples,
+        which inherits this from ``list``)."""
+        try:
+            if len(self) != len(other):
+                return False
+            pairs = zip(self, other)
+        except TypeError:
+            return NotImplemented
+        return all(bytes(a) == bytes(b) for a, b in pairs)
+
+    __hash__ = None
 
     def release(self) -> None:
         """Release the underlying receive buffer (idempotent)."""

@@ -71,6 +71,10 @@ class Heartbeat:
     prefetch_depth:
         Planned ranges still queued for background prefetch — a gauge of
         how far the cache trails the plan.
+    decode_ns / preprocess_ns / starved_ns:
+        Mean per-batch pipeline stage costs in nanoseconds (receivers with
+        a consume pipeline; ``0`` elsewhere) — payload deserialize, decode/
+        augment work, and consumer time starved waiting on ``run()``.
     state:
         One of ``serving | idle | failed | leaving``.
     detail:
@@ -86,6 +90,9 @@ class Heartbeat:
     cache_hits: int = 0
     cache_misses: int = 0
     prefetch_depth: int = 0
+    decode_ns: int = 0
+    preprocess_ns: int = 0
+    starved_ns: int = 0
     state: str = STATE_SERVING
     detail: str = ""
 
@@ -107,6 +114,9 @@ def encode_heartbeat(hb: Heartbeat) -> bytes:
             "ch": hb.cache_hits,
             "cm": hb.cache_misses,
             "pf": hb.prefetch_depth,
+            "dns": hb.decode_ns,
+            "pns": hb.preprocess_ns,
+            "sns": hb.starved_ns,
             "state": hb.state,
             "detail": hb.detail,
         },
@@ -128,6 +138,9 @@ def decode_heartbeat(data: bytes) -> Heartbeat:
             cache_hits=int(obj.get("ch", 0)),
             cache_misses=int(obj.get("cm", 0)),
             prefetch_depth=int(obj.get("pf", 0)),
+            decode_ns=int(obj.get("dns", 0)),
+            preprocess_ns=int(obj.get("pns", 0)),
+            starved_ns=int(obj.get("sns", 0)),
             state=obj.get("state", STATE_SERVING),
             detail=obj.get("detail", ""),
         )
@@ -229,6 +242,10 @@ class HeartbeatPublisher:
         Sampled at each tick for the cache fields; returns
         ``(cache_hits, cache_misses, prefetch_depth)``.  Defaults to
         all-zero (members without a storage cache).
+    stages_fn:
+        Sampled at each tick for the pipeline stage fields; returns
+        ``(decode_ns, preprocess_ns, starved_ns)`` per-batch means.
+        Defaults to all-zero (members without a consume pipeline).
     state_fn:
         Sampled at each tick for the ``state`` field; defaults to
         ``serving``.
@@ -245,6 +262,7 @@ class HeartbeatPublisher:
         incarnation: int = 0,
         queue_depth_fn: Callable[[], int] | None = None,
         cache_fn: Callable[[], tuple[int, int, int]] | None = None,
+        stages_fn: Callable[[], tuple[int, int, int]] | None = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
@@ -255,6 +273,7 @@ class HeartbeatPublisher:
         self.progress_fn = progress_fn or (lambda: 0)
         self.queue_depth_fn = queue_depth_fn or (lambda: 0)
         self.cache_fn = cache_fn or (lambda: (0, 0, 0))
+        self.stages_fn = stages_fn or (lambda: (0, 0, 0))
         self.state_fn = state_fn
         self.incarnation = incarnation
         self.beats_sent = 0
@@ -282,6 +301,7 @@ class HeartbeatPublisher:
                 except OSError:
                     return False
             hits, misses, prefetch_depth = self.cache_fn()
+            decode_ns, preprocess_ns, starved_ns = self.stages_fn()
             hb = Heartbeat(
                 member_id=self.member_id,
                 role=self.role,
@@ -292,6 +312,9 @@ class HeartbeatPublisher:
                 cache_hits=int(hits),
                 cache_misses=int(misses),
                 prefetch_depth=int(prefetch_depth),
+                decode_ns=int(decode_ns),
+                preprocess_ns=int(preprocess_ns),
+                starved_ns=int(starved_ns),
                 state=state,
                 detail=detail,
             )

@@ -42,7 +42,7 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-__all__ = ["packb", "packb_into", "pack_parts", "unpackb", "UnpackError"]
+__all__ = ["BinChunks", "packb", "packb_into", "pack_parts", "unpackb", "UnpackError"]
 
 #: Bytes payloads at or above this size become their own scatter-gather
 #: segment in :func:`pack_parts`; smaller ones are cheaper to copy into the
@@ -52,6 +52,36 @@ SPILL_THRESHOLD = 512
 
 class UnpackError(ValueError):
     """Raised on malformed or truncated MessagePack input."""
+
+
+def _byte_view(obj: memoryview) -> memoryview:
+    """Normalize a memoryview to a flat byte view (typed arrays → bytes)."""
+    if obj.ndim != 1 or obj.itemsize != 1:
+        return obj.cast("B")
+    return obj
+
+
+class BinChunks:
+    """One msgpack bin whose payload is the concatenation of ``chunks``.
+
+    Encodes byte-identically to ``b"".join(chunks)`` as a single bin, but
+    the scatter-gather encode (:func:`pack_parts`) emits each chunk at or
+    above the spill threshold as its own segment — the columnar payload
+    path concatenates B sample views into one wire-level blob without ever
+    copying them into a contiguous buffer.  ``packb`` (and sub-threshold
+    chunks) still copy, preserving the ``b"".join(pack_parts(o)) ==
+    packb(o)`` invariant.
+    """
+
+    __slots__ = ("chunks", "nbytes")
+
+    def __init__(self, chunks, nbytes: int | None = None) -> None:
+        self.chunks = [
+            _byte_view(c) if isinstance(c, memoryview) else c for c in chunks
+        ]
+        self.nbytes = (
+            sum(len(c) for c in self.chunks) if nbytes is None else nbytes
+        )
 
 
 # -- encoding ----------------------------------------------------------------
@@ -107,20 +137,22 @@ def _encode(
             out += _pack_u32(n)
         out += data
     elif isinstance(obj, (bytes, bytearray, memoryview)):
+        if isinstance(obj, memoryview):
+            obj = _byte_view(obj)
         n = len(obj)
-        if n <= 0xFF:
-            out.append(0xC4)
-            out += _pack_u8(n)
-        elif n <= 0xFFFF:
-            out.append(0xC5)
-            out += _pack_u16(n)
-        else:
-            out.append(0xC6)
-            out += _pack_u32(n)
+        _bin_header(n, out)
         if spill is not None and n >= threshold:
             spill.append((len(out), obj))
         else:
             out += obj  # bytearray += accepts any buffer, one copy
+    elif isinstance(obj, BinChunks):
+        _bin_header(obj.nbytes, out)
+        for chunk in obj.chunks:
+            if spill is not None and len(chunk) >= threshold:
+                # Consecutive spills at one scratch offset splice in order.
+                spill.append((len(out), chunk))
+            else:
+                out += chunk
     elif isinstance(obj, (list, tuple)):
         n = len(obj)
         if n <= 0x0F:
@@ -147,7 +179,26 @@ def _encode(
             _encode(k, out, spill, threshold)
             _encode(v, out, spill, threshold)
     else:
-        raise TypeError(f"cannot msgpack-serialize {type(obj).__name__}")
+        # Typed-array fast path: anything exposing a C-contiguous buffer
+        # (numpy offset/label vectors on the columnar payload path) encodes
+        # as one bin with no per-element Python work.
+        try:
+            view = memoryview(obj).cast("B")
+        except TypeError:
+            raise TypeError(f"cannot msgpack-serialize {type(obj).__name__}") from None
+        _encode(view, out, spill, threshold)
+
+
+def _bin_header(n: int, out: bytearray) -> None:
+    if n <= 0xFF:
+        out.append(0xC4)
+        out += _pack_u8(n)
+    elif n <= 0xFFFF:
+        out.append(0xC5)
+        out += _pack_u16(n)
+    else:
+        out.append(0xC6)
+        out += _pack_u32(n)
 
 
 def _encode_int(v: int, out: bytearray) -> None:

@@ -4,21 +4,45 @@ One payload carries ``B`` raw (still-encoded) samples plus their labels and
 provenance metadata.  The daemon slices ``B`` contiguous records out of an
 mmap'ed TFRecord shard and encodes them here (paper §4.1, "serializes groups
 of B examples into a single msgpack payload").
+
+Schema versions on the wire (``v`` key; decode accepts all of them):
+
+* **v1** — row layout, no ``seq`` field (pre-recovery payloads).
+* **v2** — row layout: ``samples`` is a msgpack array of B bins, ``labels``
+  an array of B ints.  Encode and decode both walk every sample.
+* **v3** — columnar layout: ``samples`` is **one** bin blob, ``offsets`` a
+  packed u32 vector of B ``(start, end)`` pairs addressing each sample's
+  bytes inside the blob, ``labels`` a packed i64 vector, plus a ``count``.
+  When the samples already share one backing region (the daemon's framed
+  mmap range, wrapped in :class:`~repro.net.buffers.ColumnarSamples`) the
+  scatter-gather encode emits O(1) segments regardless of B; decode
+  reconstructs the batch by offset slicing with zero per-record work.
+
+Which version a daemon *emits* is the ``payload_version`` config knob
+(default v3; forcing 2 is the mixed-version fallback).  Decode always
+accepts every compatible version, so mixed-version clusters interoperate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.net.buffers import LeasedSamples
-from repro.serialize.msgpack import SPILL_THRESHOLD, pack_parts, packb, unpackb
+import numpy as np
 
-_SCHEMA_VERSION = 2
-_COMPATIBLE_VERSIONS = (1, 2)  # v1 payloads predate the seq field
+from repro.net.buffers import ColumnarSamples, LeasedSamples
+from repro.serialize.msgpack import SPILL_THRESHOLD, BinChunks, pack_parts, packb, unpackb
+
+_SCHEMA_VERSION = 3
+_COMPATIBLE_VERSIONS = (1, 2, 3)  # v1 payloads predate the seq field
+
+#: Wire dtypes of the columnar vectors — explicitly little-endian so the
+#: format is platform-defined, not platform-dependent.
+_OFFSET_DTYPE = np.dtype("<u4")
+_LABEL_DTYPE = np.dtype("<i8")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BatchPayload:
     """A pre-batched group of raw samples.
 
@@ -30,9 +54,12 @@ class BatchPayload:
     shard:
         Originating shard name, e.g. ``"shard_00003"``.
     samples:
-        Raw encoded sample bytes (e.g. SJPG images), length ``B``.
+        Raw encoded sample bytes (e.g. SJPG images), length ``B`` — a list
+        of bytes-likes, or a :class:`~repro.net.buffers.ColumnarSamples`
+        (one blob + offsets; v3 decode produces these, and the daemon's
+        columnar serve path feeds them to encode).
     labels:
-        Integer class labels, parallel to ``samples``.
+        Integer class labels, parallel to ``samples`` (list or i64 array).
     node_id:
         Target compute node the planner assigned this batch to.
     seq:
@@ -45,8 +72,8 @@ class BatchPayload:
     epoch: int
     batch_index: int
     shard: str
-    samples: list[bytes]
-    labels: list[int]
+    samples: Sequence
+    labels: Sequence[int]
     node_id: int = 0
     meta: dict = field(default_factory=dict)
     seq: int = -1
@@ -59,6 +86,24 @@ class BatchPayload:
         if self.seq < 0:
             object.__setattr__(self, "seq", self.batch_index)
 
+    def __eq__(self, other) -> bool:
+        """Semantic equality across layouts: a columnar batch equals its
+        row-layout twin when every field, sample byte, and label matches —
+        so ``decode(encode(p)) == p`` holds for every schema version."""
+        if not isinstance(other, BatchPayload):
+            return NotImplemented
+        return (
+            self.epoch == other.epoch
+            and self.batch_index == other.batch_index
+            and self.shard == other.shard
+            and self.node_id == other.node_id
+            and self.seq == other.seq
+            and self.meta == other.meta
+            and len(self.samples) == len(other.samples)
+            and list(map(int, self.labels)) == list(map(int, other.labels))
+            and all(bytes(a) == bytes(b) for a, b in zip(self.samples, other.samples))
+        )
+
     @property
     def batch_size(self) -> int:
         """Samples in this batch."""
@@ -67,40 +112,126 @@ class BatchPayload:
     @property
     def nbytes(self) -> int:
         """Payload body size (sample bytes only), used for throughput math."""
+        nbytes = getattr(self.samples, "nbytes", None)
+        if nbytes is not None:
+            return nbytes
         return sum(len(s) for s in self.samples)
 
 
-def _schema_dict(payload: BatchPayload) -> dict:
+def _header_dict(payload: BatchPayload, version: int) -> dict:
     return {
-        "v": _SCHEMA_VERSION,
+        "v": version,
         "epoch": payload.epoch,
         "batch_index": payload.batch_index,
         "shard": payload.shard,
         "node_id": payload.node_id,
         "seq": payload.seq,
-        "samples": payload.samples,
-        "labels": payload.labels,
-        "meta": payload.meta,
     }
 
 
-def encode_batch(payload: BatchPayload) -> bytes:
-    """Serialize a :class:`BatchPayload` to msgpack bytes."""
-    return packb(_schema_dict(payload))
+def _schema_dict_v2(payload: BatchPayload) -> dict:
+    obj = _header_dict(payload, 2)
+    samples = payload.samples
+    labels = payload.labels
+    # A columnar batch (or numpy labels) re-encodes row-wise losslessly —
+    # the mixed-version fallback path.
+    obj["samples"] = samples if isinstance(samples, list) else list(samples)
+    obj["labels"] = [int(l) for l in labels] if not isinstance(labels, list) else labels
+    obj["meta"] = payload.meta
+    return obj
+
+
+def _schema_dict_v3(payload: BatchPayload) -> dict:
+    obj = _header_dict(payload, 3)
+    samples = payload.samples
+    count = len(samples)
+    if isinstance(samples, ColumnarSamples):
+        # Already columnar (the daemon's region serve path): the blob goes
+        # to the wire as-is — one scatter-gather segment, no per-record
+        # traversal at all.
+        offsets = np.ascontiguousarray(samples.offsets, dtype=_OFFSET_DTYPE)
+        blob = samples.blob
+        if not isinstance(blob, BinChunks):
+            blob = BinChunks([blob], nbytes=len(memoryview(blob).cast("B")))
+    else:
+        # Generic path: pack the per-sample views side by side.  Offsets
+        # are built vectorized (one len() sweep + cumsum), and BinChunks
+        # concatenates on the wire without copying spill-sized samples.
+        lengths = np.fromiter((len(s) for s in samples), dtype=np.int64, count=count)
+        ends = np.cumsum(lengths)
+        total = int(ends[-1]) if count else 0
+        if total > 0xFFFFFFFF:
+            raise ValueError(f"batch too large for columnar u32 offsets: {total} bytes")
+        offsets = np.empty(2 * count, dtype=_OFFSET_DTYPE)
+        offsets[0::2] = ends - lengths
+        offsets[1::2] = ends
+        blob = BinChunks(list(samples), nbytes=total)
+    labels = np.asarray(payload.labels, dtype=_LABEL_DTYPE)
+    obj["count"] = count
+    obj["offsets"] = offsets
+    obj["labels"] = labels
+    obj["samples"] = blob
+    obj["meta"] = payload.meta
+    return obj
+
+
+def _schema_dict(payload: BatchPayload, version: int | None) -> dict:
+    version = _SCHEMA_VERSION if version is None else version
+    if version == 2:
+        return _schema_dict_v2(payload)
+    if version == 3:
+        return _schema_dict_v3(payload)
+    raise ValueError(f"cannot encode batch payload version {version!r}")
+
+
+def encode_batch(payload: BatchPayload, version: int | None = None) -> bytes:
+    """Serialize a :class:`BatchPayload` to msgpack bytes.
+
+    ``version`` picks the wire schema (2 = row layout, 3 = columnar); the
+    default is the current schema version.
+    """
+    return packb(_schema_dict(payload, version))
 
 
 def encode_batch_parts(
-    payload: BatchPayload, threshold: int = SPILL_THRESHOLD
+    payload: BatchPayload,
+    threshold: int = SPILL_THRESHOLD,
+    version: int | None = None,
 ) -> list[memoryview]:
     """Serialize to scatter-gather segments (the zero-copy encode).
 
     Sample payloads at or above ``threshold`` bytes — in the daemon these
     are memoryview slices over the mmap'ed shard — become their own
-    segments instead of being copied into the msgpack body.  The caller
-    must keep them valid until the segments are on the wire *and*
-    credited (the transport replays from the same views on reconnect).
+    segments instead of being copied into the msgpack body.  Under the
+    columnar schema (v3) a batch whose samples share one backing region
+    encodes to O(1) segments regardless of B.  The caller must keep the
+    spilled views valid until the segments are on the wire *and* credited
+    (the transport replays from the same views on reconnect).
     """
-    return pack_parts(_schema_dict(payload), threshold)
+    return pack_parts(_schema_dict(payload, version), threshold)
+
+
+def _decode_columnar(obj: dict, zero_copy: bool, release) -> tuple[Sequence, Sequence[int]]:
+    count = obj["count"]
+    offsets = np.frombuffer(obj["offsets"], dtype=_OFFSET_DTYPE)
+    if len(offsets) != 2 * count:
+        raise ValueError(
+            f"columnar offsets length {len(offsets)} does not match count {count}"
+        )
+    labels = np.frombuffer(obj["labels"], dtype=_LABEL_DTYPE)
+    if len(labels) != count:
+        raise ValueError(
+            f"columnar labels length {len(labels)} does not match count {count}"
+        )
+    blob = obj["samples"]
+    if zero_copy:
+        # Labels outlive the receive-buffer lease (they ride to the training
+        # loop after ``release()``), so take the one vectorized copy here —
+        # a single allocation per batch, still no per-record work.  Samples
+        # and offsets stay views: dead once released, per the lease contract.
+        return ColumnarSamples(blob, offsets, release), labels.copy()
+    samples = [bytes(blob[offsets[2 * i] : offsets[2 * i + 1]]) for i in range(count)]
+    return samples, labels
 
 
 def decode_batch(
@@ -110,10 +241,13 @@ def decode_batch(
 ) -> BatchPayload:
     """Inverse of :func:`encode_batch`; validates the schema version.
 
-    With ``zero_copy=True`` the decoded ``samples`` are memoryviews over
-    ``data`` wrapped in a :class:`~repro.net.buffers.LeasedSamples` that
-    carries ``release`` — the final consumer calls ``samples.release()``
-    once the views are dead, returning ``data``'s pooled buffer.
+    With ``zero_copy=True`` the decoded ``samples`` are views over ``data``
+    — a :class:`~repro.net.buffers.LeasedSamples` list for row payloads, a
+    :class:`~repro.net.buffers.ColumnarSamples` for columnar ones — and the
+    carrier holds ``release``: the final consumer calls
+    ``samples.release()`` once the views are dead, returning ``data``'s
+    pooled buffer.  Labels decode as a packed i64 array view (v3) or the
+    decoder-owned list (v1/v2) — never a per-record copy.
     """
     obj = unpackb(data, zero_copy=zero_copy)
     if not isinstance(obj, dict):
@@ -121,15 +255,19 @@ def decode_batch(
     version = obj.get("v")
     if version not in _COMPATIBLE_VERSIONS:
         raise ValueError(f"unsupported batch payload version: {version!r}")
-    samples = (
-        LeasedSamples(obj["samples"], release) if zero_copy else list(obj["samples"])
-    )
+    if version >= 3:
+        samples, labels = _decode_columnar(obj, zero_copy, release)
+    else:
+        samples = (
+            LeasedSamples(obj["samples"], release) if zero_copy else obj["samples"]
+        )
+        labels = obj["labels"]  # the decoder's own list — no second copy
     return BatchPayload(
         epoch=obj["epoch"],
         batch_index=obj["batch_index"],
         shard=obj["shard"],
         samples=samples,
-        labels=list(obj["labels"]),
+        labels=labels,
         node_id=obj.get("node_id", 0),
         meta=obj.get("meta", {}),
         seq=obj.get("seq", obj["batch_index"]),

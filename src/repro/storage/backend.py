@@ -79,6 +79,10 @@ class ShardHandle(Protocol):
         self, offset: int, count: int, nbytes: int | None = None
     ) -> list[memoryview]: ...
 
+    def read_region(
+        self, offset: int, count: int, nbytes: int
+    ) -> tuple[bytes | memoryview, bool]: ...
+
     def close(self) -> None: ...
 
 
@@ -161,6 +165,21 @@ class LocalFSHandle:
             nbytes if nbytes is not None else sum(len(r) for r in out)
         )
         return out
+
+    def read_region(
+        self, offset: int, count: int, nbytes: int
+    ) -> tuple[memoryview, bool]:
+        """Raw framed bytes of a planned batch range, plus a verify flag.
+
+        The columnar serve path primitive: one contiguous view over the
+        mmap'ed shard, **unparsed** — the caller scans record framing
+        itself (:func:`~repro.tfrecord.sharder.scan_example_spans`) and
+        must CRC-check iff the returned flag is set.  ``verify="open"``
+        already checksummed the whole shard at open, so the flag is clear.
+        """
+        buf = self._reader.raw_slice(offset, nbytes)
+        self._backend.stats.record_read(nbytes)
+        return buf, self._reader.verify
 
     def close(self) -> None:
         self._reader.close()
@@ -250,6 +269,16 @@ class RemoteShardHandle:
         self, offset: int, count: int, nbytes: int | None = None
     ) -> list[bytes]:
         return [bytes(v) for v in self.read_range_views(offset, count, nbytes)]
+
+    def read_region(
+        self, offset: int, count: int, nbytes: int
+    ) -> tuple[bytes, bool]:
+        """One range-GET of a planned batch's framed bytes, unparsed.
+
+        Remote bytes are untrusted until checked: the verify flag simply
+        mirrors this handle's setting.
+        """
+        return self._backend.read_bytes(self.shard_path, offset, nbytes), self.verify
 
     def close(self) -> None:
         pass

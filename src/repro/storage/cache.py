@@ -226,6 +226,23 @@ class CachedShardHandle:
     ) -> list[bytes]:
         return [bytes(v) for v in self.read_range_views(offset, count, nbytes)]
 
+    def read_region(
+        self, offset: int, count: int, nbytes: int
+    ) -> tuple[bytes, bool]:
+        """Planned range as raw framed bytes (cache-aware, unparsed).
+
+        Hits return the admitted block with the hit-verify policy; misses
+        come back pre-verified by :meth:`CachedBackend.fetch_block`, so
+        the caller need not re-check them.
+        """
+        backend = self._backend
+        key: BlockKey = (self.shard_path, offset, nbytes)
+        block = backend.cache.get(key)
+        if block is not None:
+            return block, backend.verify_hit
+        block = backend.fetch_block(PlanRange(self.shard_path, offset, nbytes, count))
+        return block, False
+
     def close(self) -> None:
         if self._inner is not None:
             self._inner.close()

@@ -11,13 +11,27 @@ msgpack map so a shard is self-contained even without its index.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.serialize.msgpack import packb, unpackb
+from repro.tfrecord.crc32c import masked_crc32c
 from repro.tfrecord.index import RecordEntry, ShardIndex, load_shard_indexes
-from repro.tfrecord.writer import TFRecordWriter
+from repro.tfrecord.writer import FOOTER_BYTES, HEADER_BYTES, TFRecordWriter
+
+_LEN = struct.Struct("<Q")
+_CRC = struct.Struct("<I")
+_U16BE = struct.Struct(">H")
+_U32BE = struct.Struct(">I")
+_U64BE = struct.Struct(">Q")
+_I8BE = struct.Struct(">b")
+_I16BE = struct.Struct(">h")
+_I32BE = struct.Struct(">i")
+_I64BE = struct.Struct(">q")
 
 
 def pack_example(sample: bytes, label: int) -> bytes:
@@ -36,6 +50,100 @@ def unpack_example(
     """
     obj = unpackb(record, zero_copy=zero_copy)
     return obj["x"], obj["y"]
+
+
+def _scan_int(buf, pos: int) -> tuple[int, int]:
+    """Decode one msgpack int at ``pos``; returns ``(value, next_pos)``."""
+    tag = buf[pos]
+    if tag <= 0x7F:  # positive fixint
+        return tag, pos + 1
+    if tag >= 0xE0:  # negative fixint
+        return tag - 0x100, pos + 1
+    if tag == 0xCC:
+        return buf[pos + 1], pos + 2
+    if tag == 0xCD:
+        return _U16BE.unpack_from(buf, pos + 1)[0], pos + 3
+    if tag == 0xCE:
+        return _U32BE.unpack_from(buf, pos + 1)[0], pos + 5
+    if tag == 0xCF:
+        return _U64BE.unpack_from(buf, pos + 1)[0], pos + 9
+    if tag == 0xD0:
+        return _I8BE.unpack_from(buf, pos + 1)[0], pos + 2
+    if tag == 0xD1:
+        return _I16BE.unpack_from(buf, pos + 1)[0], pos + 3
+    if tag == 0xD2:
+        return _I32BE.unpack_from(buf, pos + 1)[0], pos + 5
+    if tag == 0xD3:
+        return _I64BE.unpack_from(buf, pos + 1)[0], pos + 9
+    raise ValueError(f"unexpected msgpack tag 0x{tag:02x} where int label expected")
+
+
+def scan_example_spans(
+    region, count: int, verify: bool = False
+) -> tuple[np.ndarray, list[int]]:
+    """Locate every sample's byte span inside a framed record region.
+
+    ``region`` is the raw TFRecord byte range holding exactly ``count``
+    consecutive records, each a :func:`pack_example` payload.  This is the
+    columnar serve path's scanner (payload schema v3): instead of msgpack-
+    decoding every record, it struct-walks the fixed framing plus the
+    known ``{"x": bin, "y": int}`` layout and returns
+
+    * a flat u32 vector of ``(start, end)`` offset pairs addressing each
+      sample's bytes *inside* ``region``, ready to ship as the columnar
+      ``offsets`` alongside ``region`` itself as the blob, and
+    * the per-record integer labels.
+
+    With ``verify=True`` the TFRecord length/data CRCs are checked, same
+    as the per-record read path.  Raises :class:`ValueError` on any layout
+    the scanner does not recognize — callers fall back to the generic
+    per-record decode, so unusual-but-valid records degrade, not break.
+    """
+    buf = memoryview(region)
+    offsets = np.empty(2 * count, dtype=np.uint32)
+    labels: list[int] = []
+    pos = 0
+    end = len(buf)
+    if end > 0xFFFFFFFF:
+        raise ValueError(f"region too large for u32 offsets: {end} bytes")
+    for i in range(count):
+        if pos + HEADER_BYTES > end:
+            raise ValueError(f"truncated record header at offset {pos}")
+        (length,) = _LEN.unpack_from(buf, pos)
+        if verify and masked_crc32c(buf[pos : pos + 8]) != _CRC.unpack_from(buf, pos + 8)[0]:
+            raise ValueError(f"length CRC mismatch at offset {pos}")
+        data_start = pos + HEADER_BYTES
+        data_end = data_start + length
+        if data_end + FOOTER_BYTES > end:
+            raise ValueError(f"truncated record data at offset {pos}")
+        if verify and masked_crc32c(buf[data_start:data_end]) != _CRC.unpack_from(buf, data_end)[0]:
+            raise ValueError(f"data CRC mismatch at offset {pos}")
+        # pack_example layout: fixmap{2} "x" <bin> "y" <int>
+        if length < 7 or buf[data_start] != 0x82 or bytes(buf[data_start + 1 : data_start + 3]) != b"\xa1x":
+            raise ValueError(f"record at offset {pos} is not a pack_example payload")
+        p = data_start + 3
+        tag = buf[p]
+        if tag == 0xC4:
+            n, sample_start = buf[p + 1], p + 2
+        elif tag == 0xC5:
+            n, sample_start = _U16BE.unpack_from(buf, p + 1)[0], p + 3
+        elif tag == 0xC6:
+            n, sample_start = _U32BE.unpack_from(buf, p + 1)[0], p + 5
+        else:
+            raise ValueError(f"record at offset {pos}: sample field is not a msgpack bin")
+        sample_end = sample_start + n
+        if sample_end + 2 > data_end or bytes(buf[sample_end : sample_end + 2]) != b"\xa1y":
+            raise ValueError(f"record at offset {pos}: missing label field")
+        label, q = _scan_int(buf, sample_end + 2)
+        if q != data_end:
+            raise ValueError(f"record at offset {pos} has trailing bytes")
+        offsets[2 * i] = sample_start
+        offsets[2 * i + 1] = sample_end
+        labels.append(label)
+        pos = data_end + FOOTER_BYTES
+    if pos != end:
+        raise ValueError(f"region holds more than {count} records ({end - pos} bytes left)")
+    return offsets, labels
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,19 @@ Usage::
 ``--baseline-metric`` reads a different path from the baseline file, so
 passing one snapshot as both sides gates a within-file ratio (warm-cache
 vs cold-remote throughput).
+
+The **tracked trajectory** lives in ``benchmarks/results/history.jsonl``,
+one JSON object per line: ``{"pr": ..., "snapshot": <filename>,
+"metric": <dotted path>, "value": <number>}``::
+
+    python -m repro.tools.benchcheck --append-history PR_ID PATH [PATH ...]
+    python -m repro.tools.benchcheck --check-history PATH [PATH ...]
+
+``--append-history`` extracts every tracked metric from each snapshot and
+appends it, refusing (exit 1) when a value regresses more than 10% below
+the last recorded entry for the same ``(snapshot, metric)`` series.
+``--check-history`` is the CI side: it verifies each file's current
+metrics against the latest history entries without writing anything.
 """
 
 from __future__ import annotations
@@ -155,6 +168,124 @@ def compare_snapshots(
     return ratio, problems
 
 
+#: A new history entry (or a checked snapshot) may fall at most this far
+#: below the last recorded value of its series before the gate fails.
+HISTORY_TOLERANCE = 0.10
+
+#: Default location of the tracked trajectory, next to committed snapshots.
+HISTORY_PATH = Path("benchmarks/results/history.jsonl")
+
+
+#: Component fields where *lower* is better — excluded from the history,
+#: whose drop-gate assumes higher-is-better metrics (throughputs, ratios).
+_UNTRACKED_FIELDS = frozenset({"seconds", "wall_s"})
+
+
+def tracked_metrics(obj: dict) -> dict[str, float]:
+    """The metrics a snapshot contributes to the history.
+
+    E2e envelopes track EMLIO throughput; micro envelopes track every
+    higher-is-better ``components.<name>.<field>`` number (raw wall times
+    are skipped — their throughput twins carry the same information with
+    the right gate direction).
+    """
+    if "components" in obj:
+        out: dict[str, float] = {}
+        components = obj.get("components")
+        if isinstance(components, dict):
+            for name, body in components.items():
+                if isinstance(body, dict):
+                    for field, value in body.items():
+                        if field in _UNTRACKED_FIELDS:
+                            continue
+                        if isinstance(value, (int, float)) and not isinstance(value, bool):
+                            out[f"components.{name}.{field}"] = float(value)
+        return out
+    value = _lookup(obj, DEFAULT_METRIC)
+    return {} if value is None else {DEFAULT_METRIC: float(value)}
+
+
+def _load_history(path: Path) -> tuple[dict[tuple[str, str], float], list[str]]:
+    """Latest value per ``(snapshot, metric)`` series, in file order."""
+    latest: dict[tuple[str, str], float] = {}
+    problems: list[str] = []
+    if not path.is_file():
+        return latest, problems
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            key = (entry["snapshot"], entry["metric"])
+            latest[key] = float(entry["value"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            problems.append(f"{path}:{lineno}: malformed history entry")
+    return latest, problems
+
+
+def append_history(
+    pr_id: str, paths: list[str], history_path: Path = HISTORY_PATH
+) -> list[str]:
+    """Record each snapshot's tracked metrics as new history entries.
+
+    Nothing is written if any snapshot is unusable or any metric falls
+    more than :data:`HISTORY_TOLERANCE` below its series' last entry —
+    a regressed number must never extend the trajectory.
+    """
+    latest, problems = _load_history(history_path)
+    entries: list[dict] = []
+    for path in paths:
+        obj, file_problems = _load(path)
+        problems += file_problems
+        if obj is None:
+            continue
+        metrics = tracked_metrics(obj)
+        if not metrics:
+            problems.append(f"{path}: no tracked metrics found")
+        name = Path(path).name
+        for metric, value in sorted(metrics.items()):
+            prev = latest.get((name, metric))
+            if prev is not None and value < (1.0 - HISTORY_TOLERANCE) * prev:
+                problems.append(
+                    f"{path}: {metric} regressed — {value:.1f} vs last history "
+                    f"entry {prev:.1f} (>{HISTORY_TOLERANCE:.0%} drop)"
+                )
+            entries.append(
+                {"pr": pr_id, "snapshot": name, "metric": metric, "value": value}
+            )
+    if problems:
+        return problems
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    return []
+
+
+def check_history(paths: list[str], history_path: Path = HISTORY_PATH) -> list[str]:
+    """CI gate: each snapshot's current metrics vs the recorded trajectory.
+
+    A metric more than :data:`HISTORY_TOLERANCE` below the latest history
+    entry of its ``(snapshot, metric)`` series fails; metrics with no
+    recorded series pass (they join the history at the next append).
+    """
+    latest, problems = _load_history(history_path)
+    for path in paths:
+        obj, file_problems = _load(path)
+        problems += file_problems
+        if obj is None:
+            continue
+        name = Path(path).name
+        for metric, value in sorted(tracked_metrics(obj).items()):
+            prev = latest.get((name, metric))
+            if prev is not None and value < (1.0 - HISTORY_TOLERANCE) * prev:
+                problems.append(
+                    f"{path}: {metric} regressed — {value:.1f} vs history "
+                    f"{prev:.1f} (>{HISTORY_TOLERANCE:.0%} drop)"
+                )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("paths", nargs="*", help="BENCH_*.json files to validate")
@@ -181,9 +312,50 @@ def main(argv: list[str] | None = None) -> int:
         help="dotted metric path read from BASELINE instead of --metric "
         "(cross-metric gates, e.g. warm vs cold within one snapshot)",
     )
+    parser.add_argument(
+        "--append-history",
+        metavar="PR_ID",
+        default=None,
+        help="append each snapshot's tracked metrics to the history, "
+        "stamped with this PR id (fails on a >10%% regression)",
+    )
+    parser.add_argument(
+        "--check-history",
+        action="store_true",
+        help="verify each snapshot against the recorded history instead "
+        "of appending (the CI gate)",
+    )
+    parser.add_argument(
+        "--history-path",
+        type=Path,
+        default=HISTORY_PATH,
+        help=f"history file location (default {HISTORY_PATH})",
+    )
     args = parser.parse_args(argv)
     if args.compare is None and not args.paths:
         parser.error("pass snapshot paths to validate, or --compare BASELINE CURRENT")
+    if args.append_history is not None and args.check_history:
+        parser.error("--append-history and --check-history are mutually exclusive")
+    if args.append_history is not None:
+        problems = append_history(args.append_history, args.paths, args.history_path)
+        for problem in problems:
+            print(f"benchcheck: {problem}", file=sys.stderr)
+        if not problems:
+            print(
+                f"benchcheck: history — appended {len(args.paths)} snapshot(s) "
+                f"as pr={args.append_history!r} to {args.history_path}"
+            )
+        return 1 if problems else 0
+    if args.check_history:
+        problems = check_history(args.paths, args.history_path)
+        for problem in problems:
+            print(f"benchcheck: {problem}", file=sys.stderr)
+        if not problems:
+            print(
+                f"benchcheck: history — {len(args.paths)} snapshot(s) within "
+                f"{HISTORY_TOLERANCE:.0%} of {args.history_path}"
+            )
+        return 1 if problems else 0
     problems: list[str] = []
     for path in args.paths:
         problems += check_snapshot(path)

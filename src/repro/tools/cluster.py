@@ -38,13 +38,17 @@ def _render_members(members: list[dict], out=None) -> None:
         return
     # RATE/S is the progress *delta* (observed throughput, EWMA), not the
     # raw counter — a watch wants "how fast", the counter is in --json.
-    rows = [("MEMBER", "ROLE", "STATUS", "STATE", "RATE/S", "QDEPTH", "HIT%", "BEATS")]
+    rows = [("MEMBER", "ROLE", "STATUS", "STATE", "RATE/S", "QDEPTH", "HIT%", "D/P/S µs", "BEATS")]
     for m in sorted(members, key=lambda m: (m["role"], m["member_id"])):
         hits = m.get("cache_hits", 0)
         misses = m.get("cache_misses", 0)
         # "-" for members that never touched a storage cache (receivers,
         # uncached daemons) — 0% would wrongly read as "all misses".
         hit_pct = "-" if hits + misses == 0 else f"{100 * hits / (hits + misses):.0f}%"
+        # Per-batch decode/preprocess/starved stage costs, receiver-only:
+        # daemons have no consume pipeline, so all-zero renders as "-".
+        stages = (m.get("decode_ns", 0), m.get("preprocess_ns", 0), m.get("starved_ns", 0))
+        stage_us = "-" if not any(stages) else "/".join(f"{ns / 1000:.0f}" for ns in stages)
         rows.append(
             (
                 m["member_id"],
@@ -54,6 +58,7 @@ def _render_members(members: list[dict], out=None) -> None:
                 f"{m.get('rate', 0.0):.1f}",
                 str(m.get("queue_depth", 0)),
                 hit_pct,
+                stage_us,
                 str(m.get("beats", 0)),
             )
         )

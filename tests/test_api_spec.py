@@ -116,6 +116,9 @@ def test_unknown_keys_rejected_loudly():
         ("pipeline", {"reorder_window": -2}, "reorder_window"),
         ("pipeline", {"output_hw": [16]}, "pair of ints"),
         ("pipeline", {"codec": ""}, "codec"),
+        ("pipeline", {"workers": 0}, "workers"),
+        ("pipeline", {"payload_version": 1}, "payload_version"),
+        ("pipeline", {"payload_version": 4}, "payload_version"),
         ("dataset", {"kind": "webdataset"}, "dataset.kind"),
         ("dataset", {"kind": "existing"}, "requires dataset.root"),
         ("dataset", {"n": 0}, "dataset.n"),
@@ -130,6 +133,8 @@ def test_unknown_keys_rejected_loudly():
         ("recovery", {"dedup": False}, "dedup"),
         ("energy", {"interval_s": 0}, "interval_s"),
         ("storage", {"num_daemons": 0}, "num_daemons"),
+        ("storage", {"verify_reads": "always"}, "verify_reads"),
+        ("storage", {"verify_reads": 1}, "verify_reads"),
     ],
 )
 def test_section_validation_errors(section, bad, match):
@@ -154,6 +159,28 @@ def test_pipeline_spec_resolves_to_config():
     cfg = FULL.pipeline.to_config()
     assert cfg.batch_size == 4 and cfg.coverage == "replicate"
     assert cfg.effective_reorder_window == 3 * 8  # AUTO: streams x hwm
+    assert cfg.workers == 1 and cfg.payload_version == 3  # the defaults
+
+
+def test_pipeline_spec_forwards_workers_and_payload_version():
+    spec = PipelineSpec(workers=4, payload_version=2)
+    cfg = spec.to_config()
+    assert cfg.workers == 4 and cfg.payload_version == 2
+    # And they survive the serialization round trip like every knob.
+    cluster = ClusterSpec(pipeline=spec)
+    assert ClusterSpec.from_toml(cluster.to_toml()).pipeline.workers == 4
+    assert ClusterSpec.from_json(cluster.to_json()).pipeline.payload_version == 2
+
+
+@pytest.mark.parametrize("verify", [True, False, "open"])
+def test_storage_verify_reads_reaches_config(verify):
+    from repro.api.deploy import _resolve_config
+
+    spec = ClusterSpec(storage=StorageSpec(verify_reads=verify))
+    assert _resolve_config(spec).verify_reads == verify
+    # The knob round-trips through both serialization formats.
+    assert ClusterSpec.from_toml(spec.to_toml()).storage.verify_reads == verify
+    assert ClusterSpec.from_json(spec.to_json()).storage.verify_reads == verify
 
 
 def test_recovery_spec_resolves_to_config(tmp_path):

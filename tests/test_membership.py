@@ -52,6 +52,23 @@ def test_heartbeat_roundtrip():
     assert decode_heartbeat(encode_heartbeat(hb)) == hb
 
 
+def test_heartbeat_stage_timing_roundtrip_and_back_compat():
+    """Per-stage pipeline costs ride the beat; old beats without the
+    fields decode as zeros (mixed-version clusters keep talking)."""
+    hb = Heartbeat(member_id="receiver:1", role="receiver", incarnation=0,
+                   seq=5, progress=9, state="serving",
+                   decode_ns=120_000, preprocess_ns=3_400_000, starved_ns=80_000)
+    assert decode_heartbeat(encode_heartbeat(hb)) == hb
+
+    import json
+
+    wire = json.loads(encode_heartbeat(hb).decode())
+    for key in ("dns", "pns", "sns"):
+        wire.pop(key)
+    decoded = decode_heartbeat(json.dumps(wire).encode())
+    assert (decoded.decode_ns, decoded.preprocess_ns, decoded.starved_ns) == (0, 0, 0)
+
+
 def test_heartbeat_rejects_bad_state_and_junk():
     with pytest.raises(ValueError, match="invalid heartbeat state"):
         Heartbeat(member_id="x", role="daemon", state="zombie")

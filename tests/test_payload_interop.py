@@ -1,0 +1,100 @@
+"""Mixed-version payload interop and the deploy-level columnar knobs.
+
+The daemon emits whichever schema ``payload_version`` selects; the
+receiver's decode accepts every compatible version.  So a cluster can
+roll the v3 columnar layout out daemon by daemon — these tests pin that:
+a forced-v2 service/deployment behaves exactly like before, and daemons
+on different versions feed one receiver in the same epoch.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    DatasetSpec,
+    EMLIO,
+    PipelineSpec,
+    ReceiverSpec,
+)
+from repro.core.config import EMLIOConfig
+from repro.core.service import EMLIOService
+
+
+def _collect_epoch(service, epoch=0):
+    return [(t, l) for t, l in service.epoch(epoch)]
+
+
+def _expected_labels(dataset):
+    return sorted(l for labels in dataset.labels().values() for l in labels)
+
+
+@pytest.mark.parametrize("payload_version", [2, 3])
+def test_forced_version_service_delivers_all_samples(small_imagenet, payload_version):
+    cfg = EMLIOConfig(batch_size=4, hwm=8, output_hw=(16, 16),
+                      payload_version=payload_version)
+    with EMLIOService(cfg, small_imagenet) as svc:
+        got = sorted(int(l) for _t, ls in _collect_epoch(svc) for l in ls)
+    assert got == _expected_labels(small_imagenet)
+
+
+def test_mixed_version_daemons_feed_one_receiver(small_imagenet):
+    """A v2 daemon and a v3 daemon serving halves of the same epoch: the
+    receiver decodes both wire layouts into one coherent batch stream."""
+    cfg = EMLIOConfig(batch_size=4, hwm=8, output_hw=(16, 16), payload_version=3)
+    shards = [ix.shard for ix in small_imagenet.indexes]
+    split = {
+        str(small_imagenet.root): set(shards[: len(shards) // 2]),
+        str(small_imagenet.root) + "/.": set(shards[len(shards) // 2 :]),
+    }
+    with EMLIOService(cfg, small_imagenet, storage_shards=split) as svc:
+        assert len(svc.daemons) == 2
+        # One daemon stays on the row layout — the mid-rollout cluster.
+        svc.daemons[0].config = dataclasses.replace(
+            svc.daemons[0].config, payload_version=2
+        )
+        got = sorted(int(l) for _t, ls in _collect_epoch(svc) for l in ls)
+        versions = sorted(d.config.payload_version for d in svc.daemons)
+        sent = [d.stats.snapshot()["batches_sent"] for d in svc.daemons]
+    assert versions == [2, 3]
+    assert all(s > 0 for s in sent)  # both layouts actually hit the wire
+    assert got == _expected_labels(small_imagenet)
+
+
+def _spec(**pipeline_overrides) -> ClusterSpec:
+    pipeline = dict(batch_size=4, output_hw=(16, 16))
+    pipeline.update(pipeline_overrides)
+    return ClusterSpec(
+        name="interop",
+        dataset=DatasetSpec(kind="existing", root="ignored"),
+        pipeline=PipelineSpec(**pipeline),
+        receivers=ReceiverSpec(stall_timeout_s=20.0),
+    )
+
+
+def test_forced_v2_deployment_passes_e2e(small_imagenet):
+    """ACCEPTANCE: a deployment forced to payload_version=2 runs the e2e
+    path unchanged — the columnar rollout is fully reversible."""
+    with EMLIO.deploy(_spec(payload_version=2), dataset=small_imagenet) as dep:
+        got = sorted(int(l) for _t, ls in dep.epoch(0) for l in ls)
+        status = dep.status()
+    assert got == _expected_labels(small_imagenet)
+    assert status["pipeline"]["stages"]["workers"] == 1
+
+
+def test_worker_pool_deployment_reports_stage_timing(small_imagenet):
+    """The workers knob reaches the receiver pipeline, and per-stage
+    timing (decode / preprocess / starved ns per batch) surfaces through
+    Deployment.status()["pipeline"]["stages"]."""
+    with EMLIO.deploy(_spec(workers=3), dataset=small_imagenet) as dep:
+        got = sorted(int(l) for _t, ls in dep.epoch(0) for l in ls)
+        stages = dep.status()["pipeline"]["stages"]
+    assert got == _expected_labels(small_imagenet)
+    assert stages["workers"] == 3
+    assert stages["batches"] == len(got) // 4
+    assert stages["decode_ns"] > 0 and stages["preprocess_ns"] > 0
+    assert "starved_ns" in stages
+    node0 = stages["nodes"]["0"]
+    assert node0["batches"] == stages["batches"]
+    assert node0["decode_ns"] > 0

@@ -211,6 +211,15 @@ def test_cluster_cli_renders_rates_queue_depth_and_rebalance(tmp_path, capsys):
     assert "75%" in out
     assert out.count("-") >= 1  # the cache-less receiver's HIT% column
 
+    # Per-batch stage costs render in µs for members reporting them (the
+    # receivers); daemons have no consume pipeline — all zeros become "-".
+    staged = dict(member, decode_ns=125_000, preprocess_ns=2_000_000,
+                  starved_ns=50_000)
+    _render_members([staged, daemon])
+    out = capsys.readouterr().out
+    assert "D/P/S µs" in out
+    assert "125/2000/50" in out
+
     snap = {
         "membership": {"members": [member]},
         "num_nodes": 3, "dead_nodes": [], "endpoints": {},
@@ -225,3 +234,130 @@ def test_cluster_cli_renders_rates_queue_depth_and_rebalance(tmp_path, capsys):
     assert "4 batches -> joined node 2" in out
     # JSON snapshots round-trip the new fields untouched.
     assert json.loads(json.dumps(snap))["last_rebalance"]["moved"] == 4
+
+
+# -- benchcheck history (the tracked perf trajectory) --------------------------
+
+
+def _e2e_snapshot(tmp_path, name, throughput):
+    import json
+
+    body = {
+        "bench": "e2e_loopback",
+        "samples": 512,
+        "emlio": {"epoch_wall_s": 1.0, "throughput_samples_per_s": throughput},
+        "pytorch_baseline": {"epoch_wall_s": 2.0, "throughput_samples_per_s": throughput / 2},
+        "speedup_x": 2.0,
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(body))
+    return path
+
+
+def test_benchcheck_history_append_then_check(tmp_path, capsys):
+    import json
+
+    from repro.tools.benchcheck import main as benchcheck_main
+
+    hist = tmp_path / "history.jsonl"
+    snap = _e2e_snapshot(tmp_path, "BENCH_e2e_loopback.json", 1000.0)
+    assert benchcheck_main(
+        ["--append-history", "pr-1", str(snap), "--history-path", str(hist)]
+    ) == 0
+    entries = [json.loads(l) for l in hist.read_text().splitlines()]
+    assert entries == [
+        {"pr": "pr-1", "snapshot": "BENCH_e2e_loopback.json",
+         "metric": "emlio.throughput_samples_per_s", "value": 1000.0}
+    ]
+    # The CI side: the same snapshot checks clean against its own entry.
+    assert benchcheck_main(
+        ["--check-history", str(snap), "--history-path", str(hist)]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_benchcheck_history_refuses_regression(tmp_path, capsys):
+    from repro.tools.benchcheck import main as benchcheck_main
+
+    hist = tmp_path / "history.jsonl"
+    good = _e2e_snapshot(tmp_path, "BENCH_e2e_loopback.json", 1000.0)
+    assert benchcheck_main(
+        ["--append-history", "pr-1", str(good), "--history-path", str(hist)]
+    ) == 0
+    before = hist.read_text()
+    # >10% below the last entry: append refuses and writes NOTHING.
+    bad = _e2e_snapshot(tmp_path, "BENCH_e2e_loopback.json", 899.0)
+    assert benchcheck_main(
+        ["--append-history", "pr-2", str(bad), "--history-path", str(hist)]
+    ) == 1
+    assert "regressed" in capsys.readouterr().err
+    assert hist.read_text() == before
+    # The CI check gate fails on the same drop.
+    assert benchcheck_main(
+        ["--check-history", str(bad), "--history-path", str(hist)]
+    ) == 1
+    # Within tolerance (10%) both append and check pass.
+    ok = _e2e_snapshot(tmp_path, "BENCH_e2e_loopback.json", 920.0)
+    assert benchcheck_main(
+        ["--check-history", str(ok), "--history-path", str(hist)]
+    ) == 0
+    assert benchcheck_main(
+        ["--append-history", "pr-2", str(ok), "--history-path", str(hist)]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_benchcheck_history_tracks_micro_components(tmp_path, capsys):
+    import json
+
+    from repro.tools.benchcheck import main as benchcheck_main, tracked_metrics
+
+    body = {
+        "bench": "micro_components",
+        "components": {
+            "payload_roundtrip_v3": {"batches_per_s": 20000.0},
+            "transport_tcp": {"seconds": 0.02, "mb_per_s": 50.0},
+        },
+    }
+    snap = tmp_path / "BENCH_micro_components.json"
+    snap.write_text(json.dumps(body))
+    # Raw wall times are excluded — lower is *better* there, the drop
+    # gate would fire on improvements.
+    assert tracked_metrics(body) == {
+        "components.payload_roundtrip_v3.batches_per_s": 20000.0,
+        "components.transport_tcp.mb_per_s": 50.0,
+    }
+    hist = tmp_path / "history.jsonl"
+    assert benchcheck_main(
+        ["--append-history", "pr-1", str(snap), "--history-path", str(hist)]
+    ) == 0
+    assert benchcheck_main(
+        ["--check-history", str(snap), "--history-path", str(hist)]
+    ) == 0
+    # A new series (no prior entry) passes the check and joins on append.
+    body["components"]["new_metric"] = {"ops_per_s": 1.0}
+    snap.write_text(json.dumps(body))
+    assert benchcheck_main(
+        ["--check-history", str(snap), "--history-path", str(hist)]
+    ) == 0
+    capsys.readouterr()
+
+
+def test_benchcheck_history_flags_malformed_lines(tmp_path, capsys):
+    from repro.tools.benchcheck import main as benchcheck_main
+
+    hist = tmp_path / "history.jsonl"
+    hist.write_text('{"pr": "x"}\nnot json\n')
+    snap = _e2e_snapshot(tmp_path, "BENCH_e2e_loopback.json", 1000.0)
+    assert benchcheck_main(
+        ["--check-history", str(snap), "--history-path", str(hist)]
+    ) == 1
+    assert "malformed history entry" in capsys.readouterr().err
+
+
+def test_benchcheck_history_modes_are_exclusive(tmp_path):
+    from repro.tools.benchcheck import main as benchcheck_main
+
+    snap = _e2e_snapshot(tmp_path, "BENCH_e2e_loopback.json", 1000.0)
+    with pytest.raises(SystemExit):
+        benchcheck_main(["--append-history", "pr-1", "--check-history", str(snap)])

@@ -54,7 +54,7 @@ def test_scatter_gather_roundtrip_over_socketpair():
         decoded = decode_batch(view, zero_copy=True)
         assert all(isinstance(s, memoryview) for s in decoded.samples)
         assert decoded.samples == payload.samples  # content equality
-        assert decoded.labels == payload.labels
+        assert list(decoded.labels) == payload.labels  # packed i64 vector under v3
         assert decoded.seq == payload.seq and decoded.shard == payload.shard
     finally:
         a.close()
