@@ -30,9 +30,12 @@ import os
 import time
 from pathlib import Path
 
+import urllib.request
+
 from conftest import run_once, show
 
 from repro.api import EMLIO
+from repro.api.spec import ObservabilitySpec
 from repro.loaders.pytorch_loader import PyTorchStyleLoader
 from repro.net.emulation import NetworkProfile
 from repro.storage.nfs import NFSMount
@@ -60,6 +63,9 @@ def _emit_json(result: dict, transport: str = "tcp") -> Path:
             "epoch_wall_s": result["emlio_s"],
             "throughput_samples_per_s": result["em_n"] / result["emlio_s"],
             "failovers": result["failovers"],
+            # Registry-derived per-stage latencies (ms); trend-recorded in
+            # the history but not drop-gated (lower is better there).
+            **result.get("latency_ms", {}),
         },
         "pytorch_baseline": {
             "epoch_wall_s": result["pytorch_s"],
@@ -89,6 +95,11 @@ def _run_comparison(
     """
     profile = NetworkProfile("bench-8ms", rtt_s=RTT_S)
 
+    # The bench always deploys with the metrics registry scrape-able on an
+    # ephemeral port: the emitted snapshot carries registry-derived stage
+    # latencies, and CI validates the scrape body via `benchcheck --metrics`.
+    spec = dataclasses.replace(spec, observability=ObservabilitySpec(metrics_port=0))
+
     # Baseline: per-sample reads over the NFS-like mount.
     srv = StorageServer(str(dataset.root), profile=profile)
     mount = NFSMount("127.0.0.1", srv.port, profile=profile, pool_size=4)
@@ -114,6 +125,18 @@ def _run_comparison(
             em_s = min(em_s, time.monotonic() - t0)
             em_samples = max(em_samples, n)
         stats = dep.stats()
+        registry = dep.telemetry.registry
+        latency_ms = {}
+        for stage, metric in (
+            ("decode", "emlio_decode_seconds"),
+            ("preprocess", "emlio_preprocess_seconds"),
+        ):
+            hist = registry.histogram(metric)
+            if hist.snapshot().get("count"):
+                for q, tag in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+                    latency_ms[f"{stage}_ms_{tag}"] = hist.quantile(q) * 1e3
+        endpoint = dep.status()["telemetry"]["metrics_endpoint"]
+        metrics_text = urllib.request.urlopen(endpoint, timeout=10).read().decode()
     return {
         "pytorch_s": pt_s,
         "emlio_s": em_s,
@@ -122,6 +145,8 @@ def _run_comparison(
         "warmup_epochs": warmup_epochs,
         "rounds": max(1, rounds),
         "failovers": stats["failovers"] + stats["receiver_failovers"],
+        "latency_ms": latency_ms,
+        "metrics_text": metrics_text,
     }
 
 
@@ -192,6 +217,18 @@ def main(argv: list | None = None) -> int:
     )
     out = _emit_json(result, transport=args.transport)
     print(f"wrote {out}")
+    # Smoke-scrape gate: the saved /metrics body must be valid Prometheus
+    # text (CI re-checks the file via `repro.tools.benchcheck --metrics`).
+    from repro.tools.benchcheck import check_prometheus_text
+
+    prom = Path(os.environ.get("BENCH_JSON_DIR", ".")) / "metrics.prom"
+    prom.write_text(result["metrics_text"])
+    print(f"wrote {prom}")
+    problems = check_prometheus_text(result["metrics_text"])
+    if problems:
+        for problem in problems:
+            print(f"FAIL: /metrics scrape: {problem}")
+        return 1
     if result["pt_n"] != 96 or result["em_n"] != 96:
         print(f"FAIL: expected 96 samples on both sides, got {result}")
         return 1

@@ -41,6 +41,7 @@ from repro.api.spec import (
     ElasticSpec,
     EnergySpec,
     NetworkSpec,
+    ObservabilitySpec,
     PipelineSpec,
     ReceiverSpec,
     RecoverySpec,
@@ -64,6 +65,7 @@ __all__ = [
     "EnergySpec",
     "NETWORK_PROFILES",
     "NetworkSpec",
+    "ObservabilitySpec",
     "POWER_MODELS",
     "PRESETS",
     "PipelineSpec",

@@ -34,6 +34,7 @@ from repro.api.spec import ChaosEventSpec, ClusterSpec, SpecError
 from repro.core.planner import Planner
 from repro.core.service import EMLIOService
 from repro.net.emulation import NetworkProfile
+from repro.obs import Telemetry
 from repro.tfrecord.sharder import ShardedDataset, write_shards
 
 
@@ -216,6 +217,32 @@ def _resolve_storage_runtime(
     return (lambda root: wrap(backend_entry(root))), None
 
 
+def _resolve_telemetry(spec: ClusterSpec) -> tuple[Telemetry, object | None]:
+    """Resolve ``[observability]`` into ``(telemetry, exporter)``.
+
+    Live-deploy only (the exporter binds a socket, which is exactly what
+    :meth:`EMLIO.plan` must not do).  The :class:`~repro.obs.Telemetry`
+    handle is always built — the metric registry is collected lazily at
+    scrape/status time, so an unconfigured section costs nothing on the
+    data path.  The exporter starts only when ``metrics_port`` is set
+    (``0`` binds an ephemeral port, read back from ``status()``).
+    """
+    obs = spec.observability
+    telemetry = Telemetry(
+        trace_dir=obs.trace_dir, trace_sample=obs.trace_sample
+    )
+    exporter = None
+    if obs.metrics_port is not None:
+        from repro.obs.exporter import MetricsExporter
+
+        try:
+            exporter = MetricsExporter(telemetry.registry, port=obs.metrics_port)
+        except BaseException:
+            telemetry.close()
+            raise
+    return telemetry, exporter
+
+
 def _resolve_preprocess(spec: ClusterSpec) -> Callable | None:
     codec = CODECS.get(spec.pipeline.codec)
     if spec.pipeline.codec == "auto":
@@ -354,6 +381,8 @@ class Deployment:
         monitor=None,
         owned_dir: tempfile.TemporaryDirectory | None = None,
         storage_closer: Callable[[], None] | None = None,
+        telemetry: Telemetry | None = None,
+        exporter=None,
     ) -> None:
         self.spec = spec
         self.service = service
@@ -361,6 +390,8 @@ class Deployment:
         self.monitor = monitor
         self._owned_dir = owned_dir
         self._storage_closer = storage_closer
+        self.telemetry = telemetry
+        self.exporter = exporter
         self._closed = False
         self._epoch_start_cbs: list[Callable[[int], None]] = []
         self._failover_cbs: list[Callable[[str, dict], None]] = []
@@ -459,11 +490,21 @@ class Deployment:
                 "gpu_j": report.gpu_j,
                 "samples": report.samples,
             }
+        obs = self.spec.observability
+        trace = self.telemetry.stats().get("trace") if self.telemetry is not None else None
+        telemetry = {
+            "metrics_endpoint": self.exporter.endpoint if self.exporter is not None else None,
+            "trace_dir": obs.trace_dir,
+            "trace_sample": obs.trace_sample,
+            "spans_written": trace["written"] if trace is not None else 0,
+            "spans_dropped": trace["dropped"] if trace is not None else 0,
+        }
         return {
             "spec": self.spec.name,
             "cluster": self.service.cluster_status(),
             "pipeline": self.service.stats(),
             "storage": self.service.storage_stats(),
+            "telemetry": telemetry,
             "energy": energy,
         }
 
@@ -483,6 +524,10 @@ class Deployment:
                 self._chaos.cancel()
             self.service.close()
         finally:
+            if self.exporter is not None:
+                self.exporter.close()
+            if self.telemetry is not None:
+                self.telemetry.close()
             if self._storage_closer is not None:
                 self._storage_closer()
             if self.monitor is not None:
@@ -587,6 +632,7 @@ class EMLIO:
                 spec, ds, config, profile
             )
             recovery = spec.recovery.to_config() if spec.recovery.enabled else None
+            telemetry, exporter = _resolve_telemetry(spec)
             monitor = None
             if spec.energy.enabled:
                 from repro.energy.monitor import EnergyMonitor
@@ -612,12 +658,17 @@ class EMLIO:
                     preprocess_fn=preprocess,
                     elastic=spec.elastic.to_policy(),
                     storage_factory=storage_factory,
+                    telemetry=telemetry,
                 )
             except BaseException:
                 if monitor is not None:
                     monitor.stop()
                 raise
         except BaseException:
+            if "exporter" in locals() and exporter is not None:
+                exporter.close()
+            if "telemetry" in locals():
+                telemetry.close()
             if "storage_closer" in locals() and storage_closer is not None:
                 storage_closer()
             if owned is not None:
@@ -625,7 +676,7 @@ class EMLIO:
             raise
         deployment = Deployment(
             spec, service, ds, monitor=monitor, owned_dir=owned,
-            storage_closer=storage_closer,
+            storage_closer=storage_closer, telemetry=telemetry, exporter=exporter,
         )
         if on_epoch_start is not None:
             deployment.on_epoch_start(on_epoch_start)

@@ -4,6 +4,19 @@ Every example and live benchmark topology has a named spec here, so CI can
 dry-run-deploy all of them and scenario files can start from a known-good
 base (``preset("quickstart")`` then ``dataclasses.replace``).  Specs are
 frozen, so sharing the instances is safe.
+
+None of the presets enable the ``[observability]`` section — telemetry is
+an overlay, not a topology.  To trace a preset end-to-end, replace the
+section::
+
+    import dataclasses
+    from repro.api.spec import ObservabilitySpec
+    spec = dataclasses.replace(
+        preset("quickstart"),
+        observability=ObservabilitySpec(
+            metrics_port=0, trace_dir="/tmp/traces", trace_sample=1.0
+        ),
+    )
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ from repro.api.spec import (
     ElasticSpec,
     EnergySpec,
     NetworkSpec,
+    ObservabilitySpec,  # noqa: F401 - re-exported for the overlay recipe above
     PipelineSpec,
     ReceiverSpec,
     RecoverySpec,

@@ -542,6 +542,45 @@ class EnergySpec:
         return _construct(cls, dict(data), "energy")
 
 
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Telemetry plane: metrics scrape endpoint and per-batch tracing.
+
+    ``metrics_port`` exposes the deployment's metric registry over HTTP
+    (``/metrics`` Prometheus text, ``/metrics.json``, ``/healthz``);
+    ``None`` disables the exporter and ``0`` binds an ephemeral port
+    (read it back from ``Deployment.status()["telemetry"]``).
+    ``trace_sample`` is the fraction of batches traced end-to-end
+    (read → encode → send → recv → decode → preprocess → consume);
+    sampled spans are appended as JSONL under ``trace_dir`` and read
+    back with ``python -m repro.tools.trace``.
+    """
+
+    metrics_port: int | None = None
+    trace_dir: str | None = None
+    trace_sample: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.metrics_port is None
+                 or (isinstance(self.metrics_port, int)
+                     and not isinstance(self.metrics_port, bool)
+                     and 0 <= self.metrics_port <= 65535),
+                 f"observability.metrics_port must be 0..65535 or omitted, "
+                 f"got {self.metrics_port!r}")
+        _require(isinstance(self.trace_sample, (int, float))
+                 and not isinstance(self.trace_sample, bool)
+                 and 0.0 <= self.trace_sample <= 1.0,
+                 f"observability.trace_sample must be in [0, 1], "
+                 f"got {self.trace_sample!r}")
+        _require(self.trace_sample == 0 or self.trace_dir is not None,
+                 "observability.trace_sample > 0 requires observability.trace_dir")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObservabilitySpec":
+        _check_keys(cls, data, "observability")
+        return _construct(cls, dict(data), "observability")
+
+
 # -- the top-level spec --------------------------------------------------------
 
 
@@ -559,6 +598,7 @@ class ClusterSpec:
     energy: EnergySpec = field(default_factory=EnergySpec)
     elastic: ElasticSpec = field(default_factory=ElasticSpec)
     chaos: ChaosSpec = field(default_factory=ChaosSpec)
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
 
     def __post_init__(self) -> None:
         _require(bool(self.name) and isinstance(self.name, str),
@@ -601,6 +641,7 @@ class ClusterSpec:
             "energy": EnergySpec,
             "elastic": ElasticSpec,
             "chaos": ChaosSpec,
+            "observability": ObservabilitySpec,
         }
         kwargs: dict[str, Any] = {}
         if "name" in data:
@@ -717,6 +758,7 @@ __all__ = [
     "ElasticSpec",
     "EnergySpec",
     "NetworkSpec",
+    "ObservabilitySpec",
     "PipelineSpec",
     "ReceiverSpec",
     "RecoverySpec",

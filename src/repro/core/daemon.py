@@ -32,6 +32,7 @@ dropped, exactly like a crash.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,7 +46,7 @@ from repro.net.emulation import NetworkProfile
 from repro.net.mq import PushSocket, ReconnectPolicy
 from repro.net.buffers import ColumnarSamples
 from repro.net.shm import ShmHandshakeRefused, ShmPushSocket, shm_eligible
-from repro.serialize.payload import BatchPayload, encode_batch_parts
+from repro.serialize.payload import BatchPayload, encode_batch_parts, stamp_trace
 from repro.storage.backend import LocalFSBackend, ShardHandle, StorageBackend
 from repro.tfrecord.sharder import scan_example_spans, unpack_example
 from repro.util.clock import MonotonicClock
@@ -85,7 +86,14 @@ class DaemonStats:
             self.serialize_s += ser_s
 
     def snapshot(self) -> dict[str, float]:
-        """Point-in-time copy of the counters."""
+        """Point-in-time copy of the counters.
+
+        ``bytes_sent``/``bytes_read``/``batches_sent`` are summed across
+        daemons into ``emlio_transport_{bytes_sent,bytes_read,batches_sent}_total``;
+        the cumulative ``read_s``/``serialize_s`` have per-batch histogram
+        twins ``emlio_daemon_read_seconds`` / ``emlio_daemon_serialize_seconds``
+        (:mod:`repro.obs.metrics`).
+        """
         with self._lock:
             return {
                 "batches_sent": self.batches_sent,
@@ -129,6 +137,14 @@ class EMLIODaemon:
         the local mmap fast path over ``dataset_root`` — byte-identical
         to the pre-tier behaviour.  The daemon owns the backend and
         closes it on :meth:`close`.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  Feeds per-batch
+        read/serialize histograms (from the deltas the stats path already
+        times — no extra clock reads) and, when tracing is configured,
+        makes this daemon the trace *origin*: it decides sampling per
+        batch, stamps the mark into the payload meta
+        (:func:`~repro.serialize.payload.stamp_trace`), and emits the
+        ``read``/``encode``/``send`` spans.
     """
 
     def __init__(
@@ -144,6 +160,7 @@ class EMLIODaemon:
         reconnect: ReconnectPolicy | None = None,
         fault_injector: Callable[[BatchAssignment, PushSocket], None] | None = None,
         backend: StorageBackend | None = None,
+        telemetry=None,
     ) -> None:
         self.dataset_root = Path(dataset_root)
         self.plan = plan
@@ -156,6 +173,18 @@ class EMLIODaemon:
         self.reconnect = reconnect
         self.fault_injector = fault_injector
         self.stats = DaemonStats()
+        self._tracer = telemetry.tracer("daemon") if telemetry is not None else None
+        if telemetry is not None and telemetry.registry.enabled:
+            self._read_hist = telemetry.registry.histogram(
+                "emlio_daemon_read_seconds",
+                "Per-batch storage-tier read time at the daemon",
+            )
+            self._ser_hist = telemetry.registry.histogram(
+                "emlio_daemon_serialize_seconds",
+                "Per-batch payload serialize time at the daemon",
+            )
+        else:
+            self._read_hist = self._ser_hist = None
         self._clock = MonotonicClock()
         self._killed = threading.Event()
         self._hung = threading.Event()
@@ -515,6 +544,14 @@ class EMLIODaemon:
                 self._committed.add(key)
             if self.fault_injector is not None:
                 self.fault_injector(a, push)
+            # Trace origin: the sampling decision is made here, once, from
+            # the delivery key (seq == batch_index) — see repro.obs.trace.
+            # Wall clocks are read only for sampled batches.
+            tracer = self._tracer
+            sampled = tracer is not None and tracer.sampled(
+                a.epoch, a.node_id, a.batch_index
+            )
+            w0 = time.time_ns() if sampled else 0
             t0 = self._clock.now()
             reader = self._acquire_reader(a.shard_path)
             try:
@@ -528,6 +565,7 @@ class EMLIODaemon:
             finally:
                 self._release_reader(a.shard_path)
             t1 = self._clock.now()
+            w1 = time.time_ns() if sampled else 0
             if tuple(labels) != a.labels:
                 raise RuntimeError(
                     f"shard {a.shard} labels diverge from plan at batch "
@@ -541,15 +579,27 @@ class EMLIODaemon:
                     samples=samples,
                     labels=labels,
                     node_id=a.node_id,
+                    meta=stamp_trace() if sampled else {},
                     seq=a.batch_index,
                 ),
                 version=self.config.payload_version,
             )
             nbytes = sum(len(p) for p in parts)
             t2 = self._clock.now()
+            w2 = time.time_ns() if sampled else 0
             # HWM backpressure applies here; False = node dropped mid-wait.
             if not self._push(parts, push, a.node_id):
                 continue
+            if sampled:
+                w3 = time.time_ns()
+                tracer.span(key, "read", w0, w1)
+                tracer.span(key, "encode", w1, w2)
+                tracer.span(key, "send", w2, w3, nbytes=nbytes)
+            if self._read_hist is not None:
+                # Histograms reuse the stats path's monotonic deltas — no
+                # extra clock reads on the unsampled hot path.
+                self._read_hist.observe(t1 - t0)
+                self._ser_hist.observe(t2 - t1)
             if self.cpu_tracker is not None:
                 self.cpu_tracker.add_busy(t2 - t0)
             self.stats.record(

@@ -176,6 +176,10 @@ def _weights(keys: Iterable, loads: Mapping) -> dict:
 class PlacementEngine:
     """Owns all batch→owner assignment: plans, failover re-plans, scale-out.
 
+    Outcomes of the re-plans surface in the metrics registry as
+    ``emlio_failovers_total{kind=...}``, ``emlio_rebalances_total`` and
+    ``emlio_ledger_reassigned_batches`` (:mod:`repro.obs.metrics`).
+
     Parameters
     ----------
     plan:

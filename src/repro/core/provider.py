@@ -45,6 +45,11 @@ class ProviderAborted(RuntimeError):
 class BatchProvider:
     """Pulls payloads from the receiver's shared queue for one epoch.
 
+    The ``delivered``/``duplicates`` counters here are what the receiver
+    reports upward and the registry exports as
+    ``emlio_batches_received_total`` / ``emlio_duplicates_dropped_total``
+    (:mod:`repro.obs.metrics`).
+
     Parameters
     ----------
     source_queue:

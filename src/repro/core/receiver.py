@@ -38,8 +38,14 @@ from repro.gpu.device import SimulatedGPU
 from repro.gpu.pipeline import EndOfData, Pipeline, PipelineStats
 from repro.net.emulation import NetworkProfile
 from repro.net.mq import PullSocket
-from repro.serialize.payload import decode_batch
+from repro.serialize.payload import decode_batch, trace_stamped
 from repro.util.logging import TimestampLogger
+
+#: Bound on the remembered trace-sampled delivery keys (epoch, seq) —
+#: recv-side bookkeeping between the socket thread and the consume loop.
+#: Keys pop as their batches are consumed; the bound only matters when a
+#: traced batch is dropped (dedup, relinquish) and never consumed.
+_SAMPLED_KEYS_BOUND = 4096
 
 
 class ReceiverKilled(RuntimeError):
@@ -61,6 +67,12 @@ class EMLIOReceiver:
     preprocess_fn:
         Batch preprocessor forwarded to the pipeline (``None`` keeps the
         image decode path); see :class:`~repro.gpu.pipeline.Pipeline`.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  Feeds the per-batch
+        decode/preprocess histograms and, when tracing is configured,
+        emits the ``recv``/``decode``/``preprocess``/``consume`` spans for
+        payloads the daemon stamped as sampled
+        (:func:`~repro.serialize.payload.trace_stamped`).
     """
 
     def __init__(
@@ -78,6 +90,7 @@ class EMLIOReceiver:
         dedup: bool = False,
         reorder_window: int | None = None,
         preprocess_fn=None,
+        telemetry=None,
     ) -> None:
         self.node_id = node_id
         self.plan = plan
@@ -88,6 +101,22 @@ class EMLIOReceiver:
         self.ledger = ledger
         self.dedup = dedup or ledger is not None
         self.preprocess_fn = preprocess_fn
+        self._tracer = telemetry.tracer("receiver") if telemetry is not None else None
+        if telemetry is not None and telemetry.registry.enabled:
+            self._decode_hist = telemetry.registry.histogram(
+                "emlio_decode_seconds",
+                "Per-payload deserialize time on the receive thread",
+            )
+            self._preproc_hist = telemetry.registry.histogram(
+                "emlio_preprocess_seconds",
+                "Per-batch pipeline preprocess (decode/augment) time",
+            )
+        else:
+            self._decode_hist = self._preproc_hist = None
+        # (epoch, seq) keys of trace-sampled payloads, noted by the socket
+        # thread and popped by the consume loop (preprocess/consume spans).
+        self._sampled_keys: collections.OrderedDict = collections.OrderedDict()
+        self._sampled_lock = threading.Lock()
         # None inherits the config; AUTO (here or in the config) derives
         # the window from the transport shape instead of manual tuning.
         self.reorder_window = config.resolve_reorder_window(reorder_window)
@@ -263,7 +292,22 @@ class EMLIOReceiver:
                 provider.shrink(fresh)
         return True
 
+    def _note_sampled(self, epoch: int, seq: int) -> None:
+        with self._sampled_lock:
+            self._sampled_keys[(epoch, seq)] = True
+            while len(self._sampled_keys) > _SAMPLED_KEYS_BOUND:
+                self._sampled_keys.popitem(last=False)
+
+    def _is_sampled(self, epoch: int, seq: int) -> bool:
+        with self._sampled_lock:
+            return (epoch, seq) in self._sampled_keys
+
+    def _pop_sampled(self, epoch: int, seq: int) -> bool:
+        with self._sampled_lock:
+            return self._sampled_keys.pop((epoch, seq), None) is not None
+
     def _zmq_receiver(self) -> None:
+        tracer = self._tracer
         while not self._stop.is_set():
             try:
                 frame = self.pull.recv_frame(timeout=0.2)
@@ -278,14 +322,27 @@ class EMLIOReceiver:
             # lease travels with them (LeasedSamples) and is released by
             # the final consumer — pipeline after preprocess, or provider
             # on dedup/stale drop.
+            wr0 = time.time_ns() if tracer is not None else 0
             t0 = time.perf_counter()
+            wr1 = time.time_ns() if tracer is not None else 0
             payload = decode_batch(frame.data, zero_copy=True, release=frame.release)
-            self.pipeline_stats.record_decode(time.perf_counter() - t0)
+            decode_s = time.perf_counter() - t0
+            self.pipeline_stats.record_decode(decode_s)
+            if self._decode_hist is not None:
+                self._decode_hist.observe(decode_s)
             if payload.node_id != self.node_id:
                 frame.release()
                 raise RuntimeError(
                     f"node {self.node_id} received a batch planned for node {payload.node_id}"
                 )
+            if tracer is not None and trace_stamped(payload):
+                # Only the daemon's stamp costs anything downstream: the
+                # sampling decision travelled in the payload meta.
+                wr2 = time.time_ns()
+                key = (payload.epoch, payload.node_id, payload.seq)
+                tracer.span(key, "recv", wr0, wr1, nbytes=payload.nbytes)
+                tracer.span(key, "decode", wr1, wr2)
+                self._note_sampled(payload.epoch, payload.seq)
             self.batches_received += 1
             self.logger.log(
                 "batch_recv",
@@ -352,6 +409,22 @@ class EMLIOReceiver:
         if self._killed.is_set():
             raise ReceiverKilled(f"node {self.node_id} was killed")
         provider = self._make_provider(epoch_index)
+        span_fn = None
+        if self._preproc_hist is not None or self._tracer is not None:
+            hist = self._preproc_hist
+            tracer = self._tracer
+
+            def span_fn(seq: int, t0: int, t1: int) -> None:
+                # The pipeline's seq is its source-call ordinal — identical
+                # to provider.emitted order — which joins the preprocess
+                # span back to the batch's delivery key (and trace id).
+                if hist is not None:
+                    hist.observe((t1 - t0) / 1e9)
+                if tracer is not None and seq < len(provider.emitted):
+                    e, n, s = provider.emitted[seq]
+                    if self._is_sampled(e, s):
+                        tracer.span((e, n, s), "preprocess", t0, t1)
+
         # Line 3: build the pipeline over the provider.
         pipe = Pipeline(
             external_source=provider,
@@ -362,6 +435,7 @@ class EMLIOReceiver:
             seed=self.config.seed + epoch_index,
             preprocess_fn=self.preprocess_fn,
             stats=self.pipeline_stats,
+            span_fn=span_fn,
         )
         pipe.warmup()  # line 4
         self.logger.log("epoch_start", epoch=epoch_index)
@@ -391,6 +465,13 @@ class EMLIOReceiver:
                 # run() output is the k-th provider emission.
                 if self.ledger is not None:
                     self.ledger.record(*provider.emitted[consumed])
+                if self._tracer is not None:
+                    e, n, s = provider.emitted[consumed]
+                    if self._pop_sampled(e, s):
+                        # The consume span marks the handoff to training —
+                        # a point event, recorded as a minimal interval.
+                        w = time.time_ns()
+                        self._tracer.span((e, n, s), "consume", w, time.time_ns())
                 consumed += 1
                 self.batches_consumed += 1
                 yield tensors, labels

@@ -137,6 +137,15 @@ class EMLIOService:
         failover, and scale-out alike) so every daemon reads its shards
         through a tiered backend; each daemon owns and closes its
         instance.  ``None`` keeps the local mmap fast path.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` threaded through every
+        daemon and receiver (original, failover, and scale-out alike).
+        The service registers scrape-time collectors exporting the
+        subsystem counters it already aggregates in :meth:`stats` —
+        transport bytes/batches, shm attaches, per-tier storage reads and
+        cache hits, pipeline stage costs, failover/rebalance counts, and
+        heartbeat decode health — so enabling metrics adds no hot-path
+        work beyond the per-batch histograms.
     """
 
     def __init__(
@@ -153,6 +162,7 @@ class EMLIOService:
         preprocess_fn=None,
         elastic: ElasticPolicy | None = None,
         storage_factory=None,
+        telemetry=None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -164,7 +174,13 @@ class EMLIOService:
         self.stall_timeout = stall_timeout
         self.elastic = elastic or ElasticPolicy()
         self._preprocess_fn = preprocess_fn
-        self.logger = TimestampLogger(name="emlio-service")
+        self.telemetry = telemetry
+        # The §4.5 timeline and the per-batch spans share one JSONL file
+        # when tracing is configured (Telemetry.event_sink is the writer).
+        self.logger = TimestampLogger(
+            name="emlio-service",
+            sink=telemetry.event_sink if telemetry is not None else None,
+        )
         # Lifecycle observers (the deployment facade's callback bridge):
         # each is called as fn(kind, info) from whatever thread produced
         # the event; failures are logged, never propagated.
@@ -191,6 +207,7 @@ class EMLIOService:
                 dedup=recovery.dedup if recovery is not None else False,
                 reorder_window=reorder,
                 preprocess_fn=preprocess_fn,
+                telemetry=telemetry,
             )
             for i in range(num_nodes)
         ]
@@ -251,6 +268,114 @@ class EMLIOService:
                 # must still be detected (the miss clock starts now).
                 self.view.expect(f"receiver:{i}", "receiver")
                 self._receiver_pubs.append(self._make_receiver_pub(i, r).start())
+        if telemetry is not None and telemetry.registry.enabled:
+            self._register_collectors(telemetry.registry)
+
+    def _register_collectors(self, registry) -> None:
+        """Export the service's existing counters through the registry.
+
+        One collector callback, run at snapshot/scrape time only, pulls
+        from the same subsystem counters :meth:`stats` aggregates — the
+        serving hot paths are untouched (see :mod:`repro.obs.metrics`).
+        """
+        bytes_sent = registry.counter(
+            "emlio_transport_bytes_sent_total",
+            "Wire bytes pushed by all daemons (original + failover)",
+        )
+        bytes_read = registry.counter(
+            "emlio_transport_bytes_read_total",
+            "Storage bytes read by all daemons",
+        )
+        batches_sent = registry.counter(
+            "emlio_transport_batches_sent_total",
+            "Batch payloads pushed by all daemons",
+        )
+        shm_attaches = registry.counter(
+            "emlio_transport_shm_attaches_total",
+            "Shared-memory ring attaches accepted by receivers",
+        )
+        transport_nodes = registry.gauge(
+            "emlio_transport_nodes",
+            "Compute nodes per active daemon→receiver transport",
+            labelnames=("transport",),
+        )
+        tier_counters = {
+            name: registry.counter(
+                f"emlio_storage_tier_{name}_total",
+                f"Storage-tier {name.replace('_', ' ')} per tier",
+                labelnames=("tier",),
+            )
+            for name in (
+                "reads", "bytes_read", "cache_hits", "cache_misses",
+                "prefetched", "evictions",
+            )
+        }
+        stage_ns = registry.gauge(
+            "emlio_pipeline_stage_ns",
+            "Mean per-batch consume-pipeline stage cost (nanoseconds)",
+            labelnames=("stage",),
+        )
+        received = registry.counter(
+            "emlio_batches_received_total", "Batch payloads received by all nodes"
+        )
+        dupes = registry.counter(
+            "emlio_duplicates_dropped_total",
+            "Duplicate payloads absorbed by receiver dedup",
+        )
+        failovers = registry.counter(
+            "emlio_failovers_total",
+            "Successful mid-epoch failovers by member kind",
+            labelnames=("kind",),
+        )
+        rebalances = registry.counter(
+            "emlio_rebalances_total", "Elastic scale-out load shifts that landed"
+        )
+        reassigned = registry.gauge(
+            "emlio_ledger_reassigned_batches",
+            "Delivery keys currently re-owned through the reassignment ledger",
+        )
+        hb_malformed = registry.counter(
+            "emlio_heartbeat_decode_errors_total",
+            "Heartbeat frames the listener could not decode",
+        )
+        hb_unknown = registry.counter(
+            "emlio_heartbeat_unknown_fields_total",
+            "Heartbeats carrying fields unknown to this version (mixed-version clusters)",
+        )
+
+        def collect() -> None:
+            all_daemons = self.daemons + self._failover_daemons
+            snaps = [d.stats.snapshot() for d in all_daemons]
+            bytes_sent.set(sum(s["bytes_sent"] for s in snaps))
+            bytes_read.set(sum(s["bytes_read"] for s in snaps))
+            batches_sent.set(sum(s["batches_sent"] for s in snaps))
+            shm_attaches.set(sum(r.shm_attaches for r in self.receivers))
+            merged: dict[int, str] = {}
+            for d in all_daemons:
+                for node_id, transport in d.transports.items():
+                    if merged.get(node_id) != "shm":
+                        merged[node_id] = transport
+            for t in ("shm", "tcp"):
+                transport_nodes.labels(transport=t).set(
+                    sum(1 for v in merged.values() if v == t)
+                )
+            for tier, agg in self.storage_stats()["tiers"].items():
+                for name, counter in tier_counters.items():
+                    counter.labels(tier=tier).set(agg[name])
+            stages = self.pipeline_stage_stats()
+            for stage in ("decode", "preprocess", "starved"):
+                stage_ns.labels(stage=stage).set(stages[f"{stage}_ns"])
+            received.set(sum(r.batches_received for r in self.receivers))
+            dupes.set(sum(r.duplicates_dropped for r in self.receivers))
+            failovers.labels(kind="daemon").set(self.failovers)
+            failovers.labels(kind="receiver").set(self.receiver_failovers)
+            rebalances.set(self.rebalances)
+            reassigned.set(len(self._reassigned))
+            if self._hb_listener is not None:
+                hb_malformed.set(self._hb_listener.malformed)
+                hb_unknown.set(self._hb_listener.unknown_fields)
+
+        registry.register_collector(collect)
 
     def _make_receiver_pub(self, node: int, r: EMLIOReceiver) -> HeartbeatPublisher:
         return HeartbeatPublisher(
@@ -316,6 +441,7 @@ class EMLIOService:
                 if self._storage_factory is not None
                 else None
             ),
+            telemetry=self.telemetry,
         )
         daemon.warm()
         return daemon
@@ -440,6 +566,7 @@ class EMLIOService:
             dedup=self.recovery.dedup,
             reorder_window=self.recovery.reorder_window,
             preprocess_fn=self._preprocess_fn,
+            telemetry=self.telemetry,
         )
         self.receivers.append(receiver)
         self._endpoints[node] = ("127.0.0.1", receiver.port)

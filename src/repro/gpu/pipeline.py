@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -153,6 +154,14 @@ class Pipeline:
         Optional shared :class:`PipelineStats` — the receiver passes one
         that outlives per-epoch pipelines (and carries its decode timing),
         so stage costs accumulate across the deployment.
+    span_fn:
+        Optional ``(seq, t0_ns, t1_ns)`` callback invoked after each
+        batch's preprocess with wall-clock nanoseconds bracketing it.
+        ``seq`` is the source-call ordinal (identical to the pooled path's
+        reassembly sequence and to :attr:`BatchProvider.emitted` order),
+        which is how the receiver joins preprocess spans back to their
+        batch's trace id — see :mod:`repro.obs.trace`.  When ``None`` (the
+        default) no wall clocks are read.
     """
 
     def __init__(
@@ -167,6 +176,7 @@ class Pipeline:
         preprocess_fn: Callable[[list[bytes], tuple[int, int], np.random.Generator], np.ndarray]
         | None = None,
         stats: PipelineStats | None = None,
+        span_fn: Callable[[int, int, int], None] | None = None,
     ) -> None:
         if prefetch < 1:
             raise ValueError(f"prefetch must be >= 1, got {prefetch}")
@@ -181,6 +191,7 @@ class Pipeline:
         self.seed = seed
         self.preprocess_fn = preprocess_fn or preprocess_batch
         self.stats = stats if stats is not None else PipelineStats()
+        self.span_fn = span_fn
         self._rng = np.random.default_rng(seed)
         self._clock = MonotonicClock()
         self._out: queue.Queue = queue.Queue(maxsize=prefetch)
@@ -189,6 +200,7 @@ class Pipeline:
         self._pool: list[threading.Thread] = []
         self._pending: dict[int, object] = {}
         self._next_emit = 0
+        self._sync_seq = 0  # source-call ordinal for the exec_async=False path
         self._emit_lock = threading.Lock()
         self._stopped = threading.Event()
         self._built = False
@@ -248,8 +260,10 @@ class Pipeline:
             # batch's arrival by most of a batch time.
             self._clock.sleep(0.0002)
 
-    def _preprocess(self, samples, labels, rng=None, overlapped: bool = False):
+    def _preprocess(self, samples, labels, rng=None, overlapped: bool = False,
+                    seq: int = -1):
         start = self._clock.now()
+        w0 = time.time_ns() if self.span_fn is not None else 0
         mpix = batch_megapixels(samples)
         modeled = self.gpu.cost_model.decode_time(mpix) + self.gpu.cost_model.augment_time(mpix)
         rng = self._rng if rng is None else rng
@@ -259,11 +273,14 @@ class Pipeline:
         # hand the receive buffer back to its pool (no-op for plain lists).
         release_samples(samples)
         self.stats.record_batch(len(samples), self._clock.now() - start)
+        if self.span_fn is not None:
+            self.span_fn(seq, w0, time.time_ns())
         return tensors, np.asarray(labels, dtype=np.int64)
 
     # -- single-worker path (workers == 1) -------------------------------------
 
     def _prefetch_loop(self) -> None:
+        seq = 0  # source-call ordinal, same numbering as the pooled path
         while not self._stopped.is_set():
             try:
                 samples, labels = self.external_source()
@@ -274,13 +291,14 @@ class Pipeline:
                 self._out.put(err)
                 return
             try:
-                item = self._preprocess(samples, labels)
+                item = self._preprocess(samples, labels, seq=seq)
             except Exception as err:
                 # A decode/augment failure must reach run(), not silently
                 # kill the worker and leave the consumer blocked forever.
                 self._out.put(err)
                 return
             self._out.put(item)
+            seq += 1
 
     # -- pooled path (workers > 1) ---------------------------------------------
 
@@ -348,6 +366,7 @@ class Pipeline:
                     labels,
                     rng=np.random.default_rng((self.seed, seq)),
                     overlapped=True,
+                    seq=seq,
                 )
             except Exception as err:
                 item = err
@@ -376,7 +395,8 @@ class Pipeline:
         except EndOfData:
             self.stats.record_wait(self._clock.now() - start)
             raise
-        result = self._preprocess(samples, labels)
+        result = self._preprocess(samples, labels, seq=self._sync_seq)
+        self._sync_seq += 1
         self.stats.record_wait(0.0)
         return result
 

@@ -24,7 +24,12 @@ from repro.net.framing import recv_frame, recv_frame_into, send_frame, send_fram
 
 
 class Channel:
-    """One framed, bidirectional connection."""
+    """One framed, bidirectional connection.
+
+    The ``bytes_sent``/``bytes_received`` counters roll up through the
+    push/pull sockets into the transport registry series
+    (``emlio_transport_bytes_sent_total`` et al., :mod:`repro.obs.metrics`).
+    """
 
     def __init__(self, sock: socket.socket, profile: NetworkProfile | None = None) -> None:
         try:

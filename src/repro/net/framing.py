@@ -10,6 +10,9 @@ The zero-copy hot path (paper §4.1) uses the scatter-gather variants:
 emitted a separate 4-byte packet under ``TCP_NODELAY`` — and
 :func:`recv_frame_into` fills a caller-owned (pooled) buffer instead of
 materializing fresh ``bytes`` per frame.
+
+Frame payload sizes are what the send/recv trace spans record as
+``nbytes`` (:mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations

@@ -27,11 +27,14 @@ Design points:
 from __future__ import annotations
 
 import json
+import logging
 import threading
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.net.channel import Channel, Listener, connect_channel
+
+_log = logging.getLogger(__name__)
 
 #: Member lifecycle states carried in a heartbeat's ``state`` field.
 STATE_SERVING = "serving"
@@ -124,10 +127,50 @@ def encode_heartbeat(hb: Heartbeat) -> bytes:
     ).encode("utf-8")
 
 
-def decode_heartbeat(data: bytes) -> Heartbeat:
-    """Inverse of :func:`encode_heartbeat`; raises ``ValueError`` on junk."""
+#: Every wire key this version understands; anything else came from a
+#: newer (or foreign) publisher in a mixed-version cluster.
+_KNOWN_KEYS = frozenset({
+    "id", "role", "inc", "seq", "progress", "qd", "ch", "cm", "pf",
+    "dns", "pns", "sns", "state", "detail",
+})
+
+# Field names already warned about (log-once per process, not per beat —
+# a mixed-version cluster beats several times a second, forever).
+_warned_unknown: set[str] = set()
+_warned_lock = threading.Lock()
+
+
+def decode_heartbeat(
+    data: bytes, on_unknown: Callable[[frozenset], None] | None = None
+) -> Heartbeat:
+    """Inverse of :func:`encode_heartbeat`; raises ``ValueError`` on junk.
+
+    Unknown fields are tolerated (forward compatibility in mixed-version
+    clusters) but no longer *silently* dropped: each new field name is
+    warned about once per process, and ``on_unknown(fields)`` lets the
+    listener count them — exported as
+    ``emlio_heartbeat_unknown_fields_total`` through the metrics registry
+    (:mod:`repro.obs.metrics`), so version skew is diagnosable.
+    """
     try:
         obj = json.loads(data.decode("utf-8"))
+        if isinstance(obj, dict):
+            unknown = frozenset(obj) - _KNOWN_KEYS
+            if unknown:
+                fresh = []
+                with _warned_lock:
+                    for name in sorted(unknown):
+                        if name not in _warned_unknown:
+                            _warned_unknown.add(name)
+                            fresh.append(name)
+                if fresh:
+                    _log.warning(
+                        "heartbeat carries unknown field(s) %s "
+                        "(mixed-version cluster?); ignoring them",
+                        ", ".join(repr(n) for n in fresh),
+                    )
+                if on_unknown is not None:
+                    on_unknown(unknown)
         return Heartbeat(
             member_id=obj["id"],
             role=obj["role"],
@@ -165,6 +208,9 @@ class HeartbeatListener:
     ) -> None:
         self.on_heartbeat = on_heartbeat
         self.malformed = 0
+        # Beats that carried fields unknown to this version (counted per
+        # beat; the field names are log-onced by decode_heartbeat).
+        self.unknown_fields = 0
         self._channels: list[Channel] = []
         self._chan_lock = threading.Lock()
         self._closed = False
@@ -181,6 +227,9 @@ class HeartbeatListener:
         """Bound TCP port."""
         return self._listener.port
 
+    def _count_unknown(self, fields: frozenset) -> None:
+        self.unknown_fields += 1
+
     def _handle(self, chan: Channel) -> None:
         with self._chan_lock:
             if self._closed:
@@ -195,7 +244,7 @@ class HeartbeatListener:
                     except (ConnectionError, OSError):
                         return
                     try:
-                        hb = decode_heartbeat(frame)
+                        hb = decode_heartbeat(frame, on_unknown=self._count_unknown)
                     except ValueError:
                         self.malformed += 1
                         continue

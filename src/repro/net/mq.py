@@ -393,6 +393,9 @@ class PushSocket:
     def bytes_sent(self) -> int:
         """Total payload bytes sent (across reconnects).
 
+        Summed over all daemons into the registry series
+        ``emlio_transport_bytes_sent_total`` (:mod:`repro.obs.metrics`).
+
         Each stream is read under its lock: ``_resurrect`` folds the dying
         channel's count into ``retired_bytes`` and swaps ``chan`` as one
         critical section, so an unlocked reader could see the old channel
@@ -692,7 +695,11 @@ class PullSocket:
 
     @property
     def shm_attaches(self) -> int:
-        """Total shm handshakes accepted over this socket's lifetime."""
+        """Total shm handshakes accepted over this socket's lifetime.
+
+        Summed over all receivers into the registry series
+        ``emlio_transport_shm_attaches_total`` (:mod:`repro.obs.metrics`).
+        """
         with self._reader_lock:
             return self._shm_attaches
 

@@ -548,7 +548,11 @@ class ShmPushSocket:
 
     @property
     def bytes_sent(self) -> int:
-        """Payload bytes through the ring plus control-channel bytes."""
+        """Payload bytes through the ring plus control-channel bytes.
+
+        Counts toward the same ``emlio_transport_bytes_sent_total``
+        registry series as the TCP path (:mod:`repro.obs.metrics`).
+        """
         return self._bytes_sent + self._chan.bytes_sent
 
     def _watch_peer(self) -> None:

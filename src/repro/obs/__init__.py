@@ -1,0 +1,82 @@
+"""Unified telemetry plane: metrics registry + per-batch tracing + export.
+
+:class:`Telemetry` is the single handle a deployment threads through its
+components — one :class:`~repro.obs.metrics.Registry` for counters,
+gauges and histograms; one :class:`~repro.obs.trace.TraceWriter` (when a
+``trace_dir`` is configured) feeding per-component
+:class:`~repro.obs.trace.Tracer` handles and doubling as the JSONL sink
+for :class:`~repro.util.logging.TimestampLogger` timelines; and the
+:class:`~repro.obs.exporter.MetricsExporter` scrape surface started by
+``EMLIO.deploy`` when ``[observability] metrics_port`` is set.
+
+Configured declaratively via the spec's ``[observability]`` section
+(:class:`repro.api.spec.ObservabilitySpec`); inspected at runtime via
+``Deployment.status()["telemetry"]`` and the ``repro.tools.trace`` CLI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.obs.trace import SPAN_STAGES, TraceWriter, Tracer, trace_id, trace_sampled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "SPAN_STAGES",
+    "Telemetry",
+    "TraceWriter",
+    "Tracer",
+    "trace_id",
+    "trace_sampled",
+]
+
+
+class Telemetry:
+    """One deployment's telemetry plane: registry + optional trace stream.
+
+    ``trace_dir=None`` (the default) means no writer and ``tracer()``
+    returns ``None`` — components then skip all wall-clock captures, so
+    the data path is untouched.  ``sample`` is the fraction of batches
+    traced (``obs.trace_sample``); the decision is made at the daemon and
+    propagated in the payload meta, see :mod:`repro.obs.trace`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_dir: str | Path | None = None,
+        trace_sample: float = 0.0,
+    ):
+        self.registry = Registry(enabled=enabled)
+        self.trace_sample = float(trace_sample)
+        self.writer: TraceWriter | None = (
+            TraceWriter(trace_dir) if trace_dir is not None else None
+        )
+
+    def tracer(self, component: str) -> Tracer | None:
+        """Per-component tracer, or ``None`` when tracing is off (no
+        writer or zero sampling) — callers gate all capture work on it."""
+        if self.writer is None or self.trace_sample <= 0.0:
+            return None
+        return Tracer(self.writer, component, self.trace_sample)
+
+    @property
+    def event_sink(self) -> Callable[[dict], None] | None:
+        """JSONL sink for :class:`~repro.util.logging.TimestampLogger`
+        events (shared file with spans), or ``None`` when tracing is off."""
+        return self.writer.write if self.writer is not None else None
+
+    def stats(self) -> dict:
+        out: dict = {"trace_sample": self.trace_sample}
+        if self.writer is not None:
+            out["trace"] = self.writer.stats()
+        return out
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()

@@ -1,0 +1,81 @@
+"""Stdlib-only HTTP scrape endpoint for a deployment's metrics registry.
+
+One :class:`MetricsExporter` per deployment serves:
+
+- ``/metrics`` — Prometheus text exposition format 0.0.4
+  (:meth:`~repro.obs.metrics.Registry.render_prometheus`)
+- ``/metrics.json`` — the same registry as JSON
+  (:meth:`~repro.obs.metrics.Registry.snapshot`)
+- ``/healthz`` — liveness (``ok``)
+
+Bound lazily at deploy time only when ``[observability] metrics_port`` is
+set (0 = ephemeral port; read it back via :attr:`MetricsExporter.port` or
+``Deployment.status()["telemetry"]["metrics_endpoint"]``).  ``EMLIO.plan``
+never constructs one — planning stays socket-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import Registry
+
+__all__ = ["MetricsExporter"]
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: Registry  # set on the subclass by MetricsExporter
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = self.registry.render_prometheus().encode("utf-8")
+            self._reply(200, _PROM_CONTENT_TYPE, body)
+        elif path == "/metrics.json":
+            body = json.dumps(self.registry.snapshot(), indent=2).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain", b"ok\n")
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # silence per-request spam
+        pass
+
+
+class MetricsExporter:
+    """Background scrape server bound to ``127.0.0.1:<port>``."""
+
+    def __init__(self, registry: Registry, port: int = 0, host: str = "127.0.0.1"):
+        handler = type("_BoundHandler", (_Handler,), {"registry": registry})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="metrics-exporter", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def endpoint(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

@@ -36,6 +36,26 @@ from repro.serialize.msgpack import SPILL_THRESHOLD, BinChunks, pack_parts, pack
 _SCHEMA_VERSION = 3
 _COMPATIBLE_VERSIONS = (1, 2, 3)  # v1 payloads predate the seq field
 
+#: ``meta`` key marking a payload as trace-sampled.  The daemon stamps it
+#: (:func:`stamp_trace`) when :func:`repro.obs.trace.trace_sampled` says
+#: yes for the batch's ``(epoch, node, seq)``; every downstream component
+#: checks :func:`trace_stamped` before paying any tracing cost.  Meta is
+#: wire-encoded by both v2 and v3 schemas, so the mark survives TCP and
+#: shm transports alike.
+TRACE_META_KEY = "tr"
+
+
+def stamp_trace(meta: dict | None = None) -> dict:
+    """Meta dict marking this payload's batch as trace-sampled."""
+    out = dict(meta) if meta else {}
+    out[TRACE_META_KEY] = 1
+    return out
+
+
+def trace_stamped(payload: "BatchPayload") -> bool:
+    """True when the daemon marked this batch for tracing."""
+    return bool(payload.meta) and TRACE_META_KEY in payload.meta
+
 #: Wire dtypes of the columnar vectors — explicitly little-endian so the
 #: format is platform-defined, not platform-dependent.
 _OFFSET_DTYPE = np.dtype("<u4")

@@ -130,7 +130,12 @@ class StorageBackend:
         return (0, 0, 0)
 
     def snapshot(self) -> dict:
-        """Point-in-time tier stats for ``Deployment.stats()``."""
+        """Point-in-time tier stats for ``Deployment.stats()``.
+
+        The same per-tier aggregates back the labeled registry series
+        ``emlio_storage_tier_<field>_total{tier=...}``
+        (:mod:`repro.obs.metrics`).
+        """
         return {"tier": self.tier, **self.stats.snapshot()}
 
 

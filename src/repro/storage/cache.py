@@ -74,6 +74,9 @@ class CacheStats:
             setattr(self, field, getattr(self, field) + n)
 
     def snapshot(self) -> dict[str, int]:
+        """Counters behind ``emlio_storage_tier_cache_hits_total`` /
+        ``_cache_misses`` / ``_prefetched`` / ``_evictions`` in the
+        metrics registry (:mod:`repro.obs.metrics`)."""
         with self._lock:
             return {
                 "hits": self.hits,
@@ -370,6 +373,8 @@ class CachedBackend(StorageBackend):
         return (snap["hits"], snap["misses"], self.prefetch_depth)
 
     def snapshot(self) -> dict:
+        """Inner-tier stats plus the cache sub-dict; the cache counters
+        feed ``emlio_storage_tier_*_total{tier=...}`` at scrape time."""
         snap = self.inner.snapshot()
         snap["cache"] = {
             **self.cache.stats.snapshot(),

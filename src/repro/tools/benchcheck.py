@@ -15,8 +15,15 @@ Two snapshot envelopes are understood:
 Usage::
 
     python -m repro.tools.benchcheck PATH [PATH ...]
+    python -m repro.tools.benchcheck --metrics SCRAPE.prom
     python -m repro.tools.benchcheck --compare BASELINE CURRENT \\
         [--min-ratio R] [--metric DOTTED.PATH] [--baseline-metric DOTTED.PATH]
+
+``--metrics`` validates a saved ``/metrics`` scrape (Prometheus text
+exposition format, as served by :class:`repro.obs.exporter.MetricsExporter`)
+instead of a JSON snapshot — CI smoke-scrapes the loopback bench's
+endpoint and gates the output here, so the scrape surface can't silently
+turn to garbage between releases.
 
 ``--compare`` exits nonzero when ``CURRENT``'s metric falls below
 ``min-ratio × BASELINE``'s — the regression gate.  ``--min-ratio`` above
@@ -43,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -117,6 +125,74 @@ def _check_micro(path: Path, obj: dict) -> list[str]:
     return problems
 
 
+#: Prometheus metric-name and sample-line grammar (text exposition 0.0.4).
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_SAMPLE_RE = re.compile(
+    r"^(" + _PROM_NAME + r")(\{[^{}]*\})?\s+(\S+)$"
+)
+_PROM_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _prom_base_name(name: str, types: dict[str, str]) -> str:
+    """The metric family a sample line belongs to (histogram suffixes
+    fold back onto the declared family name)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and types.get(name[: -len(suffix)]) == "histogram":
+            return name[: -len(suffix)]
+    return name
+
+
+def check_prometheus_text(text: str) -> list[str]:
+    """Every problem with a ``/metrics`` scrape body (empty = valid).
+
+    Checks the properties a real Prometheus scraper relies on: ``# TYPE``
+    lines name a known type and precede their family's samples, sample
+    lines parse (name, optional labels, finite-or-Inf value), and the
+    body carries at least one sample — an empty scrape means the
+    registry was never wired up.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    sampled: set[str] = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or not re.fullmatch(_PROM_NAME, parts[2]):
+                problems.append(f"line {lineno}: malformed {parts[1]} line: {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if parts[3] not in _PROM_TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown TYPE {parts[3]!r} for {parts[2]}"
+                    )
+                if parts[2] in sampled:
+                    problems.append(
+                        f"line {lineno}: TYPE for {parts[2]} appears after its samples"
+                    )
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = _PROM_SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name, _labels, value = m.group(1), m.group(2), m.group(3)
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"line {lineno}: non-numeric value {value!r}")
+        sampled.add(_prom_base_name(name, types))
+        samples += 1
+    if samples == 0:
+        problems.append("no samples in scrape body")
+    return problems
+
+
 def _lookup(obj: dict, dotted: str) -> float | None:
     node = obj
     for key in dotted.split("."):
@@ -180,14 +256,27 @@ HISTORY_PATH = Path("benchmarks/results/history.jsonl")
 #: whose drop-gate assumes higher-is-better metrics (throughputs, ratios).
 _UNTRACKED_FIELDS = frozenset({"seconds", "wall_s"})
 
+#: Registry-derived per-stage latency fields (``decode_ms_p95``, ...).
+#: Recorded in the history for trend-watching but exempt from the drop
+#: gate: latency is lower-is-better, so a "drop" is an improvement and
+#: the 10% rule would gate the wrong direction.
+_LATENCY_SUFFIXES = ("_ms_p50", "_ms_p95", "_ms_p99")
+
+
+def _drop_gated(metric: str) -> bool:
+    """Whether the 10%-drop rule applies to this tracked metric."""
+    return not metric.endswith(_LATENCY_SUFFIXES)
+
 
 def tracked_metrics(obj: dict) -> dict[str, float]:
     """The metrics a snapshot contributes to the history.
 
-    E2e envelopes track EMLIO throughput; micro envelopes track every
-    higher-is-better ``components.<name>.<field>`` number (raw wall times
-    are skipped — their throughput twins carry the same information with
-    the right gate direction).
+    E2e envelopes track EMLIO throughput plus any registry-derived
+    ``emlio.*_ms_p50/p95/p99`` latency fields (trend-recorded, not
+    drop-gated — see :data:`_LATENCY_SUFFIXES`); micro envelopes track
+    every higher-is-better ``components.<name>.<field>`` number (raw
+    wall times are skipped — their throughput twins carry the same
+    information with the right gate direction).
     """
     if "components" in obj:
         out: dict[str, float] = {}
@@ -201,8 +290,16 @@ def tracked_metrics(obj: dict) -> dict[str, float]:
                         if isinstance(value, (int, float)) and not isinstance(value, bool):
                             out[f"components.{name}.{field}"] = float(value)
         return out
+    out = {}
     value = _lookup(obj, DEFAULT_METRIC)
-    return {} if value is None else {DEFAULT_METRIC: float(value)}
+    if value is not None:
+        out[DEFAULT_METRIC] = float(value)
+    emlio = obj.get("emlio")
+    if isinstance(emlio, dict):
+        for field, v in emlio.items():
+            if field.endswith(_LATENCY_SUFFIXES) and isinstance(v, (int, float)):
+                out[f"emlio.{field}"] = float(v)
+    return out
 
 
 def _load_history(path: Path) -> tuple[dict[tuple[str, str], float], list[str]]:
@@ -245,7 +342,8 @@ def append_history(
         name = Path(path).name
         for metric, value in sorted(metrics.items()):
             prev = latest.get((name, metric))
-            if prev is not None and value < (1.0 - HISTORY_TOLERANCE) * prev:
+            if (prev is not None and _drop_gated(metric)
+                    and value < (1.0 - HISTORY_TOLERANCE) * prev):
                 problems.append(
                     f"{path}: {metric} regressed — {value:.1f} vs last history "
                     f"entry {prev:.1f} (>{HISTORY_TOLERANCE:.0%} drop)"
@@ -278,7 +376,8 @@ def check_history(paths: list[str], history_path: Path = HISTORY_PATH) -> list[s
         name = Path(path).name
         for metric, value in sorted(tracked_metrics(obj).items()):
             prev = latest.get((name, metric))
-            if prev is not None and value < (1.0 - HISTORY_TOLERANCE) * prev:
+            if (prev is not None and _drop_gated(metric)
+                    and value < (1.0 - HISTORY_TOLERANCE) * prev):
                 problems.append(
                     f"{path}: {metric} regressed — {value:.1f} vs history "
                     f"{prev:.1f} (>{HISTORY_TOLERANCE:.0%} drop)"
@@ -313,6 +412,13 @@ def main(argv: list[str] | None = None) -> int:
         "(cross-metric gates, e.g. warm vs cold within one snapshot)",
     )
     parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="validate a saved /metrics scrape (Prometheus text format) "
+        "instead of JSON snapshots",
+    )
+    parser.add_argument(
         "--append-history",
         metavar="PR_ID",
         default=None,
@@ -332,8 +438,26 @@ def main(argv: list[str] | None = None) -> int:
         help=f"history file location (default {HISTORY_PATH})",
     )
     args = parser.parse_args(argv)
-    if args.compare is None and not args.paths:
-        parser.error("pass snapshot paths to validate, or --compare BASELINE CURRENT")
+    if args.compare is None and not args.paths and args.metrics is None:
+        parser.error("pass snapshot paths to validate, --metrics SCRAPE, "
+                     "or --compare BASELINE CURRENT")
+    if args.metrics is not None:
+        scrape = Path(args.metrics)
+        if not scrape.is_file():
+            print(f"benchcheck: {scrape}: missing", file=sys.stderr)
+            return 1
+        problems = check_prometheus_text(scrape.read_text())
+        for problem in problems:
+            print(f"benchcheck: {scrape}: {problem}", file=sys.stderr)
+        if not problems:
+            families = len({
+                line.split(None, 3)[2]
+                for line in scrape.read_text().splitlines()
+                if line.startswith("# TYPE ")
+            })
+            print(f"benchcheck: {scrape}: valid Prometheus text "
+                  f"({families} metric families)")
+        return 1 if problems else 0
     if args.append_history is not None and args.check_history:
         parser.error("--append-history and --check-history are mutually exclusive")
     if args.append_history is not None:

@@ -1,0 +1,229 @@
+"""Reconstruct per-batch traces from a deployment's span stream.
+
+``EMLIO.deploy`` with ``[observability] trace_sample > 0`` appends every
+sampled span (and the §4.5 timeline events) as JSONL under ``trace_dir``;
+this tool reads that stream back and answers the two questions the paper's
+Fig. 1 pipeline diagram raises in practice: *where does a batch spend its
+time*, and *did every stage actually run*.
+
+Usage::
+
+    python -m repro.tools.trace --trace-dir DIR              # stage summary
+    python -m repro.tools.trace --trace-dir DIR --epoch 0 --batch 3
+    python -m repro.tools.trace --trace-dir DIR --validate   # CI gate
+
+Without a ``--batch`` filter the tool prints per-stage p50/p95/p99
+latencies over every sampled trace.  With ``--epoch``/``--batch`` it
+prints the reconstructed critical path of that one batch — each stage's
+wall-clock interval plus the gap to the next stage (queueing / transit
+time the stages themselves don't account for).  ``--validate`` applies
+:func:`validate_chain` to every trace and exits nonzero on the first
+incomplete or non-monotonic one; the e2e observability test reuses the
+same helpers, so the CLI and the test suite cannot drift apart.
+
+Trace ids are ``"{epoch}:{node}:{seq}"`` (:func:`repro.obs.trace.trace_id`);
+stage order is :data:`repro.obs.trace.SPAN_STAGES`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.trace import SPAN_STAGES
+
+#: Stage rank for sorting/validation (read=0 ... consume=6).
+_STAGE_RANK = {name: i for i, name in enumerate(SPAN_STAGES)}
+
+
+def read_spans(trace_dir: str | Path) -> list[dict]:
+    """Every span record under ``trace_dir`` (``*.jsonl``, recursively).
+
+    Timeline events written through the shared sink carry no ``"span"``
+    key and are skipped; malformed lines (a crash mid-append) are skipped
+    too — a truncated tail must not hide the rest of the stream.
+    """
+    spans: list[dict] = []
+    root = Path(trace_dir)
+    for path in sorted(root.rglob("*.jsonl")):
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(rec, dict) and "span" in rec and "trace" in rec:
+                spans.append(rec)
+    return spans
+
+
+def group_traces(spans: list[dict]) -> dict[str, list[dict]]:
+    """Spans grouped by trace id, each group sorted by stage order."""
+    traces: dict[str, list[dict]] = {}
+    for rec in spans:
+        traces.setdefault(rec["trace"], []).append(rec)
+    for recs in traces.values():
+        recs.sort(key=lambda r: _STAGE_RANK.get(r["span"], len(SPAN_STAGES)))
+    return traces
+
+
+def parse_trace_id(trace: str) -> tuple[int, int, int]:
+    """``"epoch:node:seq"`` back to ``(epoch, node, seq)``."""
+    epoch, node, seq = trace.split(":")
+    return int(epoch), int(node), int(seq)
+
+
+def validate_chain(recs: list[dict]) -> list[str]:
+    """Problems with one trace's span list; empty means a complete chain.
+
+    Checks the e2e acceptance properties: every stage of
+    :data:`SPAN_STAGES` present exactly once, no spans from unknown
+    stages (orphans), each span's interval non-negative, and stage
+    *start* times non-decreasing in pipeline order (stages overlap —
+    decode of batch *n* runs while the daemon reads *n+1* — but one
+    batch's own stages cannot start out of order).
+    """
+    problems: list[str] = []
+    by_stage: dict[str, list[dict]] = {}
+    for rec in recs:
+        by_stage.setdefault(rec["span"], []).append(rec)
+    for stage in SPAN_STAGES:
+        got = len(by_stage.get(stage, ()))
+        if got != 1:
+            problems.append(f"stage {stage!r}: expected 1 span, got {got}")
+    for stage in by_stage:
+        if stage not in _STAGE_RANK:
+            problems.append(f"orphan span {stage!r} (not a pipeline stage)")
+    for stage, stage_recs in by_stage.items():
+        for rec in stage_recs:
+            if rec["t1"] < rec["t0"]:
+                problems.append(f"stage {stage!r}: t1 < t0 ({rec['t1']} < {rec['t0']})")
+    chain = [by_stage[s][0] for s in SPAN_STAGES if len(by_stage.get(s, ())) == 1]
+    for prev, cur in zip(chain, chain[1:]):
+        if cur["t0"] < prev["t0"]:
+            problems.append(
+                f"stage {cur['span']!r} starts before {prev['span']!r} "
+                f"({cur['t0']} < {prev['t0']})"
+            )
+    return problems
+
+
+def quantile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of ``values`` (which must be non-empty)."""
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def stage_summary(traces: dict[str, list[dict]]) -> dict[str, dict[str, float]]:
+    """Per-stage ``{p50, p95, p99, count}`` of span duration in ms."""
+    durations: dict[str, list[float]] = {s: [] for s in SPAN_STAGES}
+    for recs in traces.values():
+        for rec in recs:
+            if rec["span"] in durations:
+                durations[rec["span"]].append((rec["t1"] - rec["t0"]) / 1e6)
+    out: dict[str, dict[str, float]] = {}
+    for stage, vals in durations.items():
+        if vals:
+            out[stage] = {
+                "count": len(vals),
+                "p50_ms": quantile(vals, 0.50),
+                "p95_ms": quantile(vals, 0.95),
+                "p99_ms": quantile(vals, 0.99),
+            }
+    return out
+
+
+def critical_path(recs: list[dict]) -> list[str]:
+    """Human-readable stage-by-stage walk of one trace.
+
+    Each line shows the stage's own duration and the *gap* to the next
+    stage's start — transit and queueing time that no stage's own span
+    accounts for (e.g. recv starts only when the frame has crossed the
+    link; preprocess waits in the pipeline's prefetch queue).
+    """
+    by_stage = {r["span"]: r for r in recs}
+    chain = [by_stage[s] for s in SPAN_STAGES if s in by_stage]
+    if not chain:
+        return ["  (no spans)"]
+    t_origin = chain[0]["t0"]
+    lines = []
+    for i, rec in enumerate(chain):
+        dur_ms = (rec["t1"] - rec["t0"]) / 1e6
+        at_ms = (rec["t0"] - t_origin) / 1e6
+        extra = "".join(
+            f"  {k}={rec[k]}" for k in sorted(rec)
+            if k not in ("trace", "span", "component", "t0", "t1")
+        )
+        lines.append(
+            f"  {rec['span']:<10} +{at_ms:9.3f} ms  dur {dur_ms:9.3f} ms"
+            f"  [{rec.get('component', '?')}]{extra}"
+        )
+        if i + 1 < len(chain):
+            gap_ms = (chain[i + 1]["t0"] - rec["t1"]) / 1e6
+            lines.append(f"  {'':<10}  … gap {gap_ms:9.3f} ms")
+    total_ms = (chain[-1]["t1"] - t_origin) / 1e6
+    lines.append(f"  {'total':<10} {total_ms:22.3f} ms")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.trace", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--trace-dir", required=True,
+                        help="directory holding the deployment's spans.jsonl")
+    parser.add_argument("--epoch", type=int, default=None,
+                        help="only traces from this epoch")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="only the trace of this batch seq (prints its critical path)")
+    parser.add_argument("--validate", action="store_true",
+                        help="exit 1 unless every selected trace is a complete, "
+                             "monotonic 7-stage chain")
+    args = parser.parse_args(argv)
+
+    spans = read_spans(args.trace_dir)
+    traces = group_traces(spans)
+    if args.epoch is not None or args.batch is not None:
+        traces = {
+            t: recs for t, recs in traces.items()
+            if (args.epoch is None or parse_trace_id(t)[0] == args.epoch)
+            and (args.batch is None or parse_trace_id(t)[2] == args.batch)
+        }
+    if not traces:
+        print("no matching traces", file=sys.stderr)
+        return 1
+
+    failures = 0
+    if args.validate:
+        for trace, recs in sorted(traces.items()):
+            problems = validate_chain(recs)
+            for p in problems:
+                print(f"FAIL {trace}: {p}")
+            failures += bool(problems)
+        print(f"{len(traces) - failures}/{len(traces)} traces complete")
+        return 1 if failures else 0
+
+    if args.batch is not None:
+        for trace, recs in sorted(traces.items(), key=lambda kv: parse_trace_id(kv[0])):
+            epoch, node, seq = parse_trace_id(trace)
+            print(f"trace {trace} (epoch {epoch}, node {node}, batch {seq})")
+            print("\n".join(critical_path(recs)))
+        return 0
+
+    print(f"{len(traces)} trace(s), per-stage latency:")
+    summary = stage_summary(traces)
+    print(f"  {'stage':<10} {'count':>6} {'p50 ms':>10} {'p95 ms':>10} {'p99 ms':>10}")
+    for stage in SPAN_STAGES:
+        if stage in summary:
+            s = summary[stage]
+            print(f"  {stage:<10} {s['count']:>6.0f} {s['p50_ms']:>10.3f} "
+                  f"{s['p95_ms']:>10.3f} {s['p99_ms']:>10.3f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

@@ -8,12 +8,17 @@ agnostic; events carry free-form key/value fields.
 
 from __future__ import annotations
 
+import collections
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.util.clock import Clock, WallClock
+
+#: Default in-memory event bound.  Long-running deployments log per batch;
+#: an unbounded list was the paper-stub behaviour and leaked for days.
+DEFAULT_MAX_EVENTS = 65536
 
 
 @dataclass(frozen=True)
@@ -39,12 +44,33 @@ class TimestampLogger:
         :class:`~repro.util.clock.VirtualClock` gives virtual-time stamps.
     name:
         Logical component name recorded on every event (e.g. ``"daemon0"``).
+    max_events:
+        In-memory ring bound: only the newest ``max_events`` events are
+        retained (:data:`DEFAULT_MAX_EVENTS` by default; ``None`` keeps
+        the old unbounded behaviour for short-lived tooling).  Evicted
+        events are gone from :meth:`events` but were already offered to
+        ``sink``, so a JSONL sink preserves the full timeline.
+    sink:
+        Optional ``fn(record: dict)`` called with every event as a JSONL-
+        ready dict.  Wiring :attr:`repro.obs.Telemetry.event_sink` here
+        routes §4.5 timelines into the same ``spans.jsonl`` stream as the
+        per-batch trace spans — one file format, one aligned timeline
+        (``repro.tools.trace`` ignores records without a ``"span"`` key).
     """
 
-    def __init__(self, clock: Clock | None = None, name: str = "") -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        name: str = "",
+        max_events: int | None = DEFAULT_MAX_EVENTS,
+        sink: Callable[[dict], None] | None = None,
+    ) -> None:
         self._clock = clock or WallClock()
         self._name = name
-        self._events: list[TimelineEvent] = []
+        self._events: collections.deque[TimelineEvent] = collections.deque(
+            maxlen=max_events
+        )
+        self._sink = sink
         self._lock = threading.Lock()
 
     @property
@@ -59,6 +85,11 @@ class TimestampLogger:
         ev = TimelineEvent(t=self._clock.now(), kind=kind, fields=fields)
         with self._lock:
             self._events.append(ev)
+        if self._sink is not None:
+            try:
+                self._sink({"t": ev.t, "kind": ev.kind, **ev.fields})
+            except Exception:  # noqa: BLE001 - a sink must never break logging
+                pass
         return ev
 
     def events(self, kind: str | None = None) -> list[TimelineEvent]:

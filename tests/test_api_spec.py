@@ -13,6 +13,7 @@ from repro.api import (
     EnergySpec,
     NETWORK_PROFILES,
     NetworkSpec,
+    ObservabilitySpec,
     PipelineSpec,
     POWER_MODELS,
     ReceiverSpec,
@@ -47,6 +48,8 @@ FULL = ClusterSpec(
                           miss_threshold=3, dead_threshold=7, hung_after_s=1.5),
     energy=EnergySpec(enabled=True, cpu_model="epyc-7763", gpu_model="t4",
                       interval_s=0.25),
+    observability=ObservabilitySpec(metrics_port=9477, trace_dir="/tmp/traces",
+                                    trace_sample=0.05),
 )
 
 
@@ -135,6 +138,12 @@ def test_unknown_keys_rejected_loudly():
         ("storage", {"num_daemons": 0}, "num_daemons"),
         ("storage", {"verify_reads": "always"}, "verify_reads"),
         ("storage", {"verify_reads": 1}, "verify_reads"),
+        ("observability", {"metrics_port": 65536}, "metrics_port"),
+        ("observability", {"metrics_port": -1}, "metrics_port"),
+        ("observability", {"metrics_port": True}, "metrics_port"),
+        ("observability", {"trace_sample": 1.5, "trace_dir": "/t"}, "trace_sample"),
+        ("observability", {"trace_sample": -0.1, "trace_dir": "/t"}, "trace_sample"),
+        ("observability", {"trace_sample": 0.5}, "requires observability.trace_dir"),
     ],
 )
 def test_section_validation_errors(section, bad, match):

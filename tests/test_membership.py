@@ -78,6 +78,50 @@ def test_heartbeat_rejects_bad_state_and_junk():
         decode_heartbeat(b'{"role": "daemon"}')  # missing id
 
 
+def test_heartbeat_unknown_fields_are_counted_not_silent():
+    """Forward-compat beats decode, but the extra fields are surfaced —
+    once to the log, always to the ``on_unknown`` callback (which feeds
+    the registry's ``emlio_heartbeat_unknown_fields_total``)."""
+    import json
+
+    hb = Heartbeat(member_id="daemon:0", role="daemon")
+    wire = json.loads(encode_heartbeat(hb).decode())
+    wire["future_field"] = 1
+    wire["other_new"] = "x"
+    seen: list[frozenset] = []
+    decoded = decode_heartbeat(
+        json.dumps(wire).encode(), on_unknown=seen.append
+    )
+    assert decoded.member_id == "daemon:0"  # still decodes
+    assert seen == [frozenset({"future_field", "other_new"})]
+    # Without the callback nothing breaks either.
+    assert decode_heartbeat(json.dumps(wire).encode()) == decoded
+
+
+def test_heartbeat_listener_counts_unknown_fields():
+    import json
+
+    got = queue.Queue()
+    listener = HeartbeatListener(got.put)
+    try:
+        hb = Heartbeat(member_id="daemon:0", role="daemon")
+        wire = json.loads(encode_heartbeat(hb).decode())
+        wire["future_field"] = 1
+        chan = connect_channel("127.0.0.1", listener.port)
+        try:
+            chan.send(json.dumps(wire).encode())
+            chan.send(json.dumps(wire).encode())
+            chan.send(encode_heartbeat(hb))
+            for _ in range(3):
+                assert got.get(timeout=5).member_id == "daemon:0"
+        finally:
+            chan.close()
+        assert listener.unknown_fields == 2
+        assert listener.malformed == 0
+    finally:
+        listener.close()
+
+
 def test_membership_config_validation():
     with pytest.raises(ValueError):
         MembershipConfig(interval_s=0)

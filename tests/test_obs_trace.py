@@ -1,0 +1,137 @@
+"""Trace plumbing: ids, sampling, the writer, and the CLI helpers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import (
+    SPAN_STAGES,
+    TraceWriter,
+    Tracer,
+    trace_id,
+    trace_sampled,
+)
+from repro.serialize.payload import BatchPayload, stamp_trace, trace_stamped
+from repro.tools import trace as trace_tool
+
+
+def test_trace_id_roundtrip():
+    assert trace_id(3, 1, 42) == "3:1:42"
+    assert trace_tool.parse_trace_id("3:1:42") == (3, 1, 42)
+
+
+def test_sampling_edges():
+    assert not trace_sampled(0, 0, 1, 0.0)
+    assert trace_sampled(0, 0, 1, 1.0)
+    assert not trace_sampled(0, 0, 1, -1.0)
+
+
+def test_sampling_is_deterministic_and_proportional():
+    hits = [trace_sampled(0, 0, seq, 0.25) for seq in range(4000)]
+    assert hits == [trace_sampled(0, 0, seq, 0.25) for seq in range(4000)]
+    rate = sum(hits) / len(hits)
+    assert 0.20 < rate < 0.30
+
+
+def test_stamp_and_detect_trace_meta():
+    assert stamp_trace() == {"tr": 1}
+    assert stamp_trace({"k": "v"}) == {"k": "v", "tr": 1}
+    plain = BatchPayload(epoch=0, batch_index=0, shard="s", samples=[b"x"], labels=[0])
+    stamped = BatchPayload(
+        epoch=0, batch_index=0, shard="s", samples=[b"x"], labels=[0],
+        meta=stamp_trace(),
+    )
+    assert not trace_stamped(plain)
+    assert trace_stamped(stamped)
+
+
+def test_writer_appends_jsonl_and_counts(tmp_path):
+    writer = TraceWriter(tmp_path)
+    tracer = Tracer(writer, "daemon", 1.0)
+    tracer.span((0, 0, 1), "read", 100, 200)
+    tracer.span((0, 0, 1), "send", 200, 300, nbytes=512)
+    writer.write({"t": 1.0, "kind": "epoch_start"})  # a timeline event
+    writer.close()
+    lines = [json.loads(l) for l in (tmp_path / "spans.jsonl").read_text().splitlines()]
+    assert len(lines) == 3
+    assert lines[0] == {
+        "trace": "0:0:1", "span": "read", "component": "daemon", "t0": 100, "t1": 200,
+    }
+    assert lines[1]["nbytes"] == 512
+    assert writer.stats()["written"] == 3
+    assert writer.stats()["dropped"] == 0
+
+
+def test_writer_close_is_idempotent(tmp_path):
+    writer = TraceWriter(tmp_path)
+    writer.close()
+    writer.close()
+
+
+def _chain(trace="0:0:5", t0=0):
+    recs = []
+    t = t0
+    for stage in SPAN_STAGES:
+        recs.append({"trace": trace, "span": stage, "t0": t, "t1": t + 10})
+        t += 10
+    return recs
+
+
+def test_validate_chain_accepts_complete_chain():
+    assert trace_tool.validate_chain(_chain()) == []
+
+
+def test_validate_chain_flags_missing_stage():
+    recs = [r for r in _chain() if r["span"] != "decode"]
+    problems = trace_tool.validate_chain(recs)
+    assert any("decode" in p for p in problems)
+
+
+def test_validate_chain_flags_orphan_and_inverted_span():
+    recs = _chain()
+    recs.append({"trace": "0:0:5", "span": "mystery", "t0": 0, "t1": 1})
+    recs[0] = dict(recs[0], t0=100, t1=50)
+    problems = trace_tool.validate_chain(recs)
+    assert any("orphan" in p for p in problems)
+    assert any("t1 < t0" in p for p in problems)
+
+
+def test_validate_chain_flags_non_monotonic_starts():
+    recs = _chain()
+    # consume starting before preprocess is a broken clock, not overlap
+    recs[-1] = dict(recs[-1], t0=recs[-2]["t0"] - 5)
+    problems = trace_tool.validate_chain(recs)
+    assert any("starts before" in p for p in problems)
+
+
+def test_read_spans_skips_events_and_garbage(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    path.write_text(
+        json.dumps({"trace": "0:0:1", "span": "read", "t0": 0, "t1": 1}) + "\n"
+        + json.dumps({"t": 1.0, "kind": "epoch_start"}) + "\n"
+        + "{truncated\n"
+    )
+    spans = trace_tool.read_spans(tmp_path)
+    assert len(spans) == 1 and spans[0]["span"] == "read"
+
+
+def test_cli_summary_and_validate(tmp_path, capsys):
+    writer = TraceWriter(tmp_path)
+    tracer = Tracer(writer, "t", 1.0)
+    for seq in range(3):
+        t = seq * 1000
+        for stage in SPAN_STAGES:
+            tracer.span((0, 0, seq), stage, t, t + 100)
+            t += 100
+    writer.close()
+    assert trace_tool.main(["--trace-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 trace(s)" in out and "preprocess" in out
+    assert trace_tool.main(["--trace-dir", str(tmp_path), "--validate"]) == 0
+    assert "3/3 traces complete" in capsys.readouterr().out
+    assert trace_tool.main(
+        ["--trace-dir", str(tmp_path), "--epoch", "0", "--batch", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "trace 0:0:1" in out and "total" in out
+    assert trace_tool.main(["--trace-dir", str(tmp_path), "--batch", "99"]) == 1

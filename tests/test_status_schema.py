@@ -1,0 +1,104 @@
+"""Pin the full ``Deployment.status()`` schema.
+
+``status()`` is the deployment's public JSON-able snapshot — dashboards
+and ops tooling key into it by name, so a renamed or retyped field is a
+breaking API change that must show up as a test diff, not as a silent
+``KeyError`` downstream.  This pins every top-level section, the keys and
+value types inside each, JSON-serializability, and stability of the
+schema across an epoch of consumption.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import EMLIO, preset
+
+#: section -> {key: allowed types}.  ``type(None)`` marks fields that are
+#: legitimately null at quickstart scale (no recovery, no energy monitor,
+#: no rebalance yet, observability off).
+_CLUSTER_SCHEMA = {
+    "membership": (dict, type(None)),
+    "num_nodes": (int,),
+    "dead_nodes": (list,),
+    "endpoints": (dict,),
+    "ownership": (dict,),
+    "failovers": (int,),
+    "receiver_failovers": (int,),
+    "reassigned_batches": (int,),
+    "rebalances": (int,),
+    "last_rebalance": (dict, type(None)),
+}
+
+_PIPELINE_SCHEMA = {
+    "daemons": (list,),
+    "failover_daemons": (list,),
+    "gpu": (dict,),
+    "batches_received": (int,),
+    "duplicates_dropped": (int,),
+    "failovers": (int,),
+    "receiver_failovers": (int,),
+    "transports": (dict,),
+    "shm_attaches": (int,),
+    "storage": (dict,),
+    "stages": (dict,),
+}
+
+_STORAGE_SCHEMA = {
+    "daemons": (list,),
+    "tiers": (dict,),
+}
+
+_TELEMETRY_SCHEMA = {
+    "metrics_endpoint": (str, type(None)),
+    "trace_dir": (str, type(None)),
+    "trace_sample": (float, int),
+    "spans_written": (int,),
+    "spans_dropped": (int,),
+}
+
+
+def _check_section(section: dict, schema: dict, where: str) -> None:
+    assert set(section) == set(schema), (
+        f"{where}: keys changed — got {sorted(section)}, pinned {sorted(schema)}"
+    )
+    for key, types in schema.items():
+        assert isinstance(section[key], types), (
+            f"{where}.{key}: expected {types}, got {type(section[key]).__name__}"
+        )
+
+
+def _check_status(status: dict) -> None:
+    assert set(status) == {
+        "spec", "cluster", "pipeline", "storage", "telemetry", "energy",
+    }
+    assert isinstance(status["spec"], str)
+    _check_section(status["cluster"], _CLUSTER_SCHEMA, "cluster")
+    _check_section(status["pipeline"], _PIPELINE_SCHEMA, "pipeline")
+    _check_section(status["storage"], _STORAGE_SCHEMA, "storage")
+    _check_section(status["telemetry"], _TELEMETRY_SCHEMA, "telemetry")
+    assert status["energy"] is None or isinstance(status["energy"], dict)
+    json.dumps(status)  # the whole snapshot must stay JSON-able
+
+
+def test_status_schema_is_stable_across_an_epoch():
+    with EMLIO.deploy(preset("quickstart")) as dep:
+        before = dep.status()
+        _check_status(before)
+        for _ in dep.epoch(0):
+            pass
+        after = dep.status()
+        _check_status(after)
+    assert before["spec"] == after["spec"] == "quickstart"
+    # Consumption changes values, never shape.
+    assert after["pipeline"]["batches_received"] == 8
+    assert before["pipeline"]["batches_received"] == 0
+
+
+def test_status_schema_with_energy_monitor():
+    with EMLIO.deploy(preset("geo-wan")) as dep:
+        for _ in dep.epoch(0):
+            pass
+        status = dep.status()
+        _check_status(status)
+    assert set(status["energy"]) == {"cpu_j", "dram_j", "gpu_j", "samples"}
